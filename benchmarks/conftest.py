@@ -1,0 +1,24 @@
+"""Benchmark fixtures: one booted Grid'5000 per session.
+
+Every benchmark prints the regenerated paper table/series to stdout
+(run with ``pytest benchmarks/ --benchmark-only -s`` to see them) and
+asserts the paper's qualitative claims, so a passing benchmark run *is*
+a successful reproduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import build_grid5000_cluster
+
+
+@pytest.fixture(scope="session")
+def cluster():
+    """The paper's testbed, booted once for the whole benchmark run."""
+    return build_grid5000_cluster(seed=42)
+
+
+def emit(title: str, body: str) -> None:
+    print(f"\n=== {title} ===")
+    print(body)

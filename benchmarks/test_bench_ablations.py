@@ -1,0 +1,96 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper figures — these quantify the knobs behind them:
+
+* latency noise vs. cached-list ranking quality (the §5.1 interleaving
+  mechanism and the paper's future-work accuracy item);
+* probe count / EWMA smoothing;
+* overbooking factor absorbing silent peers;
+* replication degree vs. survival (§3.2);
+* the block-strategy continuum between spread and concentrate.
+"""
+
+from repro.apps import EPBenchmark, ISBenchmark
+from repro.experiments.ablations import (
+    block_strategy_ablation,
+    latency_noise_ablation,
+    overbooking_ablation,
+    replication_ablation,
+    smoothing_ablation,
+)
+
+from benchmarks.conftest import emit
+
+
+def test_bench_noise_ablation(benchmark):
+    points = benchmark.pedantic(
+        lambda: latency_noise_ablation(
+            sigmas_ms=(0.0, 0.35, 0.8, 1.2, 2.5, 5.0), seed=1),
+        rounds=1, iterations=1)
+    emit("Ablation: per-probe noise vs ranking quality (Kendall tau)",
+         "\n".join(f"sigma={p.noise_sigma_ms:>5.2f} ms  tau={p.tau:.4f}"
+                   for p in points))
+    taus = [p.tau for p in points]
+    assert taus == sorted(taus, reverse=True)
+    assert taus[0] > 0.7 and taus[-1] < taus[0]
+
+
+def test_bench_smoothing_ablation(benchmark):
+    points = benchmark.pedantic(
+        lambda: smoothing_ablation(noise_sigma_ms=2.0,
+                                   sample_counts=(1, 3, 10, 30), seed=2),
+        rounds=1, iterations=1)
+    emit("Ablation: probes per estimate (plain vs EWMA 0.2), sigma=2ms",
+         "\n".join(
+             f"samples={p.samples:>3} "
+             f"{'ewma' if p.ewma_alpha else 'mean':>4} tau={p.tau:.4f}"
+             for p in points))
+    plain = {p.samples: p.tau for p in points if p.ewma_alpha is None}
+    assert plain[30] > plain[1]
+
+
+def test_bench_overbooking_ablation(benchmark):
+    points = benchmark.pedantic(
+        lambda: overbooking_ablation(factors=(1.0, 1.1, 1.2, 1.5),
+                                     n=120, kill_count=12, seed=3),
+        rounds=1, iterations=1)
+    emit("Ablation: overbooking factor with 12 freshly-dead peers",
+         "\n".join(
+             f"factor={p.overbook_factor:.1f} status={p.status:<12} "
+             f"dead_detected={p.dead_detected:>3} allocated={p.allocated}"
+             for p in points))
+    assert points[-1].status == "success"
+    assert points[-1].dead_detected > 0
+
+
+def test_bench_replication_ablation(benchmark):
+    points = benchmark.pedantic(
+        lambda: replication_ablation(replication_degrees=(1, 2, 3),
+                                     p_host_fail=0.05, n=60, seed=1),
+        rounds=1, iterations=1)
+    emit("Ablation: replication degree vs survival (5% host failures)",
+         "\n".join(f"r={p.r}  P(survive)={p.survival:.4f}" for p in points))
+    survs = [p.survival for p in points]
+    assert survs == sorted(survs)
+    assert survs[-1] > 0.98
+
+
+def test_bench_block_strategy_ablation(cluster, benchmark):
+    def run():
+        return (block_strategy_ablation(EPBenchmark("B"), n=64,
+                                        blocks=(1, 2, 4), seed=5),
+                block_strategy_ablation(ISBenchmark("B"), n=64,
+                                        blocks=(1, 2, 4), seed=5))
+
+    ep_points, is_points = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Ablation: block strategy continuum (n=64)",
+         "\n".join(
+             [f"EP-B block={p.block}: {p.time_s:6.2f} s" for p in ep_points]
+             + [f"IS-B block={p.block}: {p.time_s:6.2f} s" for p in is_points]
+         ))
+    ep = {p.block: p.time_s for p in ep_points}
+    is_ = {p.block: p.time_s for p in is_points}
+    # EP: less packing = less contention = faster.
+    assert ep[1] < ep[4]
+    # IS at 64: more packing keeps the job inside nancy = faster.
+    assert is_[4] < is_[1]

@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the simulator substrate itself.
+
+These are engineering (not paper) numbers: they bound the cost of the
+building blocks the experiments run on, and catch performance
+regressions in the event loop, the strategies, the cost model and the
+reservation protocol.
+"""
+
+import pytest
+
+from repro.alloc import ReservedHost, build_plan, get_strategy
+from repro.grid5000.builder import build_topology
+from repro.middleware.jobs import JobRequest
+from repro.mpi.costmodel import CollectiveCostModel, CostParams
+from repro.sim import Simulator, Store
+
+
+def test_bench_event_loop_throughput(benchmark):
+    """Schedule+process cost of one million timeout events."""
+
+    def run():
+        sim = Simulator()
+
+        def ticker(sim, count):
+            for _ in range(count):
+                yield sim.timeout(1.0)
+
+        for _ in range(10):
+            sim.process(ticker(sim, 10_000))
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events >= 100_000
+
+
+def test_bench_store_throughput(benchmark):
+    """Mailbox put/get churn (the transport hot path)."""
+
+    def run():
+        sim = Simulator()
+        box = Store(sim)
+
+        def producer(sim, box):
+            for i in range(20_000):
+                yield box.put(i)
+
+        def consumer(sim, box):
+            total = 0
+            for _ in range(20_000):
+                item = yield box.get()
+                total += item
+            return total
+
+        sim.process(producer(sim, box))
+        proc = sim.process(consumer(sim, box))
+        return sim.run_until_complete(proc)
+
+    total = benchmark(run)
+    assert total == sum(range(20_000))
+
+
+@pytest.mark.parametrize("strategy", ["spread", "concentrate", "block"])
+def test_bench_strategy_at_grid_scale(benchmark, strategy):
+    """Distribute 600 processes over 350 hosts (the Figure 2/3 inner
+    loop)."""
+    topology = build_topology()
+    slist = [ReservedHost(h, p_limit=h.cores)
+             for h in topology.all_hosts()]
+
+    def run():
+        return build_plan(get_strategy(strategy), slist, n=600, r=1)
+
+    plan = benchmark(run)
+    assert plan.total_processes == 600
+
+
+def test_bench_costmodel_alltoallv_600(benchmark):
+    """One IS-iteration alltoallv evaluation over 600 ranks."""
+    topology = build_topology()
+    hosts = (topology.all_hosts() * 2)[:600]
+    model = CollectiveCostModel(topology, CostParams(msg_fixed_s=3.5e-3))
+    layout = model.layout(hosts)
+
+    time_s = benchmark(lambda: model.alltoallv_time(layout, 1000))
+    assert time_s > 0
+
+
+def test_bench_full_submission(cluster, benchmark):
+    """End-to-end p2pmpirun latency on the 350-peer overlay."""
+
+    result = benchmark.pedantic(
+        lambda: cluster.submit_and_run(
+            JobRequest(n=300, strategy="spread", tag="micro")),
+        rounds=3, iterations=1)
+    assert result.ok

@@ -1,0 +1,40 @@
+"""Table 1: characteristics of available computing resources.
+
+Regenerates the paper's resource inventory and benchmarks topology
+construction (the entry cost of every experiment).
+"""
+
+from repro.grid5000.builder import build_topology, paper_site_legend
+from repro.grid5000.resources import CLUSTERS, total_cores, total_hosts
+
+from benchmarks.conftest import emit
+
+
+def render_table1() -> str:
+    lines = [f"{'Site':<10}{'Cluster':<12}{'CPU':<20}"
+             f"{'#Nodes':>8}{'#CPUs':>8}{'#Cores':>8}"]
+    for c in CLUSTERS:
+        lines.append(f"{c.site:<10}{c.name:<12}{c.cpu_model:<20}"
+                     f"{c.nodes:>8}{c.cpus:>8}{c.cores:>8}")
+    lines.append(f"{'TOTAL':<42}{total_hosts():>8}{'':>8}{total_cores():>8}")
+    return "\n".join(lines)
+
+
+def test_bench_table1(benchmark):
+    topology = benchmark(build_topology)
+
+    emit("Table 1 (paper: 8 clusters, 350 hosts, 1040 cores)",
+         render_table1())
+    legend = paper_site_legend(topology)
+    emit("Figure legend (RTT to nancy, hosts, cores)",
+         "\n".join(f"{site:<10} {rtt:>7.3f} ms {hosts:>4} hosts "
+                   f"{cores:>5} cores"
+                   for site, rtt, hosts, cores in legend))
+
+    # Paper-fidelity assertions.
+    assert topology.n_hosts == 350
+    assert topology.n_cores == 1040
+    assert len(topology.sites) == 6
+    sites = {row[0]: row for row in legend}
+    assert sites["sophia"][1] == 17.167
+    assert sites["nancy"][2:] == (60, 240)

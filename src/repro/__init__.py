@@ -1,0 +1,44 @@
+"""repro — reproduction of P2P-MPI co-allocation strategies (IPDPS/HPGC 2008).
+
+The package implements, on top of a deterministic discrete-event
+simulator, the full P2P-MPI middleware stack described by Genaud &
+Rattanapoka: supernode/MPD overlay, reservation service, the *spread*
+and *concentrate* co-allocation strategies, replica-aware rank
+assignment, an MPJ-like communication library, and models of the NAS
+EP/IS benchmarks used in the paper's evaluation on Grid'5000.
+
+Quickstart
+----------
+>>> from repro import build_grid5000_cluster, JobRequest
+>>> cluster = build_grid5000_cluster(seed=42)
+>>> result = cluster.submit_and_run(JobRequest(n=100, strategy="concentrate"))
+>>> result.allocation.hosts_by_site()["nancy"] > 0
+True
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "P2PMPICluster",
+    "build_grid5000_cluster",
+    "JobRequest",
+    "JobResult",
+]
+
+_LAZY = {
+    "P2PMPICluster": ("repro.cluster", "P2PMPICluster"),
+    "build_grid5000_cluster": ("repro.cluster", "build_grid5000_cluster"),
+    "JobRequest": ("repro.middleware.jobs", "JobRequest"),
+    "JobResult": ("repro.middleware.jobs", "JobResult"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,63 @@
+"""Co-allocation core: the paper's contribution.
+
+Implements §4.3 of the paper:
+
+* :mod:`~repro.alloc.base` — data model (:class:`ReservedHost`,
+  :class:`Placement`, :class:`AllocationPlan`) and the strategy
+  registry.
+* :mod:`~repro.alloc.feasibility` — capacity rule ``c_i = min(P_i, n)``
+  and feasibility conditions (a) ``|slist| >= r`` and
+  (b) ``sum(c_i) >= n*r``.
+* :mod:`~repro.alloc.spread` / :mod:`~repro.alloc.concentrate` — the two
+  published strategies, transliterated from the paper's pseudo-code.
+* :mod:`~repro.alloc.ranks` — cyclic MPI-rank assignment guaranteeing
+  replica separation (criterion (b) of §4.3).
+* :mod:`~repro.alloc.mixed` — the "mixed strategies" the conclusion
+  lists as future work (parameterised block allocation).
+"""
+
+from repro.alloc.base import (
+    AllocationError,
+    AllocationPlan,
+    InfeasibleAllocation,
+    Placement,
+    ReservedHost,
+    Strategy,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+)
+from repro.alloc.feasibility import capacities, check_feasible, is_feasible
+from repro.alloc.spread import SpreadStrategy
+from repro.alloc.concentrate import ConcentrateStrategy
+from repro.alloc.mixed import BlockStrategy, make_block_strategy
+from repro.alloc.adaptive import (
+    AutoStrategy,
+    SiteAffineStrategy,
+    choose_strategy_for_app,
+)
+from repro.alloc.ranks import assign_ranks, build_plan
+
+__all__ = [
+    "AllocationError",
+    "AllocationPlan",
+    "InfeasibleAllocation",
+    "Placement",
+    "ReservedHost",
+    "Strategy",
+    "available_strategies",
+    "get_strategy",
+    "register_strategy",
+    "capacities",
+    "check_feasible",
+    "is_feasible",
+    "SpreadStrategy",
+    "ConcentrateStrategy",
+    "BlockStrategy",
+    "make_block_strategy",
+    "AutoStrategy",
+    "SiteAffineStrategy",
+    "choose_strategy_for_app",
+    "assign_ranks",
+    "build_plan",
+]

@@ -1,0 +1,126 @@
+"""Adaptive and site-affine strategies (the paper's future work).
+
+The conclusion asks for "mixed strategies, or more complex strategies
+which still do not require the user to be knowledgeable about the
+platform characteristics".  Two answers:
+
+* :class:`SiteAffineStrategy` — *concentrate within the nearest site,
+  spread beyond it*: packs hosts while the allocation stays inside the
+  submitter's site (locality is free there), then switches to
+  round-robin so remote memory pressure stays low.  A direct hybrid of
+  the two published strategies.
+
+* :class:`AutoStrategy` — picks spread or concentrate *for the user*
+  from an application profile: the communication-to-computation ratio
+  and the memory-contention exponent the app models already expose.
+  Communication-bound apps (IS-like) get concentrate; compute-bound
+  apps (EP-like) get spread.  This encodes exactly the §5.2 findings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.alloc.base import (
+    AllocationError,
+    Strategy,
+    register_strategy,
+)
+from repro.alloc.concentrate import ConcentrateStrategy
+from repro.alloc.spread import SpreadStrategy
+
+__all__ = ["SiteAffineStrategy", "AutoStrategy", "choose_strategy_for_app"]
+
+
+@register_strategy
+class SiteAffineStrategy(Strategy):
+    """Concentrate on the first ``local_hosts`` entries, spread after.
+
+    ``local_hosts`` is the number of slist entries considered "local"
+    (the middleware passes the submitter-site host count; standalone
+    users give any prefix length).
+    """
+
+    name = "site-affine"
+
+    def __init__(self, local_hosts: int = 0) -> None:
+        if local_hosts < 0:
+            raise ValueError("local_hosts must be >= 0")
+        self.local_hosts = local_hosts
+
+    def distribute(self, capacities: Sequence[int], n: int, r: int) -> List[int]:
+        total = n * r
+        cut = min(self.local_hosts, len(capacities))
+        local, remote = list(capacities[:cut]), list(capacities[cut:])
+        # Pack the local prefix first.
+        u_local = [0] * cut
+        d = 0
+        for i, cap in enumerate(local):
+            take = min(cap, total - d)
+            u_local[i] = take
+            d += take
+            if d == total:
+                break
+        if d == total:
+            return u_local + [0] * len(remote)
+        # Spread the remainder beyond the site boundary.
+        u_remote = SpreadStrategy().distribute(remote, 1, total - d) \
+            if remote else []
+        if sum(u_local) + sum(u_remote) != total:
+            raise AllocationError(
+                f"site-affine: capacity exhausted at "
+                f"{sum(u_local) + sum(u_remote)} < {total}"
+            )
+        return u_local + u_remote
+
+
+#: Communication-to-computation threshold above which an application is
+#: considered communication-bound (IS ~ >>1, EP ~ <<1).
+COMM_BOUND_THRESHOLD = 0.5
+
+
+def choose_strategy_for_app(comm_compute_ratio: float,
+                            beta: float) -> str:
+    """§5.2 distilled into a rule.
+
+    * communication-bound (ratio above threshold): locality wins —
+      **concentrate**;
+    * compute-bound with real memory contention (EP-like): per-host
+      exclusivity wins — **spread**;
+    * compute-bound and contention-free: either works; spread maximises
+      aggregate memory, the paper's stated spread rationale.
+    """
+    if comm_compute_ratio > COMM_BOUND_THRESHOLD:
+        return "concentrate"
+    return "spread"
+
+
+@register_strategy
+class AutoStrategy(Strategy):
+    """Delegates to spread or concentrate based on an app profile.
+
+    Parameters
+    ----------
+    comm_compute_ratio:
+        Estimated communication/computation time ratio of the target
+        application at the requested scale.
+    beta:
+        The application's memory-contention exponent.
+    """
+
+    name = "auto"
+
+    def __init__(self, comm_compute_ratio: float = 0.0,
+                 beta: float = 0.0) -> None:
+        if comm_compute_ratio < 0 or beta < 0:
+            raise ValueError("profile values must be >= 0")
+        self.comm_compute_ratio = comm_compute_ratio
+        self.beta = beta
+        self.chosen = choose_strategy_for_app(comm_compute_ratio, beta)
+        self._delegate: Strategy = (
+            ConcentrateStrategy() if self.chosen == "concentrate"
+            else SpreadStrategy()
+        )
+
+    def distribute(self, capacities: Sequence[int], n: int, r: int) -> List[int]:
+        return self._delegate.distribute(capacities, n, r)

@@ -1,0 +1,238 @@
+"""Allocation data model and strategy registry.
+
+Terminology follows the paper exactly:
+
+* ``rlist`` — hosts whose RS answered OK, sorted by ascending measured
+  latency (built by the middleware).
+* ``slist`` — the first ``min(|rlist|, n*r)`` entries of ``rlist``;
+  the selected subset a strategy maps processes onto.
+* ``c_i`` — capacity of host *i*: ``min(P_i, n)``.
+* ``u_i`` — number of processes a strategy maps onto host *i*.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.net.topology import Host
+
+__all__ = [
+    "AllocationError",
+    "InfeasibleAllocation",
+    "ReservedHost",
+    "Placement",
+    "AllocationPlan",
+    "Strategy",
+    "register_strategy",
+    "get_strategy",
+    "available_strategies",
+]
+
+
+class AllocationError(RuntimeError):
+    """Base class for allocation failures."""
+
+
+class InfeasibleAllocation(AllocationError):
+    """Raised when the feasibility conditions of §4.2 step 6 fail."""
+
+
+@dataclass(frozen=True)
+class ReservedHost:
+    """One entry of ``slist``: a booked host and what we know about it.
+
+    Attributes
+    ----------
+    host:
+        The physical host.
+    p_limit:
+        The host's ``P`` setting (max processes of one application its
+        owner accepts), returned in the RS's OK message.
+    latency_ms:
+        The submitting MPD's measured latency estimate used for the
+        sort; kept for reporting.
+    """
+
+    host: Host
+    p_limit: int
+    latency_ms: float = 0.0
+
+    def capacity(self, n: int) -> int:
+        """``c_i = min(P_i, n)`` (§4.2, feasibility condition (b))."""
+        return min(self.p_limit, n)
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One MPI process copy pinned to a host.
+
+    ``rank`` is the MPI rank (0..n-1); ``replica`` numbers the copies of
+    that rank (0..r-1) in assignment order.
+    """
+
+    rank: int
+    replica: int
+    host: Host
+
+
+@dataclass
+class AllocationPlan:
+    """The outcome of strategy + rank assignment for one job.
+
+    Attributes
+    ----------
+    n, r:
+        Requested processes and replication degree.
+    strategy:
+        Strategy name that produced the plan.
+    placements:
+        All ``n*r`` process copies in assignment order.
+    usage:
+        ``u_i`` per slist host (same order as ``slist``).
+    slist:
+        The selected hosts, in latency order.
+    cancelled:
+        Hosts of ``slist`` with ``u_i = 0`` whose reservations the MPD
+        cancels (§4.3 rank-assignment algorithm, line 4).
+    """
+
+    n: int
+    r: int
+    strategy: str
+    placements: List[Placement]
+    usage: List[int]
+    slist: List[ReservedHost]
+    cancelled: List[ReservedHost] = field(default_factory=list)
+
+    # -- paper-figure aggregations ---------------------------------------
+    def used_hosts(self) -> List[Host]:
+        """Distinct hosts actually running processes, latency order."""
+        seen = set()
+        out = []
+        for reserved, used in zip(self.slist, self.usage):
+            if used > 0 and reserved.host.name not in seen:
+                seen.add(reserved.host.name)
+                out.append(reserved.host)
+        return out
+
+    def hosts_by_site(self) -> Dict[str, int]:
+        """Figure 2/3 left panels: allocated hosts per site."""
+        out: Dict[str, int] = defaultdict(int)
+        for host in self.used_hosts():
+            out[host.site] += 1
+        return dict(out)
+
+    def cores_by_site(self) -> Dict[str, int]:
+        """Figure 2/3 right panels: allocated cores (processes) per site."""
+        out: Dict[str, int] = defaultdict(int)
+        for reserved, used in zip(self.slist, self.usage):
+            if used:
+                out[reserved.host.site] += used
+        return dict(out)
+
+    def ranks_on_host(self, host_name: str) -> List[int]:
+        return [p.rank for p in self.placements if p.host.name == host_name]
+
+    def replicas_of_rank(self, rank: int) -> List[Placement]:
+        return [p for p in self.placements if p.rank == rank]
+
+    def processes_per_host(self) -> Dict[str, int]:
+        out: Dict[str, int] = defaultdict(int)
+        for p in self.placements:
+            out[p.host.name] += 1
+        return dict(out)
+
+    @property
+    def total_processes(self) -> int:
+        return len(self.placements)
+
+    def validate(self) -> None:
+        """Assert the §4.3 invariants; raises AllocationError on breach.
+
+        * exactly ``n*r`` placements, each rank exactly ``r`` times;
+        * no host carries two copies of the same rank (criterion (b));
+        * ``u_i`` never exceeds the host capacity ``c_i``.
+        """
+        if len(self.placements) != self.n * self.r:
+            raise AllocationError(
+                f"expected {self.n * self.r} placements, got {len(self.placements)}"
+            )
+        per_rank: Dict[int, int] = defaultdict(int)
+        per_host_rank: Dict[Tuple[str, int], int] = defaultdict(int)
+        for p in self.placements:
+            per_rank[p.rank] += 1
+            per_host_rank[(p.host.name, p.rank)] += 1
+        for rank in range(self.n):
+            if per_rank[rank] != self.r:
+                raise AllocationError(
+                    f"rank {rank} has {per_rank[rank]} copies, expected {self.r}"
+                )
+        for (host, rank), count in per_host_rank.items():
+            if count > 1:
+                raise AllocationError(
+                    f"replica collision: rank {rank} twice on {host}"
+                )
+        for reserved, used in zip(self.slist, self.usage):
+            cap = reserved.capacity(self.n)
+            if used > cap:
+                raise AllocationError(
+                    f"{reserved.host.name}: u={used} exceeds c={cap}"
+                )
+
+    def summary(self) -> str:
+        sites = self.cores_by_site()
+        parts = ", ".join(f"{s}:{c}" for s, c in sorted(sites.items()))
+        return (f"{self.strategy}: n={self.n} r={self.r} on "
+                f"{len(self.used_hosts())} hosts ({parts})")
+
+
+class Strategy(ABC):
+    """An allocation strategy maps ``n*r`` processes onto ``slist``.
+
+    Subclasses implement :meth:`distribute` returning the ``u_i`` list;
+    rank assignment is shared (:func:`repro.alloc.ranks.assign_ranks`).
+    """
+
+    #: Registry key; subclasses must override.
+    name: str = ""
+
+    @abstractmethod
+    def distribute(self, capacities: Sequence[int], n: int, r: int) -> List[int]:
+        """Return ``u`` with ``sum(u) == n*r`` and ``u_i <= c_i``.
+
+        ``capacities`` is the ``c_i`` vector for ``slist`` (latency
+        order).  Implementations may assume feasibility was checked.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+_REGISTRY: Dict[str, Type[Strategy]] = {}
+
+
+def register_strategy(cls: Type[Strategy]) -> Type[Strategy]:
+    """Class decorator adding a strategy to the global registry."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a non-empty name")
+    if cls.name in _REGISTRY and _REGISTRY[cls.name] is not cls:
+        raise ValueError(f"strategy {cls.name!r} already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_strategy(name: str, **kwargs) -> Strategy:
+    """Instantiate a registered strategy by name (``-a`` CLI flag)."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown strategy {name!r} (known: {known})") from None
+    return cls(**kwargs)
+
+
+def available_strategies() -> List[str]:
+    return sorted(_REGISTRY)

@@ -1,0 +1,51 @@
+"""Feasibility conditions for an allocation (§4.2, step 6).
+
+An allocation over the selected list ``slist`` is feasible iff
+
+(a) ``|slist| >= r`` — at least ``r`` hosts so that no two replicas of
+    a process must share a host;
+(b) ``sum_i c_i >= n * r`` with ``c_i = min(P_i, n)`` — enough total
+    capacity, where a single host is never allowed to hold more than
+    ``n`` processes (it would otherwise necessarily hold two copies of
+    some rank).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.alloc.base import InfeasibleAllocation, ReservedHost
+
+__all__ = ["capacities", "is_feasible", "check_feasible"]
+
+
+def capacities(slist: Sequence[ReservedHost], n: int) -> List[int]:
+    """The ``c_i = min(P_i, n)`` vector for ``slist``."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return [reserved.capacity(n) for reserved in slist]
+
+
+def is_feasible(slist: Sequence[ReservedHost], n: int, r: int) -> Tuple[bool, str]:
+    """Evaluate conditions (a) and (b); returns (ok, reason)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if r < 1:
+        raise ValueError("r must be >= 1")
+    if len(slist) < r:
+        return False, (
+            f"condition (a) violated: |slist|={len(slist)} < r={r}"
+        )
+    total = sum(capacities(slist, n))
+    if total < n * r:
+        return False, (
+            f"condition (b) violated: sum(c_i)={total} < n*r={n * r}"
+        )
+    return True, "feasible"
+
+
+def check_feasible(slist: Sequence[ReservedHost], n: int, r: int) -> None:
+    """Raise :class:`InfeasibleAllocation` when infeasible."""
+    ok, reason = is_feasible(slist, n, r)
+    if not ok:
+        raise InfeasibleAllocation(reason)

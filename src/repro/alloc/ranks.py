@@ -1,0 +1,106 @@
+"""MPI rank assignment over a strategy's ``u_i`` distribution (§4.3).
+
+The paper's algorithm, verbatim semantics:
+
+.. code-block:: text
+
+    1: rank := 0
+    2: for host i in slist do
+    3:   if u_i = 0 then cancel reservation on host i
+    4:   l := 0
+    5:   while l < u_i do
+    6:     assign rank `rank` to host i
+    7:     rank := rank + 1 ; l := l + 1
+    8:     if rank >= n then rank := 0
+
+Because every ``u_i <= c_i <= n``, a host receives at most ``n``
+*consecutive* (mod n) rank values and therefore never two copies of the
+same rank — this is criterion (b) of §4.3 and is property-tested in
+``tests/alloc/test_ranks_properties.py``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence
+
+from repro.alloc.base import (
+    AllocationError,
+    AllocationPlan,
+    Placement,
+    ReservedHost,
+    Strategy,
+)
+from repro.alloc.feasibility import capacities as capacity_vector
+from repro.alloc.feasibility import check_feasible
+
+__all__ = ["assign_ranks", "build_plan"]
+
+
+def assign_ranks(
+    slist: Sequence[ReservedHost],
+    usage: Sequence[int],
+    n: int,
+    r: int,
+) -> List[Placement]:
+    """Number the mapped process slots with MPI ranks, cyclically.
+
+    Returns the placements in assignment order.  Raises
+    :class:`AllocationError` if ``sum(usage) != n*r`` or any
+    ``usage[i] > n`` (which could collide replicas).
+    """
+    if len(slist) != len(usage):
+        raise AllocationError("slist and usage length mismatch")
+    total = sum(usage)
+    if total != n * r:
+        raise AllocationError(f"sum(u)={total} != n*r={n * r}")
+    replica_counter: Dict[int, int] = defaultdict(int)
+    placements: List[Placement] = []
+    rank = 0
+    for reserved, used in zip(slist, usage):
+        if used > n:
+            raise AllocationError(
+                f"{reserved.host.name}: u={used} > n={n} would collide replicas"
+            )
+        for _ in range(used):
+            replica = replica_counter[rank]
+            replica_counter[rank] += 1
+            placements.append(Placement(rank=rank, replica=replica, host=reserved.host))
+            rank += 1
+            if rank >= n:
+                rank = 0
+    return placements
+
+
+def build_plan(
+    strategy: Strategy,
+    slist: Sequence[ReservedHost],
+    n: int,
+    r: int = 1,
+) -> AllocationPlan:
+    """Full §4.2-step-6 + §4.3 pipeline: feasibility, distribute, rank.
+
+    The returned plan is validated (never trust a strategy) and lists
+    the ``u_i = 0`` hosts whose reservations must be cancelled.
+    """
+    slist = list(slist)
+    check_feasible(slist, n, r)
+    caps = capacity_vector(slist, n)
+    usage = strategy.distribute(caps, n, r)
+    if len(usage) != len(slist):
+        raise AllocationError(
+            f"{strategy.name}: returned {len(usage)} usages for {len(slist)} hosts"
+        )
+    placements = assign_ranks(slist, usage, n, r)
+    cancelled = [res for res, used in zip(slist, usage) if used == 0]
+    plan = AllocationPlan(
+        n=n,
+        r=r,
+        strategy=strategy.name,
+        placements=placements,
+        usage=list(usage),
+        slist=slist,
+        cancelled=cancelled,
+    )
+    plan.validate()
+    return plan

@@ -1,0 +1,64 @@
+"""The *spread* strategy (§4.3).
+
+    "Spread tends to map processes on hosts so as to maximize the total
+    amount of available memory while maintaining locality as a
+    secondary objective.  The strategy is to assign the MPI processes
+    to all selected hosts (the |slist| closest hosts regarding latency)
+    in a round-robin fashion."
+
+The :meth:`distribute` body is a direct transliteration of the paper's
+pseudo-code (variables ``d``, ``u_i``, ``cont`` kept):
+
+.. code-block:: text
+
+    1: d := 0
+    2: forall i, u_i := 0
+    3: cont := true
+    4: while cont do
+    5:   i := 0
+    6:   while (i < |slist|) and cont do
+    7:     if (u_i < c_i) then
+    8:       u_i := u_i + 1 ; d := d + 1
+    9:     end if
+    10:    if (d = n x r) then cont := false
+    11:    i := i + 1
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.alloc.base import AllocationError, Strategy, register_strategy
+
+__all__ = ["SpreadStrategy"]
+
+
+@register_strategy
+class SpreadStrategy(Strategy):
+    """Round-robin, one process per pass, capacity-bounded."""
+
+    name = "spread"
+
+    def distribute(self, capacities: Sequence[int], n: int, r: int) -> List[int]:
+        total = n * r
+        d = 0
+        u = [0] * len(capacities)
+        cont = True
+        # Guard against an infeasible call that would loop forever: one
+        # full pass with no progress means capacity is exhausted.
+        while cont:
+            progressed = False
+            i = 0
+            while i < len(capacities) and cont:
+                if u[i] < capacities[i]:
+                    u[i] += 1
+                    d += 1
+                    progressed = True
+                if d == total:
+                    cont = False
+                i += 1
+            if cont and not progressed:
+                raise AllocationError(
+                    f"spread: capacity exhausted at d={d} < n*r={total}"
+                )
+        return u

@@ -1,0 +1,30 @@
+"""Application models: the workloads of the paper's evaluation.
+
+* :mod:`~repro.apps.machine` — per-host compute rates and the
+  memory-contention factor for co-located processes.
+* :mod:`~repro.apps.base` — the :class:`Application` interface the
+  middleware consumes, plus :class:`AppEnv`.
+* :mod:`~repro.apps.hostname` — the §5.1 allocation probe.
+* :mod:`~repro.apps.ep` / :mod:`~repro.apps.is_bench` — NAS EP and IS
+  models (Figure 4), with both analytic and message-level paths.
+* :mod:`~repro.apps.cg` — an extra CG-like iterative app (the paper's
+  future-work "wider range of applications").
+"""
+
+from repro.apps.machine import MachineModel, contention_factor
+from repro.apps.base import Application, AppEnv
+from repro.apps.hostname import HostnameApp
+from repro.apps.ep import EPBenchmark
+from repro.apps.is_bench import ISBenchmark
+from repro.apps.cg import CGLikeBenchmark
+
+__all__ = [
+    "MachineModel",
+    "contention_factor",
+    "Application",
+    "AppEnv",
+    "HostnameApp",
+    "EPBenchmark",
+    "ISBenchmark",
+    "CGLikeBenchmark",
+]

@@ -1,0 +1,136 @@
+"""Application interface consumed by the middleware.
+
+The middleware (see :class:`repro.middleware.mpd.MPD`) asks an
+application model to predict per-process execution times for a given
+allocation plan, then simulates those durations on the allocated hosts.
+Applications may additionally provide a message-level SPMD ``program``
+for the :class:`repro.mpi.api.MPIWorld` engine; the two paths are
+cross-validated in the test suite.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.alloc.base import AllocationPlan
+from repro.apps.machine import MachineModel
+from repro.mpi.costmodel import CollectiveCostModel, CostParams, GroupLayout
+from repro.net.topology import Host, Topology
+
+__all__ = ["AppEnv", "Application"]
+
+
+@dataclass
+class AppEnv:
+    """Everything an application model needs to price an allocation."""
+
+    topology: Topology
+    machine: MachineModel = field(default_factory=MachineModel)
+    cost_params: CostParams = field(default_factory=CostParams)
+    _costmodel: Optional[CollectiveCostModel] = None
+
+    @property
+    def costmodel(self) -> CollectiveCostModel:
+        if self._costmodel is None:
+            self._costmodel = CollectiveCostModel(self.topology, self.cost_params)
+        return self._costmodel
+
+
+class Application(ABC):
+    """Base class for workload models.
+
+    Subclasses implement :meth:`rank_time` (per-process compute time)
+    and :meth:`comm_time` (synchronised communication cost per run) and
+    inherit the replica-slice bookkeeping.
+    """
+
+    #: Registry-style identifier (also used in reports).
+    name: str = "app"
+
+    # -- the middleware-facing entry point ---------------------------------
+    def predicted_rank_times(self, plan: AllocationPlan,
+                             env: AppEnv) -> Dict[Tuple[int, int], float]:
+        """Map ``(rank, replica) -> seconds`` for a plan.
+
+        The model mirrors a bulk-synchronous run: every process copy
+        finishes after the slowest compute leg plus the (synchronising)
+        communication phases, so all copies of a replica slice share
+        one duration.  Contention counts include *all* process copies
+        co-located on a host, whatever their rank or replica.
+        """
+        if env is None:
+            raise ValueError(f"{self.name}: application models need an AppEnv")
+        colocated = Counter(p.host.name for p in plan.placements)
+        out: Dict[Tuple[int, int], float] = {}
+        for replica in range(plan.r):
+            slice_hosts = self._replica_hosts(plan, replica)
+            duration = self.run_time(slice_hosts, plan.n, env,
+                                     colocated=dict(colocated))
+            for rank in range(plan.n):
+                out[(rank, replica)] = duration
+        return out
+
+    def run_time(self, hosts: List[Host], n: int, env: AppEnv,
+                 colocated: Optional[Dict[str, int]] = None) -> float:
+        """Makespan of one SPMD run of ``n`` ranks on ``hosts``."""
+        if len(hosts) != n:
+            raise ValueError(f"{self.name}: need one host per rank")
+        if colocated is None:
+            colocated = dict(Counter(h.name for h in hosts))
+        compute = max(
+            self.rank_time(host, n, env, colocated.get(host.name, 1))
+            for host in hosts
+        )
+        layout = env.costmodel.layout(hosts)
+        # Contention counts must reflect every co-located copy.
+        layout.colocated = np.array([colocated.get(h.name, 1) for h in hosts])
+        return compute + self.comm_time(layout, n, env)
+
+    # -- hooks ----------------------------------------------------------------
+    @abstractmethod
+    def rank_time(self, host: Host, n: int, env: AppEnv,
+                  colocated: int) -> float:
+        """Compute seconds for one rank of an ``n``-process run."""
+
+    @abstractmethod
+    def comm_time(self, layout: GroupLayout, n: int, env: AppEnv) -> float:
+        """Total synchronised communication seconds for the run."""
+
+    # -- profiling (feeds the `auto` strategy) -------------------------------
+    def comm_compute_ratio(self, hosts: List[Host], n: int,
+                           env: AppEnv) -> float:
+        """Estimated communication/computation ratio on a candidate
+        placement — the profile the ``auto`` strategy consumes."""
+        if len(hosts) != n:
+            raise ValueError("need one candidate host per rank")
+        layout = env.costmodel.layout(hosts)
+        comm = self.comm_time(layout, n, env)
+        compute = max(self.rank_time(h, n, env, 1) for h in hosts)
+        return comm / compute if compute > 0 else float("inf")
+
+    #: Memory-contention exponent exposed for profiling; app models
+    #: override (EP ~0.15, IS ~0.25).
+    beta: float = 0.0
+
+    # -- optional message-level program ------------------------------------------
+    def program(self, comm) -> Generator:
+        """SPMD program for the message-level engine (override)."""
+        raise NotImplementedError(f"{self.name} has no message-level program")
+        yield  # pragma: no cover
+
+    # -- helpers --------------------------------------------------------------------
+    @staticmethod
+    def _replica_hosts(plan: AllocationPlan, replica: int) -> List[Host]:
+        chosen: Dict[int, Host] = {}
+        for placement in plan.placements:
+            if placement.replica == replica:
+                chosen[placement.rank] = placement.host
+        return [chosen[rank] for rank in range(plan.n)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,94 @@
+"""A CG-like iterative solver model (extension workload).
+
+The paper's conclusion calls for "a broad study ... on a wider range of
+applications"; CG (conjugate gradient) sits between EP and IS: per
+iteration it does a memory-bound sparse mat-vec (halo exchange with two
+ring neighbours) plus two latency-bound dot-product allreduces.  It is
+the classic case where *neither* published strategy dominates: spread
+wins on memory contention, concentrate wins once the ring crosses
+sites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator
+
+from repro.apps.base import AppEnv, Application
+from repro.mpi.costmodel import GroupLayout
+from repro.mpi.datatypes import DOUBLE, SUM
+from repro.net.topology import Host
+
+__all__ = ["CGLikeBenchmark", "CG_CLASS_ROWS"]
+
+#: Matrix rows per class (loosely NAS CG sizes).
+CG_CLASS_ROWS: Dict[str, int] = {
+    "S": 1400 * 8,
+    "A": 14000 * 16,
+    "B": 75000 * 32,
+    "C": 150000 * 64,
+}
+
+#: Iterations of the solver loop.
+ITERATIONS = 25
+#: Seconds per row per iteration on the reference CPU.
+ROW_COST_S = 1.1e-6
+#: Memory-contention exponent (sparse mat-vec is memory bound).
+BETA = 0.25
+#: Halo exchanged with each ring neighbour per iteration (bytes/row).
+HALO_BYTES_PER_ROW = 8
+
+
+class CGLikeBenchmark(Application):
+    """Ring-halo iterative solver model."""
+
+    name = "cg"
+
+    def __init__(self, nas_class: str = "B",
+                 row_cost_s: float = ROW_COST_S,
+                 beta: float = BETA,
+                 iterations: int = ITERATIONS) -> None:
+        if nas_class not in CG_CLASS_ROWS:
+            raise ValueError(f"unknown class {nas_class!r}")
+        self.nas_class = nas_class
+        self.rows = CG_CLASS_ROWS[nas_class]
+        self.row_cost_s = row_cost_s
+        self.beta = beta
+        self.iterations = iterations
+        self.name = f"cg.{nas_class}"
+
+    # -- analytic model ---------------------------------------------------------
+    def rank_time(self, host: Host, n: int, env: AppEnv,
+                  colocated: int) -> float:
+        work = self.rows / n * self.iterations
+        return env.machine.compute_time(host, work, self.row_cost_s,
+                                        colocated=colocated, beta=self.beta)
+
+    def comm_time(self, layout: GroupLayout, n: int, env: AppEnv) -> float:
+        cm = env.costmodel
+        dots = 2 * cm.allreduce_time(layout, DOUBLE.size)
+        halo_bytes = max(1, int(self.rows / n * HALO_BYTES_PER_ROW))
+        # Ring halo exchange: slowest neighbouring pair bounds the step.
+        p = layout.p
+        halo = max(
+            cm.p2p_time(layout, i, (i + 1) % p, halo_bytes) for i in range(p)
+        )
+        return self.iterations * (dots + 2 * halo)
+
+    # -- message-level program ------------------------------------------------------
+    def program(self, comm) -> Generator:
+        """Two iterations of ring halo + dot products, real values."""
+        n = comm.size
+        halo_bytes = max(1, int(self.rows / n * HALO_BYTES_PER_ROW))
+        value = float(comm.rank)
+        for _iteration in range(2):
+            right = (comm.rank + 1) % n
+            left = (comm.rank - 1) % n
+            _src, _tag, left_halo = yield from comm.sendrecv(
+                right, value, halo_bytes, source=left, tag=7)
+            value = (value + left_halo) / 2.0
+            total = yield from comm.allreduce(value, op=SUM,
+                                              size_bytes=DOUBLE.size)
+            norm = yield from comm.allreduce(value * value, op=SUM,
+                                             size_bytes=DOUBLE.size)
+            value = value / max(norm, 1e-12) * total
+        return value

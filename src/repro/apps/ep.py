@@ -1,0 +1,85 @@
+"""NAS EP (Embarrassingly Parallel) model — Figure 4 left.
+
+EP generates ``2^(24+class_exp)`` Gaussian pairs split evenly across
+ranks, then performs a handful of tiny final collectives: "EP only
+makes four final collective communication (MPI_Allreduce of one
+double) so that the computing to communication ratio is very high".
+
+Calibration (see DESIGN.md §5): one pair costs ``PAIR_COST_S`` on the
+reference CPU; the 2008 Java runtime's throughput makes this much
+larger than a native implementation's.  The memory-contention exponent
+``BETA`` is small — random-number generation is register/cache friendly
+— which is why the paper sees spread only "slightly faster" than
+concentrate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator
+
+from repro.apps.base import AppEnv, Application
+from repro.mpi.costmodel import GroupLayout
+from repro.mpi.datatypes import DOUBLE, SUM
+from repro.net.topology import Host
+
+__all__ = ["EPBenchmark", "EP_CLASS_PAIRS"]
+
+#: Total random pairs per NAS class.
+EP_CLASS_PAIRS: Dict[str, int] = {
+    "S": 2 ** 24,
+    "W": 2 ** 25,
+    "A": 2 ** 28,
+    "B": 2 ** 30,
+    "C": 2 ** 32,
+}
+
+#: Seconds per pair on the reference CPU (Java runtime, 2008 era).
+PAIR_COST_S = 1.8e-7
+#: Memory-contention exponent for co-located EP processes.
+BETA = 0.15
+#: Number of final allreduce calls (paper: "four final collective
+#: communication (MPI_Allreduce of one double)").
+N_ALLREDUCE = 4
+
+
+class EPBenchmark(Application):
+    """NAS EP with the paper's class-B default."""
+
+    name = "ep"
+
+    def __init__(self, nas_class: str = "B",
+                 pair_cost_s: float = PAIR_COST_S,
+                 beta: float = BETA) -> None:
+        if nas_class not in EP_CLASS_PAIRS:
+            raise ValueError(f"unknown NAS class {nas_class!r}")
+        self.nas_class = nas_class
+        self.pairs = EP_CLASS_PAIRS[nas_class]
+        self.pair_cost_s = pair_cost_s
+        self.beta = beta
+        self.name = f"ep.{nas_class}"
+
+    # -- analytic model ---------------------------------------------------------
+    def rank_time(self, host: Host, n: int, env: AppEnv,
+                  colocated: int) -> float:
+        work = self.pairs / n
+        return env.machine.compute_time(host, work, self.pair_cost_s,
+                                        colocated=colocated, beta=self.beta)
+
+    def comm_time(self, layout: GroupLayout, n: int, env: AppEnv) -> float:
+        return N_ALLREDUCE * env.costmodel.allreduce_time(layout, DOUBLE.size)
+
+    # -- message-level program ------------------------------------------------------
+    def program(self, comm) -> Generator:
+        """Semantically faithful miniature: local sums + 4 allreduces.
+
+        The per-rank compute is *not* simulated here (the message-level
+        engine measures communication structure); tests use it to
+        validate the collective pattern and result values.
+        """
+        local_sx = float(comm.rank + 1)
+        local_sy = float(comm.rank + 1) ** 2
+        sx = yield from comm.allreduce(local_sx, op=SUM, size_bytes=DOUBLE.size)
+        sy = yield from comm.allreduce(local_sy, op=SUM, size_bytes=DOUBLE.size)
+        c1 = yield from comm.allreduce(1.0, op=SUM, size_bytes=DOUBLE.size)
+        c2 = yield from comm.allreduce(1.0, op=SUM, size_bytes=DOUBLE.size)
+        return {"sx": sx, "sy": sy, "counts": (c1, c2)}

@@ -1,0 +1,44 @@
+"""The §5.1 allocation probe: every process echoes its hostname.
+
+"We run a program whose each process simply echoes the name of the host
+it runs on.  Through this experiment, we observe where processes are
+mapped depending on the chosen strategy."
+
+The middleware already stamps every DONE message with the executing
+hostname, so this model contributes (near-)zero execution time; the
+experiment's signal is the allocation plan itself.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.apps.base import AppEnv, Application
+from repro.mpi.costmodel import GroupLayout
+from repro.net.topology import Host
+
+__all__ = ["HostnameApp"]
+
+
+class HostnameApp(Application):
+    """Zero-work probe; optionally a tiny fixed startup cost."""
+
+    name = "hostname"
+
+    def __init__(self, startup_s: float = 0.01) -> None:
+        if startup_s < 0:
+            raise ValueError("startup_s must be >= 0")
+        self.startup_s = startup_s
+
+    def rank_time(self, host: Host, n: int, env: AppEnv,
+                  colocated: int) -> float:
+        return self.startup_s
+
+    def comm_time(self, layout: GroupLayout, n: int, env: AppEnv) -> float:
+        return 0.0
+
+    # -- message-level program -------------------------------------------------
+    def program(self, comm) -> Generator:
+        """Each rank reports its hostname; rank 0 gathers the list."""
+        names = yield from comm.gather(comm.host.name, root=0, size_bytes=64)
+        return names

@@ -1,0 +1,118 @@
+"""NAS IS (Integer Sort) model — Figure 4 right.
+
+"IS involves a lot of communications since a sequence of one
+MPI_Allreduce, MPI_Alltoall and MPI_Alltoallv occurs at each
+iteration" with a low compute-to-communication ratio.
+
+Structure per iteration (NPB 3.2):
+
+* local key ranking over ``N/n`` keys (strongly memory bound);
+* ``MPI_Allreduce`` on the bucket-size histogram (``NUM_BUCKETS``
+  ints);
+* ``MPI_Alltoall`` of per-destination counts (one int per rank pair);
+* ``MPI_Alltoallv`` redistributing the keys (~``4*N/n^2`` bytes per
+  rank pair).
+
+Class B: ``N = 2^25`` keys, 10 timed iterations.
+
+The calibration constants (DESIGN.md §5) encode the 2008 Java/MPJ
+runtime: a large fixed per-message cost (``msg_fixed_s`` in the
+cluster's :class:`~repro.mpi.costmodel.CostParams`) is what makes the
+concentrate curve roughly flat in n — exactly the paper's observation —
+while the high ``BETA`` reproduces concentrate's memory-contention
+penalty at 32 processes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator
+
+from repro.apps.base import AppEnv, Application
+from repro.mpi.costmodel import GroupLayout
+from repro.mpi.datatypes import INT, SUM
+from repro.net.topology import Host
+
+__all__ = ["ISBenchmark", "IS_CLASS_KEYS"]
+
+#: Total keys per NAS class.
+IS_CLASS_KEYS: Dict[str, int] = {
+    "S": 2 ** 16,
+    "W": 2 ** 20,
+    "A": 2 ** 23,
+    "B": 2 ** 25,
+    "C": 2 ** 27,
+}
+
+#: Timed iterations (NPB 3.x uses 10 for IS).
+ITERATIONS = 10
+#: Bucket histogram length exchanged by the per-iteration allreduce.
+NUM_BUCKETS = 1024
+#: Seconds per key per iteration on the reference CPU.
+KEY_COST_S = 3.6e-7
+#: Memory-contention exponent (random-access counting is memory bound).
+BETA = 0.25
+
+
+class ISBenchmark(Application):
+    """NAS IS with the paper's class-B default."""
+
+    name = "is"
+
+    def __init__(self, nas_class: str = "B",
+                 key_cost_s: float = KEY_COST_S,
+                 beta: float = BETA,
+                 iterations: int = ITERATIONS) -> None:
+        if nas_class not in IS_CLASS_KEYS:
+            raise ValueError(f"unknown NAS class {nas_class!r}")
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.nas_class = nas_class
+        self.total_keys = IS_CLASS_KEYS[nas_class]
+        self.key_cost_s = key_cost_s
+        self.beta = beta
+        self.iterations = iterations
+        self.name = f"is.{nas_class}"
+
+    # -- analytic model ---------------------------------------------------------
+    def rank_time(self, host: Host, n: int, env: AppEnv,
+                  colocated: int) -> float:
+        work = self.total_keys / n * self.iterations
+        return env.machine.compute_time(host, work, self.key_cost_s,
+                                        colocated=colocated, beta=self.beta)
+
+    def comm_time(self, layout: GroupLayout, n: int, env: AppEnv) -> float:
+        cm = env.costmodel
+        allreduce = cm.allreduce_time(layout, NUM_BUCKETS * INT.size)
+        counts = cm.alltoall_time(layout, INT.size)
+        keys_per_pair = max(1, int(4 * self.total_keys / (n * n)))
+        redistribution = cm.alltoallv_time(layout, keys_per_pair)
+        return self.iterations * (allreduce + counts + redistribution)
+
+    # -- message-level program ------------------------------------------------------
+    def program(self, comm) -> Generator:
+        """Miniature IS iteration structure with real values.
+
+        Each rank contributes a fake bucket histogram and exchanges
+        per-destination key blocks; used by tests to validate the
+        collective sequence and data routing.
+        """
+        n = comm.size
+        checksum = 0
+        for _iteration in range(min(self.iterations, 2)):
+            histogram = [comm.rank + 1] * 4
+            totals = yield from comm.allreduce(histogram[0], op=SUM,
+                                               size_bytes=NUM_BUCKETS * INT.size)
+            # Each rank announces its per-destination counts; the value
+            # is the sender's rank so the received sum is
+            # rank-invariant (0 + 1 + ... + n-1) while routing is still
+            # exercised by the alltoallv block check below.
+            counts = yield from comm.alltoall(
+                [comm.rank] * n, size_bytes=INT.size,
+            )
+            blocks = yield from comm.alltoallv(
+                [f"{comm.rank}->{dest}" for dest in range(n)],
+                sizes=[max(1, int(4 * self.total_keys / (n * n)))] * n,
+            )
+            checksum += totals + sum(counts)
+            assert blocks[comm.rank] == f"{comm.rank}->{comm.rank}"
+        return checksum

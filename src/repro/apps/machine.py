@@ -1,0 +1,56 @@
+"""Host compute model with memory contention.
+
+The paper explains both Figure 4 effects with the same mechanism:
+processes sharing a host contend for the memory system ("intensive
+memory accesses that may represent a bottleneck with concentrate").
+We model a host running ``k`` co-located processes of a memory-bound
+application as computing at::
+
+    speed_effective = host.speed / (1 + beta * (k - 1))
+
+with ``beta`` an application property (EP ~0.08: mildly memory-bound
+random-number generation; IS ~0.35: strongly memory-bound random-access
+key counting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.topology import Host
+
+__all__ = ["contention_factor", "MachineModel"]
+
+
+def contention_factor(colocated: int, beta: float) -> float:
+    """Slowdown multiplier for ``colocated`` processes sharing a host."""
+    if colocated < 1:
+        raise ValueError("colocated must be >= 1")
+    if beta < 0:
+        raise ValueError("beta must be >= 0")
+    return 1.0 + beta * (colocated - 1)
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Turns abstract work units into seconds on a given host.
+
+    ``unit_cost_s`` is the per-work-unit time on the reference CPU
+    (nancy's Xeon 5110, ``speed == 1.0``); applications define their
+    own unit (EP: one random pair, IS: one key per iteration) and
+    calibrated unit cost.
+    """
+
+    def compute_time(
+        self,
+        host: Host,
+        work_units: float,
+        unit_cost_s: float,
+        colocated: int = 1,
+        beta: float = 0.0,
+    ) -> float:
+        """Seconds to process ``work_units`` on ``host``."""
+        if work_units < 0 or unit_cost_s < 0:
+            raise ValueError("work and unit cost must be >= 0")
+        base = work_units * unit_cost_s / host.speed
+        return base * contention_factor(colocated, beta)

@@ -1,0 +1,177 @@
+"""``p2pmpirun`` — command-line front end onto the simulated grid.
+
+Mirrors the paper's invocation::
+
+    p2pmpirun -n 100 -r 1 -a concentrate hostname
+
+and adds experiment subcommands::
+
+    p2pmpirun --experiment fig2   # concentrate co-allocation sweep
+    p2pmpirun --experiment fig3   # spread co-allocation sweep
+    p2pmpirun --experiment fig4   # EP + IS timing sweeps
+    p2pmpirun --experiment table1 # resource inventory
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.apps import CGLikeBenchmark, EPBenchmark, HostnameApp, ISBenchmark
+from repro.cluster import build_grid5000_cluster
+from repro.experiments.applications import (
+    IS_PROCESS_COUNTS,
+    run_application_experiment,
+)
+from repro.experiments.coallocation import run_coallocation_experiment
+from repro.experiments.report import format_series_table, format_site_table
+from repro.grid5000.builder import build_topology, paper_site_legend
+from repro.grid5000.resources import CLUSTERS
+from repro.middleware.jobs import JobRequest
+
+__all__ = ["main", "build_parser", "make_app"]
+
+PROGRAMS = ("hostname", "ep", "is", "cg")
+
+
+def make_app(name: str, nas_class: str = "B"):
+    """Application model for a program name (``None`` for hostname)."""
+    if name == "hostname":
+        return HostnameApp()
+    if name == "ep":
+        return EPBenchmark(nas_class)
+    if name == "is":
+        return ISBenchmark(nas_class)
+    if name == "cg":
+        return CGLikeBenchmark(nas_class)
+    raise ValueError(f"unknown program {name!r} (choose from {PROGRAMS})")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="p2pmpirun",
+        description="Run a job on the simulated P2P-MPI Grid'5000 testbed.",
+    )
+    parser.add_argument("-n", type=int, default=None,
+                        help="number of MPI processes (mandatory for runs)")
+    parser.add_argument("-r", type=int, default=1,
+                        help="replication degree (default 1)")
+    parser.add_argument("-a", "--alloc", default="spread",
+                        help="allocation strategy: spread | concentrate | block")
+    parser.add_argument("--block", type=int, default=2,
+                        help="block size when -a block")
+    parser.add_argument("--class", dest="nas_class", default="B",
+                        help="NAS class for ep/is/cg (default B)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--experiment",
+                        choices=("fig2", "fig3", "fig4", "table1",
+                                 "ablations"),
+                        help="regenerate a paper figure/table (or the "
+                             "ablation studies) instead of running a job")
+    parser.add_argument("--plot", action="store_true",
+                        help="also render ASCII charts for figure sweeps")
+    parser.add_argument("prog", nargs="?", default="hostname",
+                        choices=PROGRAMS, help="program to execute")
+    return parser
+
+
+def _run_single(args: argparse.Namespace) -> int:
+    if args.n is None:
+        print("error: -n is mandatory (as in the paper's p2pmpirun)",
+              file=sys.stderr)
+        return 2
+    cluster = build_grid5000_cluster(seed=args.seed)
+    kwargs = {"block": args.block} if args.alloc == "block" else {}
+    request = JobRequest(n=args.n, r=args.r, strategy=args.alloc,
+                         strategy_kwargs=kwargs,
+                         app=make_app(args.prog, args.nas_class))
+    result = cluster.submit_and_run(request)
+    print(result.summary())
+    if result.plan is not None:
+        print("hosts by site:", dict(sorted(result.allocation.hosts_by_site().items())))
+        print("cores by site:", dict(sorted(result.allocation.cores_by_site().items())))
+        print(f"reservation: {result.timings.reservation_s * 1000:.1f} ms, "
+              f"makespan: {result.timings.makespan_s:.2f} s")
+    return 0 if result.ok else 1
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    if args.experiment == "table1":
+        print(f"{'Site':<10}{'Cluster':<12}{'CPU':<20}"
+              f"{'#Nodes':>8}{'#CPUs':>8}{'#Cores':>8}")
+        for c in CLUSTERS:
+            print(f"{c.site:<10}{c.name:<12}{c.cpu_model:<20}"
+                  f"{c.nodes:>8}{c.cpus:>8}{c.cores:>8}")
+        topo = build_topology()
+        print("\nLegend (RTT to nancy):")
+        for site, rtt, hosts, cores in paper_site_legend(topo):
+            print(f"  {site:<10} {rtt:>7.3f} ms  {hosts:>3} hosts  {cores:>4} cores")
+        return 0
+    if args.experiment in ("fig2", "fig3"):
+        strategy = "concentrate" if args.experiment == "fig2" else "spread"
+        series = run_coallocation_experiment(
+            seed=args.seed, strategies=(strategy,))[strategy]
+        print(format_site_table(series, value="hosts"))
+        print()
+        print(format_site_table(series, value="cores"))
+        if args.plot:
+            from repro.experiments.figures import ascii_plot
+            from repro.experiments.report import legend_order
+
+            sites = legend_order(
+                sorted({s for pt in series.points for s in pt.cores_by_site}))
+            print()
+            print(ascii_plot(
+                series.demands,
+                {site: series.cores_series(site) for site in sites},
+                title=f"{strategy}: allocated cores per site",
+                y_label="cores",
+            ))
+        return 0
+    if args.experiment == "ablations":
+        from repro.experiments.ablations import (
+            latency_noise_ablation,
+            replication_ablation,
+        )
+
+        print("Latency noise vs ranking quality (Kendall tau):")
+        for p in latency_noise_ablation(seed=args.seed):
+            print(f"  sigma={p.noise_sigma_ms:5.2f} ms  tau={p.tau:.4f}")
+        print("\nReplication degree vs survival (5% host failures):")
+        for p in replication_ablation(seed=args.seed or 1):
+            print(f"  r={p.r}  P(survive)={p.survival:.4f}")
+        return 0
+    # fig4
+    cluster = build_grid5000_cluster(seed=args.seed)
+    ep = run_application_experiment(EPBenchmark(args.nas_class),
+                                    cluster=cluster)
+    print(format_series_table(ep, title="EP"))
+    print()
+    isb = run_application_experiment(ISBenchmark(args.nas_class),
+                                     process_counts=IS_PROCESS_COUNTS,
+                                     cluster=cluster)
+    print(format_series_table(isb, title="IS"))
+    if args.plot:
+        from repro.experiments.figures import ascii_plot
+
+        for label, series in (("EP", ep), ("IS", isb)):
+            print()
+            print(ascii_plot(
+                series["spread"].ns,
+                {name: s.times for name, s in series.items()},
+                title=f"{label} class {args.nas_class} total time",
+                y_label="s",
+            ))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment:
+        return _run_experiment(args)
+    return _run_single(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

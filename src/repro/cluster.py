@@ -1,0 +1,236 @@
+"""Top-level facade: a booted P2P-MPI grid ready for submissions.
+
+:class:`P2PMPICluster` wires together the simulator, network, supernode
+and one MPD per host, and exposes the ``p2pmpirun`` workflow as plain
+method calls.  :func:`build_grid5000_cluster` instantiates the paper's
+testbed with requests originating at nancy.
+
+Example
+-------
+>>> from repro import build_grid5000_cluster, JobRequest
+>>> cluster = build_grid5000_cluster(seed=7)
+>>> res = cluster.submit_and_run(JobRequest(n=120, strategy="spread"))
+>>> res.status.value
+'success'
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional, Sequence
+
+from repro.apps.base import AppEnv
+from repro.apps.machine import MachineModel
+from repro.grid5000.builder import build_topology
+from repro.middleware.config import MiddlewareConfig, OwnerPrefs
+from repro.middleware.jobs import JobRequest, JobResult
+from repro.middleware.mpd import MPD
+from repro.mpi.costmodel import CostParams
+from repro.net.latency import LatencyModel
+from repro.net.topology import Host, Topology
+from repro.net.transport import Network
+from repro.overlay.churn import ChurnInjector, FailureEvent
+from repro.overlay.supernode import Supernode
+from repro.sim.core import Simulator
+from repro.sim.monitor import Monitor
+
+__all__ = ["P2PMPICluster", "build_grid5000_cluster", "DEFAULT_COST_PARAMS"]
+
+#: Communication cost parameters calibrated for the 2008 Java/MPJ
+#: runtime (see DESIGN.md §5 and repro.mpi.costmodel).
+DEFAULT_COST_PARAMS = CostParams(
+    sw_overhead_s=20e-6,
+    msg_fixed_s=3.5e-3,
+    msg_fixed_small_s=3.0e-4,
+    eager_threshold_bytes=6144,
+    ser_per_byte_s=2.0e-8,
+    wan_extra_s=5.0e-4,
+    nic_share=True,
+)
+
+
+class P2PMPICluster:
+    """A fully-wired simulated P2P-MPI deployment.
+
+    Parameters
+    ----------
+    topology:
+        The site/host/link description.
+    seed:
+        Master seed; every stochastic element derives from it.
+    config:
+        Middleware tuning (one config for all hosts).
+    prefs_for:
+        ``host -> OwnerPrefs``; defaults to the paper's setting
+        (``J=1``, ``P`` = core count).
+    supernode_host / default_submitter:
+        Well-known service location and where ``p2pmpirun`` runs;
+        both default to the first host of the topology's hub site.
+    cost_params:
+        Communication cost constants for the application models.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        seed: int = 0,
+        config: Optional[MiddlewareConfig] = None,
+        prefs_for: Optional[Callable[[Host], OwnerPrefs]] = None,
+        supernode_host: Optional[str] = None,
+        default_submitter: Optional[str] = None,
+        cost_params: CostParams = DEFAULT_COST_PARAMS,
+        machine: Optional[MachineModel] = None,
+    ) -> None:
+        self.topology = topology
+        self.config = config or MiddlewareConfig()
+        self.sim = Simulator(seed=seed)
+        self.monitor = Monitor()
+
+        anchor = self._pick_anchor(topology, supernode_host)
+        self.supernode_host = anchor
+        self.default_submitter = default_submitter or anchor
+
+        self.latency_model = LatencyModel(
+            topology,
+            self.sim.rng.stream("net.latency"),
+            noise_sigma_ms=self.config.noise_sigma_ms,
+            load_of=self._busy_processes,
+        )
+        self.network = Network(self.sim, topology, latency=self.latency_model)
+        self.app_env = AppEnv(
+            topology=topology,
+            machine=machine or MachineModel(),
+            cost_params=cost_params,
+        )
+
+        prefs_for = prefs_for or (lambda host: OwnerPrefs.for_cores(host.cores))
+        self.mpds: Dict[str, MPD] = {}
+        for host in topology.all_hosts():
+            self.mpds[host.name] = MPD(
+                sim=self.sim,
+                network=self.network,
+                topology=topology,
+                host=host,
+                supernode_host=anchor,
+                latency_model=self.latency_model,
+                prefs=prefs_for(host),
+                config=self.config,
+                app_env=self.app_env,
+            )
+
+        self.network.register(anchor)
+        self.supernode = Supernode(
+            self.network, anchor,
+            stale_after_s=4 * self.config.alive_period_s,
+        )
+        self.sim.process(self.supernode.service())
+        self.churn = ChurnInjector(self.sim, self.network,
+                                   on_change=self._on_host_change)
+        self._booted = False
+
+    # ------------------------------------------------------------------
+    # wiring helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pick_anchor(topology: Topology, explicit: Optional[str]) -> str:
+        if explicit is not None:
+            if explicit not in topology.hosts:
+                raise KeyError(f"unknown host {explicit!r}")
+            return explicit
+        if topology.hub is not None:
+            return topology.hosts_in_site(topology.hub)[0].name
+        return topology.all_hosts()[0].name
+
+    def _busy_processes(self, host_name: str) -> int:
+        mpd = self.mpds.get(host_name)
+        return mpd.gatekeeper.busy_processes if mpd is not None else 0
+
+    def _on_host_change(self, host_name: str, down: bool) -> None:
+        if down:
+            mpd = self.mpds.get(host_name)
+            if mpd is not None:
+                mpd.on_host_down()
+            # The supernode is NOT told: it learns through missing
+            # alive signals (staleness) or a submitter's REPORT_DEAD —
+            # the paper's step-5 timeout path must do the detecting.
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def boot(self, stagger_s: float = 0.0005) -> "P2PMPICluster":
+        """``mpiboot`` every host; returns self when the overlay is up."""
+        if self._booted:
+            return self
+
+        def staggered(mpd: MPD, delay: float) -> Generator:
+            yield self.sim.timeout(delay)
+            yield from mpd.boot()
+
+        procs = [
+            self.sim.process(staggered(mpd, i * stagger_s))
+            for i, mpd in enumerate(self.mpds.values())
+        ]
+        self.sim.run_until_complete(self.sim.all_of(procs))
+        self._booted = True
+        return self
+
+    # ------------------------------------------------------------------
+    # submissions
+    # ------------------------------------------------------------------
+    def mpd(self, host_name: Optional[str] = None) -> MPD:
+        return self.mpds[host_name or self.default_submitter]
+
+    def submit_and_run(self, request: JobRequest,
+                       submitter: Optional[str] = None) -> JobResult:
+        """Run one ``p2pmpirun`` invocation to completion."""
+        if not self._booted:
+            self.boot()
+        mpd = self.mpd(submitter)
+        proc = self.sim.process(mpd.submit_job(request))
+        result: JobResult = self.sim.run_until_complete(proc)
+        self.monitor.record(
+            self.sim.now, "job", result.status.value,
+            strategy=request.strategy, n=request.n, r=request.r,
+            tag=request.tag,
+        )
+        return result
+
+    def submit_many(self, requests: Sequence[JobRequest],
+                    submitter: Optional[str] = None) -> List[JobResult]:
+        """Run several submissions back to back (sequentially)."""
+        return [self.submit_and_run(req, submitter=submitter)
+                for req in requests]
+
+    # ------------------------------------------------------------------
+    # failures
+    # ------------------------------------------------------------------
+    def kill_hosts(self, host_names: Sequence[str], at_s: Optional[float] = None):
+        """Crash hosts now or at an absolute simulation time."""
+        when = self.sim.now if at_s is None else at_s
+        schedule = [FailureEvent(when, name, True) for name in sorted(host_names)]
+        return self.churn.start(schedule)
+
+    def alive_hosts(self) -> List[str]:
+        return [name for name in self.mpds if not self.network.is_down(name)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<P2PMPICluster hosts={len(self.mpds)} "
+                f"booted={self._booted} t={self.sim.now:.3f}>")
+
+
+def build_grid5000_cluster(
+    seed: int = 0,
+    config: Optional[MiddlewareConfig] = None,
+    cost_params: CostParams = DEFAULT_COST_PARAMS,
+    boot: bool = True,
+) -> P2PMPICluster:
+    """The paper's testbed: Grid'5000 with submissions from nancy."""
+    topology = build_topology()
+    cluster = P2PMPICluster(
+        topology,
+        seed=seed,
+        config=config,
+        supernode_host="grelon-1.nancy",
+        default_submitter="grelon-1.nancy",
+        cost_params=cost_params,
+    )
+    return cluster.boot() if boot else cluster

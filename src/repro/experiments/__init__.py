@@ -1,0 +1,68 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+* :mod:`~repro.experiments.coallocation` — Figures 2 and 3 (hosts and
+  cores per site vs. demanded processes, per strategy) plus the §5.1
+  narrative checks.
+* :mod:`~repro.experiments.applications` — Figure 4 (EP and IS class B
+  execution times per strategy).
+* :mod:`~repro.experiments.ablations` — design-choice studies: latency
+  noise vs. ranking quality, EWMA smoothing, overbooking factor under
+  churn, replication survival.
+* :mod:`~repro.experiments.report` — ASCII/CSV emitters in the paper's
+  series format.
+"""
+
+from repro.experiments.coallocation import (
+    CoallocationPoint,
+    CoallocationSeries,
+    run_coallocation_experiment,
+)
+from repro.experiments.applications import (
+    AppTimePoint,
+    AppTimeSeries,
+    run_application_experiment,
+)
+from repro.experiments.ablations import (
+    kendall_tau,
+    latency_noise_ablation,
+    overbooking_ablation,
+    replication_ablation,
+    smoothing_ablation,
+    block_strategy_ablation,
+)
+from repro.experiments.report import (
+    format_series_table,
+    format_site_table,
+    series_to_csv,
+)
+from repro.experiments.multiuser import MultiUserOutcome, run_multiuser_experiment
+from repro.experiments.figures import ascii_plot
+from repro.experiments.scaling import (
+    ScalingPoint,
+    ScalingSeries,
+    run_scaling_experiment,
+)
+
+__all__ = [
+    "CoallocationPoint",
+    "CoallocationSeries",
+    "run_coallocation_experiment",
+    "AppTimePoint",
+    "AppTimeSeries",
+    "run_application_experiment",
+    "kendall_tau",
+    "latency_noise_ablation",
+    "smoothing_ablation",
+    "overbooking_ablation",
+    "replication_ablation",
+    "block_strategy_ablation",
+    "format_series_table",
+    "format_site_table",
+    "series_to_csv",
+    "MultiUserOutcome",
+    "run_multiuser_experiment",
+    "ascii_plot",
+    "ScalingPoint",
+    "ScalingSeries",
+    "run_scaling_experiment",
+]

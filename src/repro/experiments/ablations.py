@@ -1,0 +1,212 @@
+"""Ablation studies on the design choices DESIGN.md calls out.
+
+1. **Latency-measurement noise** (§5.1 / future work): how measurement
+   noise degrades the cached-list ranking, quantified with Kendall's
+   tau against the true base-RTT order.
+2. **EWMA smoothing / sample count**: the paper's future-work item
+   "improving the accuracy of our latency measurement".
+3. **Overbooking factor** under churn: booking exactly ``n*r`` hosts
+   versus overbooking when peers die between booking and launch.
+4. **Replication degree**: job survival probability vs. ``r`` under
+   i.i.d. host failures.
+5. **Block (mixed) strategies**: the spread<->concentrate continuum on
+   the application models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.alloc.base import ReservedHost, get_strategy
+from repro.alloc.ranks import build_plan
+from repro.apps.base import Application, AppEnv
+from repro.cluster import DEFAULT_COST_PARAMS, P2PMPICluster, build_grid5000_cluster
+from repro.ft.replication import survival_probability
+from repro.grid5000.builder import build_topology
+from repro.middleware.config import MiddlewareConfig
+from repro.middleware.jobs import JobRequest, JobStatus
+from repro.net.latency import LatencyModel
+from repro.net.topology import Topology
+
+__all__ = ["kendall_tau", "latency_noise_ablation", "smoothing_ablation",
+           "overbooking_ablation", "replication_ablation",
+           "block_strategy_ablation"]
+
+
+def kendall_tau(a: Sequence[float], b: Sequence[float]) -> float:
+    """Kendall rank correlation between two score vectors (O(n^2)).
+
+    +1 = identical ranking, -1 = reversed.  Ties count as discordant
+    half-weight (tau-a over strict pairs); adequate for continuous
+    latencies.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("kendall_tau needs two equal-length vectors")
+    n = len(a)
+    if n < 2:
+        return 1.0
+    da = np.sign(a[:, None] - a[None, :])
+    db = np.sign(b[:, None] - b[None, :])
+    upper = np.triu_indices(n, k=1)
+    prod = da[upper] * db[upper]
+    return float(prod.sum() / prod.size)
+
+
+@dataclass
+class NoisePoint:
+    noise_sigma_ms: float
+    samples: int
+    ewma_alpha: Optional[float]
+    tau: float
+
+
+def _ranking_tau(topology: Topology, noise_sigma_ms: float, samples: int,
+                 ewma_alpha: Optional[float], seed: int) -> float:
+    """Kendall tau of measured-vs-true RTT ranking from the submitter."""
+    rng = np.random.default_rng(seed)
+    model = LatencyModel(topology, rng, noise_sigma_ms=noise_sigma_ms)
+    src = topology.host("grelon-1.nancy")
+    hosts = [h for h in topology.all_hosts() if h.name != src.name]
+    true_rtt = [topology.base_rtt_ms(src, h) for h in hosts]
+    measured = [
+        model.estimate(src, h, samples=samples, ewma_alpha=ewma_alpha).value_ms
+        for h in hosts
+    ]
+    return kendall_tau(true_rtt, measured)
+
+
+def latency_noise_ablation(
+    sigmas_ms: Iterable[float] = (0.0, 0.35, 0.8, 1.2, 2.5, 5.0),
+    samples: int = 3,
+    seed: int = 0,
+) -> List[NoisePoint]:
+    """Ranking quality vs. per-probe noise (paper's §5.1 effect)."""
+    topology = build_topology()
+    return [
+        NoisePoint(sigma, samples, None,
+                   _ranking_tau(topology, sigma, samples, None, seed))
+        for sigma in sigmas_ms
+    ]
+
+
+def smoothing_ablation(
+    noise_sigma_ms: float = 1.2,
+    sample_counts: Iterable[int] = (1, 3, 10, 30),
+    ewma_alpha: Optional[float] = 0.2,
+    seed: int = 0,
+) -> List[NoisePoint]:
+    """More probes / EWMA vs. ranking quality (the future-work fix)."""
+    topology = build_topology()
+    out = []
+    for k in sample_counts:
+        out.append(NoisePoint(noise_sigma_ms, k, None,
+                              _ranking_tau(topology, noise_sigma_ms, k, None, seed)))
+        out.append(NoisePoint(noise_sigma_ms, k, ewma_alpha,
+                              _ranking_tau(topology, noise_sigma_ms, k,
+                                           ewma_alpha, seed)))
+    return out
+
+
+@dataclass
+class OverbookPoint:
+    overbook_factor: float
+    killed_hosts: int
+    status: str
+    dead_detected: int
+    allocated: int
+
+
+def overbooking_ablation(
+    factors: Iterable[float] = (1.0, 1.1, 1.2, 1.5),
+    n: int = 120,
+    kill_count: int = 12,
+    seed: int = 3,
+) -> List[OverbookPoint]:
+    """Book exactly vs. overbook while ``kill_count`` booked peers die.
+
+    Hosts are killed *after boot, before submission*, so their silent
+    RESERVE timeouts are what the overbooking margin must absorb.
+    """
+    out = []
+    for factor in factors:
+        config = MiddlewareConfig(overbook_factor=factor, overbook_extra=0,
+                                  rs_timeout_s=1.0)
+        cluster = build_grid5000_cluster(seed=seed, config=config)
+        victims = [h for h in sorted(cluster.mpds) if h.startswith("grelon")
+                   and h != cluster.default_submitter][:kill_count]
+        cluster.kill_hosts(victims)
+        result = cluster.submit_and_run(JobRequest(n=n, strategy="spread"))
+        out.append(OverbookPoint(
+            overbook_factor=factor,
+            killed_hosts=len(victims),
+            status=result.status.value,
+            dead_detected=len(result.dead_peers),
+            allocated=(result.plan.total_processes if result.plan else 0),
+        ))
+    return out
+
+
+@dataclass
+class ReplicationPoint:
+    r: int
+    p_host_fail: float
+    survival: float
+
+
+def replication_ablation(
+    replication_degrees: Iterable[int] = (1, 2, 3),
+    p_host_fail: float = 0.05,
+    n: int = 60,
+    seed: int = 1,
+    trials: int = 4000,
+) -> List[ReplicationPoint]:
+    """Survival probability vs. replication degree (§3.2 rationale)."""
+    cluster = build_grid5000_cluster(seed=seed)
+    out = []
+    rng = np.random.default_rng(seed)
+    for r in replication_degrees:
+        result = cluster.submit_and_run(JobRequest(n=n, r=r, strategy="spread"))
+        if result.status is not JobStatus.SUCCESS:
+            raise RuntimeError(result.summary())
+        out.append(ReplicationPoint(
+            r=r,
+            p_host_fail=p_host_fail,
+            survival=survival_probability(result.allocation, p_host_fail,
+                                          rng, trials=trials),
+        ))
+    return out
+
+
+@dataclass
+class BlockPoint:
+    block: int
+    app: str
+    n: int
+    time_s: float
+
+
+def block_strategy_ablation(
+    app: Application,
+    n: int = 64,
+    blocks: Iterable[int] = (1, 2, 4),
+    seed: int = 0,
+) -> List[BlockPoint]:
+    """The mixed-strategy continuum: block=1 is spread, block>=max(P)
+    behaves like concentrate; intermediate blocks trade contention for
+    locality on the application models."""
+    cluster = build_grid5000_cluster(seed=seed)
+    out = []
+    for block in blocks:
+        result = cluster.submit_and_run(JobRequest(
+            n=n, strategy="block", strategy_kwargs={"block": block}, app=app,
+        ))
+        if result.status is not JobStatus.SUCCESS:
+            raise RuntimeError(result.summary())
+        out.append(BlockPoint(block=block, app=app.name, n=n,
+                              time_s=result.timings.makespan_s))
+    return out

@@ -1,0 +1,110 @@
+"""Figure 4: NAS EP and IS execution times per strategy.
+
+"As a concrete example of allocation strategy impact, we run the
+benchmark EP from 32 to 512 processes" (left panel) and IS from 32 to
+128 (right panel), class B, under both strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.apps.base import Application
+from repro.apps.ep import EPBenchmark
+from repro.apps.is_bench import ISBenchmark
+from repro.cluster import P2PMPICluster, build_grid5000_cluster
+from repro.middleware.jobs import JobRequest, JobStatus
+
+__all__ = ["EP_PROCESS_COUNTS", "IS_PROCESS_COUNTS", "AppTimePoint",
+           "AppTimeSeries", "run_application_experiment"]
+
+#: Paper x axes.
+EP_PROCESS_COUNTS: Tuple[int, ...] = (32, 64, 128, 256, 512)
+IS_PROCESS_COUNTS: Tuple[int, ...] = (32, 64, 128)
+
+
+@dataclass
+class AppTimePoint:
+    """One (app, strategy, n) measurement."""
+
+    app: str
+    strategy: str
+    n: int
+    time_s: float
+    status: str
+
+
+@dataclass
+class AppTimeSeries:
+    """One strategy's curve for one application."""
+
+    app: str
+    strategy: str
+    points: List[AppTimePoint] = field(default_factory=list)
+
+    @property
+    def ns(self) -> List[int]:
+        return [pt.n for pt in self.points]
+
+    @property
+    def times(self) -> List[float]:
+        return [pt.time_s for pt in self.points]
+
+    def time_at(self, n: int) -> float:
+        for pt in self.points:
+            if pt.n == n:
+                return pt.time_s
+        raise KeyError(f"no point for n={n}")
+
+    def is_monotone_decreasing(self, tolerance: float = 0.05) -> bool:
+        """True if the curve never rises by more than ``tolerance``."""
+        times = self.times
+        return all(b <= a * (1 + tolerance) for a, b in zip(times, times[1:]))
+
+    def flatness(self) -> float:
+        """max/min ratio over the curve (1.0 = perfectly flat)."""
+        times = self.times
+        return max(times) / min(times)
+
+
+def run_application_experiment(
+    app: Optional[Application] = None,
+    process_counts: Optional[Iterable[int]] = None,
+    strategies: Sequence[str] = ("concentrate", "spread"),
+    seed: int = 0,
+    cluster: Optional[P2PMPICluster] = None,
+) -> Dict[str, AppTimeSeries]:
+    """Run one application's Figure-4 sweep; series per strategy.
+
+    Defaults reproduce the EP panel; pass ``ISBenchmark()`` and
+    ``IS_PROCESS_COUNTS`` for the right panel.
+    """
+    app = app or EPBenchmark("B")
+    if process_counts is None:
+        process_counts = (
+            IS_PROCESS_COUNTS if isinstance(app, ISBenchmark)
+            else EP_PROCESS_COUNTS
+        )
+    cluster = cluster or build_grid5000_cluster(seed=seed)
+    out: Dict[str, AppTimeSeries] = {}
+    for strategy in strategies:
+        series = AppTimeSeries(app=app.name, strategy=strategy)
+        for n in process_counts:
+            result = cluster.submit_and_run(
+                JobRequest(n=n, strategy=strategy, app=app,
+                           tag=f"fig4-{app.name}")
+            )
+            if result.status not in (JobStatus.SUCCESS, JobStatus.DEGRADED):
+                raise RuntimeError(
+                    f"{app.name} {strategy} n={n} failed: {result.summary()}"
+                )
+            series.points.append(AppTimePoint(
+                app=app.name,
+                strategy=strategy,
+                n=n,
+                time_s=result.timings.makespan_s,
+                status=result.status.value,
+            ))
+        out[strategy] = series
+    return out

@@ -1,0 +1,136 @@
+"""Figures 2 and 3: where processes land, per strategy.
+
+"The experiment consists in running the hostname program, requesting
+from 100 to 600 processes by steps of 50."  For each (strategy, n) we
+submit through the full middleware stack and record allocated hosts and
+cores per site — the two panels of each figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cluster import P2PMPICluster, build_grid5000_cluster
+from repro.grid5000.sites import SITE_RTT_MS_FROM_NANCY
+from repro.middleware.jobs import JobRequest, JobStatus
+
+__all__ = ["PAPER_DEMANDS", "CoallocationPoint", "CoallocationSeries",
+           "run_coallocation_experiment"]
+
+#: The paper's x axis: 100..600 step 50.
+PAPER_DEMANDS: Tuple[int, ...] = tuple(range(100, 601, 50))
+
+
+@dataclass
+class CoallocationPoint:
+    """One (strategy, n) submission's outcome."""
+
+    strategy: str
+    n: int
+    status: str
+    hosts_by_site: Dict[str, int]
+    cores_by_site: Dict[str, int]
+    reservation_s: float
+    total_hosts: int
+    total_cores: int
+
+    def hosts(self, site: str) -> int:
+        return self.hosts_by_site.get(site, 0)
+
+    def cores(self, site: str) -> int:
+        return self.cores_by_site.get(site, 0)
+
+    @property
+    def sites_used(self) -> List[str]:
+        return sorted(s for s, c in self.cores_by_site.items() if c > 0)
+
+
+@dataclass
+class CoallocationSeries:
+    """All points of one strategy's sweep (one paper figure)."""
+
+    strategy: str
+    demands: List[int] = field(default_factory=list)
+    points: List[CoallocationPoint] = field(default_factory=list)
+
+    def point(self, n: int) -> CoallocationPoint:
+        for pt in self.points:
+            if pt.n == n:
+                return pt
+        raise KeyError(f"no point for n={n}")
+
+    def hosts_series(self, site: str) -> List[int]:
+        """Figure left panel: allocated hosts at ``site`` vs demand."""
+        return [pt.hosts(site) for pt in self.points]
+
+    def cores_series(self, site: str) -> List[int]:
+        """Figure right panel: allocated cores at ``site`` vs demand."""
+        return [pt.cores(site) for pt in self.points]
+
+    # -- §5.1 narrative checks -------------------------------------------------
+    def only_site_until(self, site: str) -> int:
+        """Largest demand served exclusively by ``site`` (0 if none)."""
+        best = 0
+        for pt in self.points:
+            if pt.sites_used == [site]:
+                best = max(best, pt.n)
+        return best
+
+    def first_demand_using(self, site: str) -> Optional[int]:
+        for pt in self.points:
+            if pt.hosts(site) > 0:
+                return pt.n
+        return None
+
+    def first_demand_using_all_sites(self, sites: Sequence[str]) -> Optional[int]:
+        for pt in self.points:
+            if all(pt.hosts(s) > 0 for s in sites):
+                return pt.n
+        return None
+
+    def max_processes_per_host(self, n: int) -> float:
+        pt = self.point(n)
+        hosts = sum(pt.hosts_by_site.values())
+        return pt.total_cores / hosts if hosts else 0.0
+
+
+def run_coallocation_experiment(
+    seed: int = 0,
+    demands: Iterable[int] = PAPER_DEMANDS,
+    strategies: Sequence[str] = ("concentrate", "spread"),
+    cluster: Optional[P2PMPICluster] = None,
+) -> Dict[str, CoallocationSeries]:
+    """Run the §5.1 sweep; returns one series per strategy.
+
+    A fresh latency-measurement round precedes every submission, so
+    points are statistically independent while sharing one booted
+    overlay (as consecutive ``p2pmpirun`` invocations on the real
+    testbed would).
+    """
+    cluster = cluster or build_grid5000_cluster(seed=seed)
+    out: Dict[str, CoallocationSeries] = {}
+    for strategy in strategies:
+        series = CoallocationSeries(strategy=strategy)
+        for n in demands:
+            result = cluster.submit_and_run(
+                JobRequest(n=n, strategy=strategy, tag=f"fig-{strategy}")
+            )
+            if result.status not in (JobStatus.SUCCESS, JobStatus.DEGRADED):
+                raise RuntimeError(
+                    f"{strategy} n={n} failed: {result.summary()}"
+                )
+            plan = result.allocation
+            series.demands.append(n)
+            series.points.append(CoallocationPoint(
+                strategy=strategy,
+                n=n,
+                status=result.status.value,
+                hosts_by_site=plan.hosts_by_site(),
+                cores_by_site=plan.cores_by_site(),
+                reservation_s=result.timings.reservation_s,
+                total_hosts=len(plan.used_hosts()),
+                total_cores=plan.total_processes,
+            ))
+        out[strategy] = series
+    return out

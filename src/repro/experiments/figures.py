@@ -1,0 +1,63 @@
+"""Plain-text figure rendering.
+
+The evaluation environment is headless, so the figure benchmarks emit
+ASCII line charts alongside the numeric tables.  Dot markers, one
+symbol per series, shared y scale — close enough to eyeball the
+paper's gnuplot panels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ascii_plot"]
+
+MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render ``series`` (name -> y values over shared ``xs``).
+
+    >>> print(ascii_plot([1, 2], {"a": [0.0, 1.0]}, width=8, height=4))
+    ... # doctest: +SKIP
+    """
+    if not xs or not series:
+        raise ValueError("need at least one x and one series")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(xs), max(xs)
+    span_x = (x_max - x_min) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for idx, (name, ys) in enumerate(sorted(series.items())):
+        marker = MARKERS[idx % len(MARKERS)]
+        for x, y in zip(xs, ys):
+            col = int(round((x - x_min) / span_x * (width - 1)))
+            row = int(round((y - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:10.2f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_min:10.2f} +" + "-" * width)
+    lines.append(" " * 12 + f"{x_min:<10g}{'':^{max(0, width - 20)}}{x_max:>10g}")
+    legend = "  ".join(
+        f"{MARKERS[i % len(MARKERS)]}={name}"
+        for i, name in enumerate(sorted(series)))
+    lines.append(" " * 12 + legend + (f"   [{y_label}]" if y_label else ""))
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Report emitters: the paper's series as ASCII tables and CSV.
+
+The figure legends order sites by descending RTT to nancy; we keep
+that convention so a reproduced table reads like the original plot
+legend.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.applications import AppTimeSeries
+from repro.experiments.coallocation import CoallocationSeries
+from repro.grid5000.sites import SITE_RTT_MS_FROM_NANCY
+
+__all__ = ["legend_order", "format_site_table", "format_series_table",
+           "series_to_csv"]
+
+
+def legend_order(sites: Sequence[str]) -> List[str]:
+    """Sites by descending RTT to nancy (the paper's legend order)."""
+    return sorted(sites, key=lambda s: -SITE_RTT_MS_FROM_NANCY.get(s, 0.0))
+
+
+def format_site_table(series: CoallocationSeries, value: str = "cores") -> str:
+    """One figure panel as an ASCII table (rows = sites, cols = n)."""
+    if value not in ("cores", "hosts"):
+        raise ValueError("value must be 'cores' or 'hosts'")
+    sites = set()
+    for pt in series.points:
+        sites |= set(pt.cores_by_site)
+    ordered = legend_order(sorted(sites))
+    header = [f"{series.strategy}:{value}"] + [str(n) for n in series.demands]
+    rows = [header]
+    for site in ordered:
+        getter = (lambda p: p.cores(site)) if value == "cores" else (
+            lambda p: p.hosts(site))
+        rows.append([site] + [str(getter(pt)) for pt in series.points])
+    totals = [
+        sum(pt.cores_by_site.values()) if value == "cores"
+        else sum(pt.hosts_by_site.values())
+        for pt in series.points
+    ]
+    rows.append(["TOTAL"] + [str(t) for t in totals])
+    return _align(rows)
+
+
+def format_series_table(series_by_strategy: Dict[str, AppTimeSeries],
+                        title: str = "") -> str:
+    """Figure 4 panel: rows = n, one time column per strategy."""
+    strategies = sorted(series_by_strategy)
+    ns = series_by_strategy[strategies[0]].ns
+    rows = [[title or "n"] + [f"{s} (s)" for s in strategies]]
+    for n in ns:
+        row = [str(n)]
+        for s in strategies:
+            row.append(f"{series_by_strategy[s].time_at(n):.2f}")
+        rows.append(row)
+    return _align(rows)
+
+
+def series_to_csv(series: CoallocationSeries) -> str:
+    """Machine-readable dump: one row per (n, site)."""
+    buf = io.StringIO()
+    buf.write("strategy,n,site,hosts,cores\n")
+    for pt in series.points:
+        sites = sorted(set(pt.cores_by_site) | set(pt.hosts_by_site))
+        for site in sites:
+            buf.write(f"{series.strategy},{pt.n},{site},"
+                      f"{pt.hosts(site)},{pt.cores(site)}\n")
+    return buf.getvalue()
+
+
+def _align(rows: List[List[str]]) -> str:
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = []
+    for idx, row in enumerate(rows):
+        line = "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        lines.append(line)
+        if idx == 0:
+            lines.append("-" * len(line))
+    return "\n".join(lines)

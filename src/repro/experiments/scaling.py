@@ -1,0 +1,74 @@
+"""Co-allocation latency scaling.
+
+The paper's main objective is "to assess the allocation mechanism
+effects at the scale of applications composed of hundreds of
+processes"; besides *where* processes land, an operator cares how
+*long* the reservation machinery takes as the request grows.  This
+driver measures the simulated booking/launch milestones of
+:class:`~repro.middleware.jobs.JobTimings` across demand sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.cluster import P2PMPICluster, build_grid5000_cluster
+from repro.middleware.jobs import JobRequest
+
+__all__ = ["ScalingPoint", "ScalingSeries", "run_scaling_experiment"]
+
+
+@dataclass
+class ScalingPoint:
+    """Timing milestones of one submission."""
+
+    n: int
+    strategy: str
+    reservation_s: float
+    launch_s: float
+    total_s: float
+    booked_hosts: int
+    attempts: int
+
+
+@dataclass
+class ScalingSeries:
+    strategy: str
+    points: List[ScalingPoint] = field(default_factory=list)
+
+    @property
+    def ns(self) -> List[int]:
+        return [p.n for p in self.points]
+
+    def reservation_series(self) -> List[float]:
+        return [p.reservation_s for p in self.points]
+
+    def launch_series(self) -> List[float]:
+        return [p.launch_s for p in self.points]
+
+
+def run_scaling_experiment(
+    demands: Iterable[int] = (50, 100, 200, 400, 600),
+    strategy: str = "spread",
+    seed: int = 0,
+    cluster: Optional[P2PMPICluster] = None,
+) -> ScalingSeries:
+    """Measure co-allocation latency over a demand sweep."""
+    cluster = cluster or build_grid5000_cluster(seed=seed)
+    series = ScalingSeries(strategy=strategy)
+    for n in demands:
+        result = cluster.submit_and_run(
+            JobRequest(n=n, strategy=strategy, tag="scaling"))
+        if not result.ok:
+            raise RuntimeError(result.summary())
+        series.points.append(ScalingPoint(
+            n=n,
+            strategy=strategy,
+            reservation_s=result.timings.reservation_s,
+            launch_s=result.timings.launch_s,
+            total_s=result.timings.total_s,
+            booked_hosts=len(result.allocation.slist),
+            attempts=result.attempts,
+        ))
+    return series

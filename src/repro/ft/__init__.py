@@ -1,0 +1,29 @@
+"""Fault tolerance: replication analysis and failure detection (§3.2).
+
+P2P-MPI replaces checkpoint/restart (which "requires the presence of
+some reliable resources") with process replication: ``-r r`` runs
+``r`` copies of every rank on distinct hosts.  This package provides
+the replica bookkeeping used to decide whether a job survives a set of
+host failures, plus a heartbeat failure detector service.
+"""
+
+from repro.ft.replication import (
+    ReplicaSets,
+    coverage,
+    min_hosts_to_kill,
+    survival_probability,
+    survives,
+)
+from repro.ft.detector import HeartbeatDetector
+from repro.ft.replicated_mpi import ReplicatedComm, ReplicatedWorld
+
+__all__ = [
+    "ReplicaSets",
+    "coverage",
+    "survives",
+    "min_hosts_to_kill",
+    "survival_probability",
+    "HeartbeatDetector",
+    "ReplicatedComm",
+    "ReplicatedWorld",
+]

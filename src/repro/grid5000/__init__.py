@@ -1,0 +1,29 @@
+"""Grid'5000 testbed model (paper Table 1 + figure-legend RTTs).
+
+The experiment federation: six sites (nancy local + five distant),
+eight clusters, 350 hosts, 1040 cores.  `repro.grid5000.builder` turns
+the static description into a :class:`repro.net.topology.Topology`.
+"""
+
+from repro.grid5000.resources import (
+    CLUSTERS,
+    CPU_SPEEDS,
+    cluster_by_name,
+    total_cores,
+    total_hosts,
+)
+from repro.grid5000.sites import SITE_RTT_MS_FROM_NANCY, SITE_ORDER, wan_bandwidth_bps
+from repro.grid5000.builder import build_topology, paper_site_legend
+
+__all__ = [
+    "CLUSTERS",
+    "CPU_SPEEDS",
+    "cluster_by_name",
+    "total_cores",
+    "total_hosts",
+    "SITE_RTT_MS_FROM_NANCY",
+    "SITE_ORDER",
+    "wan_bandwidth_bps",
+    "build_topology",
+    "paper_site_legend",
+]

@@ -1,0 +1,67 @@
+"""Assemble the Grid'5000 :class:`~repro.net.topology.Topology`."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.grid5000.resources import CLUSTERS
+from repro.grid5000.sites import (
+    SITE_ORDER,
+    SITE_RTT_MS_FROM_NANCY,
+    site_rtt_matrix,
+    wan_bandwidth_bps,
+)
+from repro.net.topology import Cluster, Site, Topology
+
+__all__ = ["build_topology", "paper_site_legend"]
+
+
+def build_topology(
+    clusters: Optional[List[Cluster]] = None,
+    lan_rtt_ms: float = SITE_RTT_MS_FROM_NANCY["nancy"],
+) -> Topology:
+    """Build the paper's testbed (or a variant with custom clusters).
+
+    The intra-site LAN RTT defaults to the 0.087 ms the paper's legend
+    reports for nancy-to-nancy probes.
+    """
+    clusters = CLUSTERS if clusters is None else clusters
+    by_site: Dict[str, List[Cluster]] = defaultdict(list)
+    for cluster in clusters:
+        by_site[cluster.site].append(cluster)
+    sites = [Site(name=s, clusters=tuple(cl)) for s, cl in by_site.items()]
+
+    site_names = set(by_site)
+    rtt = {
+        pair: value
+        for pair, value in site_rtt_matrix().items()
+        if pair[0] in site_names and pair[1] in site_names
+    }
+    bw: Dict[Tuple[str, str], float] = {}
+    names = sorted(site_names)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            bw[(a, b)] = wan_bandwidth_bps(a, b)
+
+    return Topology(
+        sites=sites,
+        site_rtt_ms=rtt,
+        site_bw_bps=bw,
+        hub="nancy" if "nancy" in site_names else None,
+        lan_rtt_ms=lan_rtt_ms,
+        lan_bw_bps=1.0e9,
+        default_wan_bw_bps=10.0e9,
+    )
+
+
+def paper_site_legend(topology: Topology) -> List[Tuple[str, float, int, int]]:
+    """The figure-legend rows: (site, RTT-to-nancy ms, hosts, cores),
+    sorted by descending RTT as in the paper's legends."""
+    rows = []
+    for name in sorted(topology.sites):
+        site = topology.sites[name]
+        rtt = SITE_RTT_MS_FROM_NANCY.get(name, 0.0)
+        rows.append((name, rtt, site.n_hosts, site.n_cores))
+    rows.sort(key=lambda row: -row[1])
+    return rows

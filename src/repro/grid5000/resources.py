@@ -1,0 +1,89 @@
+"""Paper Table 1: characteristics of available computing resources.
+
+Reproduced verbatim:
+
+=========  ===========  =================  ======  =====  ======
+Site       Cluster      CPU                #Nodes  #CPUs  #Cores
+=========  ===========  =================  ======  =====  ======
+nancy      grelon       Intel Xeon 5110    60      120    240
+lyon       capricorn    AMD Opteron 246    50      100    100
+rennes     paravent     AMD Opteron 246    90      180    180
+bordeaux   bordereau    AMD Opteron 2218   60      120    240
+grenoble   idpot        Intel Xeon IA32    8       16     16
+grenoble   idcalc       Intel Itanium 2    12      24     48
+sophia     azur         AMD Opteron 246    32      64     64
+sophia     sol          AMD Opteron 2218   38      76     152
+=========  ===========  =================  ======  =====  ======
+
+Totals: 350 hosts / 1040 cores (the paper's §5.1 narrative relies on the
+350-host figure for the spread "stair at 400").
+
+Relative per-core speeds are our calibration (the paper gives none):
+normalised to the submitting site's Xeon 5110.  Only the Figure 4
+application models consume them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.net.topology import Cluster
+
+__all__ = ["CPU_SPEEDS", "CPU_MEMORY_MB", "CLUSTERS", "cluster_by_name",
+           "total_hosts", "total_cores"]
+
+#: Relative per-core compute rate by CPU model (Xeon 5110 = 1.0).
+CPU_SPEEDS: Dict[str, float] = {
+    "Intel Xeon 5110": 1.00,
+    "AMD Opteron 246": 0.95,
+    "AMD Opteron 2218": 1.15,
+    "Intel Xeon IA32": 0.75,
+    "Intel Itanium 2": 0.95,
+}
+
+#: Node memory by CPU model (MB) — era-typical Grid'5000 configurations.
+CPU_MEMORY_MB: Dict[str, int] = {
+    "Intel Xeon 5110": 2048,
+    "AMD Opteron 246": 2048,
+    "AMD Opteron 2218": 4096,
+    "Intel Xeon IA32": 1536,
+    "Intel Itanium 2": 3072,
+}
+
+
+def _cluster(name: str, site: str, cpu: str, nodes: int, cpus: int,
+             cores: int) -> Cluster:
+    return Cluster(
+        name=name, site=site, cpu_model=cpu, nodes=nodes, cpus=cpus,
+        cores=cores, speed=CPU_SPEEDS[cpu], memory_mb=CPU_MEMORY_MB[cpu],
+    )
+
+
+#: The eight clusters of paper Table 1, in paper row order.
+CLUSTERS: List[Cluster] = [
+    _cluster("grelon", "nancy", "Intel Xeon 5110", 60, 120, 240),
+    _cluster("capricorn", "lyon", "AMD Opteron 246", 50, 100, 100),
+    _cluster("paravent", "rennes", "AMD Opteron 246", 90, 180, 180),
+    _cluster("bordereau", "bordeaux", "AMD Opteron 2218", 60, 120, 240),
+    _cluster("idpot", "grenoble", "Intel Xeon IA32", 8, 16, 16),
+    _cluster("idcalc", "grenoble", "Intel Itanium 2", 12, 24, 48),
+    _cluster("azur", "sophia", "AMD Opteron 246", 32, 64, 64),
+    _cluster("sol", "sophia", "AMD Opteron 2218", 38, 76, 152),
+]
+
+
+def cluster_by_name(name: str) -> Cluster:
+    for cluster in CLUSTERS:
+        if cluster.name == name:
+            return cluster
+    raise KeyError(f"unknown cluster {name!r}")
+
+
+def total_hosts() -> int:
+    """350 in the paper."""
+    return sum(c.nodes for c in CLUSTERS)
+
+
+def total_cores() -> int:
+    """1040 in the paper."""
+    return sum(c.cores for c in CLUSTERS)

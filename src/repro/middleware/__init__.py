@@ -1,0 +1,30 @@
+"""P2P-MPI middleware: MPD job coordination + Reservation Service.
+
+Implements §4 of the paper: owner preferences (``J``/``P``/denied
+lists), the unique-hash-key reservation protocol, overbooking, timeout
+dead-marking, feasibility, strategy dispatch, rank distribution and the
+key-checked launch.
+"""
+
+from repro.middleware.config import MiddlewareConfig, OwnerPrefs
+from repro.middleware.keys import ReservationKey, KeyFactory
+from repro.middleware.gatekeeper import AdmissionError, Gatekeeper
+from repro.middleware.reservation import Reservation, ReservationService
+from repro.middleware.jobs import JobRequest, JobResult, JobStatus, JobTimings
+from repro.middleware.mpd import MPD
+
+__all__ = [
+    "MiddlewareConfig",
+    "OwnerPrefs",
+    "ReservationKey",
+    "KeyFactory",
+    "AdmissionError",
+    "Gatekeeper",
+    "Reservation",
+    "ReservationService",
+    "JobRequest",
+    "JobResult",
+    "JobStatus",
+    "JobTimings",
+    "MPD",
+]

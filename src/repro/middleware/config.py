@@ -1,0 +1,127 @@
+"""Owner preferences and middleware tuning knobs (§4.1).
+
+"Each MPD, as a gatekeeper of the local resource, also manages the
+resource owner preferences": the number ``J`` of different applications
+accepted simultaneously, the number ``P`` of processes per application,
+and allow/deny lists.  The paper's experiments set ``P`` to the node's
+core count and use the defaults otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+__all__ = ["OwnerPrefs", "MiddlewareConfig"]
+
+
+@dataclass(frozen=True)
+class OwnerPrefs:
+    """One host owner's sharing policy.
+
+    Attributes
+    ----------
+    j_limit:
+        Max number of distinct applications run simultaneously (``J``).
+    p_limit:
+        Max processes of a single MPI application (``P``).  ``J=1,
+        P=2`` is the paper's example "often used for dual-core CPUs".
+    denied:
+        Submitter host names whose requests are refused ("the denied IP
+        list", §4.2 step 4).
+    """
+
+    j_limit: int = 1
+    p_limit: int = 1
+    denied: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.j_limit < 1:
+            raise ValueError("J must be >= 1")
+        if self.p_limit < 1:
+            raise ValueError("P must be >= 1")
+
+    def allows(self, submitter: str) -> bool:
+        return submitter not in self.denied
+
+    @staticmethod
+    def for_cores(cores: int, j_limit: int = 1,
+                  denied: Optional[FrozenSet[str]] = None) -> "OwnerPrefs":
+        """The paper's experimental setting: ``P`` = host core count."""
+        return OwnerPrefs(j_limit=j_limit, p_limit=cores,
+                          denied=denied or frozenset())
+
+
+@dataclass(frozen=True)
+class MiddlewareConfig:
+    """Cluster-wide middleware tuning.
+
+    Attributes
+    ----------
+    overbook_factor / overbook_extra:
+        Booking targets ``max(ceil(factor * n*r), n*r + extra)`` hosts
+        "to anticipate unavailable hosts" (§4.2 step 2).
+    booking_retries / retry_backoff_s:
+        §3.2: the MPD "dynamically tries (during a limited time) to
+        reserve a suitable set of resources" — an infeasible booking
+        round (e.g. lost a race against a concurrent submitter) is
+        retried after a backoff, up to this many extra rounds.
+    rs_timeout_s:
+        How long the submitter's RS waits for RESERVE replies before
+        marking silent peers dead (§4.2 step 5).
+    start_timeout_s:
+        How long the MPD waits for STARTED acks (step 8).
+    reservation_ttl_s:
+        A booked but unused reservation auto-expires after this long,
+        so cancelled/overbooked keys cannot leak ``J`` slots.
+    ping_samples:
+        Probes averaged per latency estimate.
+    noise_sigma_ms:
+        Per-probe measurement noise (CPU/TCP load variations, §4.1).
+        The default is calibrated so sites ~1 ms apart interleave while
+        sites >3 ms apart stay ranked — the paper's §5.1 observation.
+    ewma_alpha:
+        Optional EWMA smoothing of latency estimates (future-work knob).
+    alive_period_s:
+        Peer heartbeat period.
+    ping_period_s:
+        Period of the per-peer background ping loop (§4.1).  ``None``
+        (default) models the ping round as happening at submission
+        time instead of continuously, which keeps the event count of
+        350-peer experiments manageable; set a value to run the
+        literal periodic loop.
+    app_grace_s:
+        Extra wall time granted beyond the predicted app makespan
+        before the submitter declares ranks missing.
+    """
+
+    overbook_factor: float = 1.2
+    overbook_extra: int = 5
+    booking_retries: int = 2
+    retry_backoff_s: float = 1.0
+    rs_timeout_s: float = 2.0
+    start_timeout_s: float = 5.0
+    reservation_ttl_s: float = 60.0
+    ping_samples: int = 3
+    noise_sigma_ms: float = 1.2
+    ewma_alpha: Optional[float] = None
+    alive_period_s: float = 60.0
+    ping_period_s: Optional[float] = None
+    app_grace_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.overbook_factor < 1.0:
+            raise ValueError("overbook_factor must be >= 1.0")
+        if self.overbook_extra < 0:
+            raise ValueError("overbook_extra must be >= 0")
+        if self.rs_timeout_s <= 0 or self.start_timeout_s <= 0:
+            raise ValueError("timeouts must be positive")
+        if self.ping_samples < 1:
+            raise ValueError("ping_samples must be >= 1")
+
+    def booking_target(self, needed: int) -> int:
+        """How many hosts to try to book for ``needed`` process slots."""
+        import math
+
+        return max(math.ceil(self.overbook_factor * needed),
+                   needed + self.overbook_extra)

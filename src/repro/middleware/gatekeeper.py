@@ -1,0 +1,96 @@
+"""Per-host admission control ("gatekeeper", §3.2/§4.1).
+
+The MPD "acts as a gatekeeper of the resource by controlling how many
+processes and applications can be run simultaneously".  The gatekeeper
+tracks both *held reservations* and *running applications* against the
+owner's ``J`` limit, and validates process counts against ``P`` when an
+application actually starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.middleware.config import OwnerPrefs
+
+__all__ = ["AdmissionError", "Gatekeeper"]
+
+
+class AdmissionError(RuntimeError):
+    """Raised when a start violates the owner policy."""
+
+
+@dataclass
+class Gatekeeper:
+    """Admission state for one host."""
+
+    host_name: str
+    prefs: OwnerPrefs
+    #: Reservation keys currently held but not yet started.
+    held: Set[str] = field(default_factory=set)
+    #: job_id -> local process count for running applications.
+    running: Dict[str, int] = field(default_factory=dict)
+    #: Total busy process slots (exported as the "load" the latency
+    #: probes observe).
+    refused: int = 0
+    admitted: int = 0
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def applications_in_flight(self) -> int:
+        """Held reservations + running apps, compared against ``J``."""
+        return len(self.held) + len(self.running)
+
+    @property
+    def busy_processes(self) -> int:
+        return sum(self.running.values())
+
+    def can_accept(self, submitter: str) -> bool:
+        """§4.2 step 4: J not exceeded and submitter not denied."""
+        if not self.prefs.allows(submitter):
+            return False
+        return self.applications_in_flight < self.prefs.j_limit
+
+    # -- reservation lifecycle ---------------------------------------------------
+    def hold(self, key: str) -> None:
+        self.admitted += 1
+        self.held.add(key)
+
+    def refuse(self) -> None:
+        self.refused += 1
+
+    def release_hold(self, key: str) -> bool:
+        """Drop a held reservation (cancel/expiry); True if it existed."""
+        if key in self.held:
+            self.held.discard(key)
+            return True
+        return False
+
+    # -- application lifecycle -----------------------------------------------------
+    def start_application(self, key: str, job_id: str, n_processes: int) -> None:
+        """Convert a held reservation into a running application.
+
+        Raises
+        ------
+        AdmissionError
+            If the key is not held or ``n_processes`` exceeds ``P``.
+        """
+        if key not in self.held:
+            raise AdmissionError(
+                f"{self.host_name}: start without held reservation"
+            )
+        if n_processes < 1 or n_processes > self.prefs.p_limit:
+            raise AdmissionError(
+                f"{self.host_name}: {n_processes} processes exceeds P="
+                f"{self.prefs.p_limit}"
+            )
+        if job_id in self.running:
+            raise AdmissionError(f"{self.host_name}: job {job_id} already running")
+        self.held.discard(key)
+        self.running[job_id] = n_processes
+
+    def end_application(self, job_id: str) -> None:
+        if job_id not in self.running:
+            raise AdmissionError(f"{self.host_name}: job {job_id} not running")
+        del self.running[job_id]

@@ -1,0 +1,158 @@
+"""Job descriptions and results (the ``p2pmpirun`` surface).
+
+A :class:`JobRequest` mirrors the paper's command line::
+
+    p2pmpirun -n <n> -r <r> -a <alloc> prog
+
+``prog`` becomes an optional application model object; without one the
+job is a pure allocation probe (the paper's *hostname* experiment).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Protocol, runtime_checkable
+
+from repro.alloc.base import AllocationPlan
+
+__all__ = ["ApplicationModel", "JobRequest", "JobTimings", "JobStatus",
+           "JobResult"]
+
+
+@runtime_checkable
+class ApplicationModel(Protocol):
+    """What the middleware needs from an application model.
+
+    Implementations live in :mod:`repro.apps`.
+    """
+
+    name: str
+
+    def predicted_rank_times(self, plan: AllocationPlan, env: Any) -> Dict[tuple, float]:
+        """Map ``(rank, replica) -> execution seconds`` for a plan."""
+        ...
+
+
+class JobStatus(enum.Enum):
+    """Terminal states of a submission."""
+
+    SUCCESS = "success"
+    DEGRADED = "degraded"          # finished, but some replicas lost
+    INFEASIBLE = "infeasible"      # §4.2 step 6 conditions failed
+    LAUNCH_FAILED = "launch_failed"  # START acks missing/refused
+    RANKS_LOST = "ranks_lost"      # some rank has no surviving replica
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One ``p2pmpirun`` invocation.
+
+    Attributes
+    ----------
+    n:
+        Number of MPI processes (mandatory ``-n``).
+    r:
+        Replication degree (``-r``, default 1 = no replication).
+    strategy:
+        Allocation strategy name (``-a``): ``spread``, ``concentrate``,
+        ``block``...
+    strategy_kwargs:
+        Extra constructor arguments (e.g. ``{"block": 2}``).
+    app:
+        Optional application model; ``None`` = hostname probe.
+    tag:
+        Free-form label for experiment bookkeeping.
+    """
+
+    n: int
+    r: int = 1
+    strategy: str = "spread"
+    strategy_kwargs: Dict[str, Any] = field(default_factory=dict)
+    app: Optional[ApplicationModel] = None
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("n must be >= 1")
+        if self.r < 1:
+            raise ValueError("r must be >= 1")
+
+    @property
+    def total_processes(self) -> int:
+        return self.n * self.r
+
+
+@dataclass
+class JobTimings:
+    """Wall-clock (simulated) milestones of one submission."""
+
+    submitted_at: float = 0.0
+    booked_at: float = 0.0       # RESERVE replies gathered
+    allocated_at: float = 0.0    # plan built
+    launched_at: float = 0.0     # all STARTED acks in
+    finished_at: float = 0.0     # job completion decided
+
+    @property
+    def reservation_s(self) -> float:
+        return self.booked_at - self.submitted_at
+
+    @property
+    def launch_s(self) -> float:
+        return self.launched_at - self.submitted_at
+
+    @property
+    def makespan_s(self) -> float:
+        return self.finished_at - self.launched_at
+
+    @property
+    def total_s(self) -> float:
+        return self.finished_at - self.submitted_at
+
+
+@dataclass
+class JobResult:
+    """Outcome of one submission."""
+
+    job_id: str
+    request: JobRequest
+    status: JobStatus
+    plan: Optional[AllocationPlan] = None
+    timings: JobTimings = field(default_factory=JobTimings)
+    #: Peers marked dead during booking (no RESERVE reply).
+    dead_peers: List[str] = field(default_factory=list)
+    #: Hosts that answered RESERVE_NOK.
+    refusals: List[str] = field(default_factory=list)
+    #: (rank, replica) -> DONE payload for completed process copies.
+    completions: Dict[tuple, Dict[str, Any]] = field(default_factory=dict)
+    failure_reason: str = ""
+    #: Booking rounds used (1 = first try; >1 = §3.2 retry kicked in).
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (JobStatus.SUCCESS, JobStatus.DEGRADED)
+
+    @property
+    def allocation(self) -> AllocationPlan:
+        """The plan; raises if the job never got one."""
+        if self.plan is None:
+            raise RuntimeError(f"job {self.job_id} has no allocation "
+                               f"({self.status.value}: {self.failure_reason})")
+        return self.plan
+
+    def hostnames(self) -> Dict[int, List[str]]:
+        """rank -> hostnames that echoed DONE (the hostname probe)."""
+        out: Dict[int, List[str]] = {}
+        for (rank, _replica), payload in sorted(self.completions.items()):
+            out.setdefault(rank, []).append(payload["hostname"])
+        return out
+
+    def summary(self) -> str:
+        base = (f"job {self.job_id} [{self.request.strategy} n={self.request.n} "
+                f"r={self.request.r}] -> {self.status.value}")
+        if self.plan is not None:
+            base += f" | {self.plan.summary()}"
+        if self.failure_reason:
+            base += f" | {self.failure_reason}"
+        return base

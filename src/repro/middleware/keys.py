@@ -1,0 +1,44 @@
+"""Unique reservation hash keys (§4.2 steps 3 and 7).
+
+The submitter's RS stamps every brokering round with a unique hash key;
+remote MPDs later verify that a START request carries the key their own
+RS holds, which prevents a stale or foreign launch from consuming a
+reservation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from itertools import count
+
+__all__ = ["ReservationKey", "KeyFactory"]
+
+
+@dataclass(frozen=True)
+class ReservationKey:
+    """An unforgeable-enough token identifying one brokering round."""
+
+    value: str
+    job_id: str
+    submitter: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value[:16]
+
+
+class KeyFactory:
+    """Deterministic key generator for one submitting MPD."""
+
+    def __init__(self, submitter: str, seed: int = 0) -> None:
+        self.submitter = submitter
+        self.seed = seed
+        self._counter = count(1)
+
+    def new_key(self, job_id: str) -> ReservationKey:
+        n = next(self._counter)
+        digest = hashlib.sha256(
+            f"{self.seed}:{self.submitter}:{job_id}:{n}".encode()
+        ).hexdigest()
+        return ReservationKey(value=digest, job_id=job_id,
+                              submitter=self.submitter)

@@ -1,0 +1,465 @@
+"""The MPD daemon: job coordination over the overlay (§4.2, Figure 1).
+
+One MPD runs per host.  It composes the overlay membership daemon
+(:class:`~repro.overlay.peer.PeerDaemon`), the co-located Reservation
+Service and the gatekeeper.  :meth:`MPD.submit_job` is the submitter
+side of Figure 1 (steps 1-6 plus completion tracking);
+:meth:`MPD.service` is the remote side (steps 7-8).
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import count
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.alloc.base import InfeasibleAllocation, ReservedHost
+from repro.alloc.base import get_strategy
+from repro.alloc.ranks import build_plan
+from repro.middleware.config import MiddlewareConfig, OwnerPrefs
+from repro.middleware.gatekeeper import AdmissionError, Gatekeeper
+from repro.middleware.jobs import (
+    JobRequest,
+    JobResult,
+    JobStatus,
+    JobTimings,
+)
+from repro.middleware.keys import KeyFactory
+from repro.middleware.reservation import ReservationService
+from repro.net.latency import LatencyModel
+from repro.net.topology import Host, Topology
+from repro.net.transport import Message, Network
+from repro.overlay.messages import MPD_PORT, RS_PORT, SIZE_CONTROL, Ports
+from repro.overlay.peer import PeerDaemon
+from repro.sim.core import Simulator
+from repro.sim.process import Interrupt
+
+__all__ = ["MPD"]
+
+
+class MPD:
+    """One host's MPD: membership + gatekeeping + job coordination.
+
+    Parameters
+    ----------
+    sim, network, topology:
+        Simulation substrate.
+    host:
+        Local host.
+    supernode_host:
+        Boot-strap entry point.
+    latency_model:
+        Shared measured-latency model.
+    prefs:
+        Owner preferences (``J``, ``P``, denied list).
+    config:
+        Middleware tuning.
+    app_env:
+        Environment object handed to application models when
+        predicting rank durations (see :mod:`repro.apps.base`).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        topology: Topology,
+        host: Host,
+        supernode_host: str,
+        latency_model: LatencyModel,
+        prefs: Optional[OwnerPrefs] = None,
+        config: Optional[MiddlewareConfig] = None,
+        app_env: Any = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.topology = topology
+        self.host = host
+        self.config = config or MiddlewareConfig()
+        self.prefs = prefs or OwnerPrefs.for_cores(host.cores)
+        self.app_env = app_env
+        self.peer = PeerDaemon(
+            sim, network, topology, host, supernode_host, latency_model,
+            alive_period_s=self.config.alive_period_s,
+            ping_samples=self.config.ping_samples,
+            ewma_alpha=self.config.ewma_alpha,
+        )
+        self.gatekeeper = Gatekeeper(host_name=host.name, prefs=self.prefs)
+        self.rs = ReservationService(
+            sim, network, host.name, self.gatekeeper,
+            ttl_s=self.config.reservation_ttl_s,
+        )
+        self.keys = KeyFactory(host.name, seed=sim.rng.seed)
+        self._job_seq = count(1)
+        self._job_procs: Dict[str, List] = {}
+        self._submitting = False
+        #: Completed job results (submitter side), job_id -> JobResult.
+        self.results: Dict[str, JobResult] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def boot(self) -> Generator:
+        """``mpiboot``: join overlay, start RS and MPD services."""
+        self.network.register(self.host.name)
+        yield from self.peer.boot()
+        # The local host takes part in its own allocations like any peer.
+        self.peer.cache.add(self.host)
+        self.sim.process(self.rs.service())
+        self.sim.process(self.service())
+        if self.config.ping_period_s is not None:
+            self.sim.process(
+                self.peer.periodic_ping(self.config.ping_period_s))
+        return self
+
+    def on_host_down(self) -> None:
+        """Failure hook: interrupt everything running locally."""
+        for procs in self._job_procs.values():
+            for proc in procs:
+                if proc.is_alive:
+                    proc.interrupt("host down")
+
+    # ------------------------------------------------------------------
+    # remote side: steps 7-8
+    # ------------------------------------------------------------------
+    def service(self) -> Generator:
+        """Handle START/ABORT traffic on the MPD port forever."""
+        while True:
+            msg: Message = yield self.network.receive(self.host.name, MPD_PORT)
+            if msg.kind == "START":
+                self._handle_start(msg)
+            elif msg.kind == "ABORT":
+                self._handle_abort(msg)
+
+    def _handle_start(self, msg: Message) -> None:
+        payload = msg.payload
+        key: str = payload["key"]
+        job_id: str = payload["job_id"]
+        assignments: List[Tuple[int, int, float]] = payload["assignments"]
+        # Step 7: "The remote MPD verifies that the unique key matches
+        # the one its RS holds for current reservation."
+        if not self.rs.holds_key(key):
+            self.network.send(
+                self.host.name, msg.src, port=payload["reply_port"],
+                kind="START_REFUSED", payload={"job_id": job_id,
+                                               "reason": "unknown key"},
+                size_bytes=SIZE_CONTROL,
+            )
+            return
+        try:
+            self.rs.consume(key)
+            self.gatekeeper.start_application(key, job_id, len(assignments))
+        except AdmissionError as exc:
+            self.rs.finish(key)
+            self.network.send(
+                self.host.name, msg.src, port=payload["reply_port"],
+                kind="START_REFUSED", payload={"job_id": job_id,
+                                               "reason": str(exc)},
+                size_bytes=SIZE_CONTROL,
+            )
+            return
+        # Step 8: launch.
+        runner = self.sim.process(
+            self._run_application(
+                job_id=job_id, key=key, assignments=assignments,
+                submitter=msg.src, done_port=payload["done_port"],
+            )
+        )
+        self._job_procs.setdefault(job_id, []).append(runner)
+        self.network.send(
+            self.host.name, msg.src, port=payload["reply_port"],
+            kind="STARTED", payload={"job_id": job_id,
+                                     "n_local": len(assignments)},
+            size_bytes=SIZE_CONTROL,
+        )
+
+    def _handle_abort(self, msg: Message) -> None:
+        job_id = msg.payload["job_id"]
+        for proc in self._job_procs.get(job_id, []):
+            if proc.is_alive:
+                proc.interrupt("abort")
+
+    def _run_application(
+        self,
+        job_id: str,
+        key: str,
+        assignments: List[Tuple[int, int, float]],
+        submitter: str,
+        done_port: str,
+    ) -> Generator:
+        """Run the local process copies of one application."""
+        procs = [
+            self.sim.process(
+                self._run_process(rank, replica, duration, submitter, done_port)
+            )
+            for rank, replica, duration in assignments
+        ]
+        self._job_procs.setdefault(job_id, []).extend(procs)
+        aborted = False
+        try:
+            yield self.sim.all_of(procs)
+        except Interrupt:
+            aborted = True
+            for proc in procs:
+                if proc.is_alive:
+                    proc.interrupt("abort")
+        try:
+            self.gatekeeper.end_application(job_id)
+        except AdmissionError:  # pragma: no cover - double-end race
+            pass
+        self.rs.finish(key)
+        self._job_procs.pop(job_id, None)
+        return not aborted
+
+    def _run_process(
+        self,
+        rank: int,
+        replica: int,
+        duration: float,
+        submitter: str,
+        done_port: str,
+    ) -> Generator:
+        """One MPI process copy: modelled execution, then DONE."""
+        try:
+            if duration > 0:
+                yield self.sim.timeout(duration)
+            else:
+                yield self.sim.timeout(0.0)
+        except Interrupt:
+            return False
+        self.network.send(
+            self.host.name, submitter, port=done_port, kind="DONE",
+            payload={"rank": rank, "replica": replica,
+                     "hostname": self.host.name,
+                     "duration": duration},
+            size_bytes=SIZE_CONTROL,
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # submitter side: steps 1-6 + completion
+    # ------------------------------------------------------------------
+    def submit_job(self, request: JobRequest) -> Generator:
+        """Full submission coroutine; returns a :class:`JobResult`.
+
+        Use ``sim.process(mpd.submit_job(req))`` and run the simulator,
+        or the :class:`repro.cluster.P2PMPICluster` facade.
+        """
+        if self._submitting:
+            raise RuntimeError(f"{self.host.name}: concurrent submissions "
+                               "are not supported by one MPD")
+        self._submitting = True
+        dead_seen: List[str] = []
+        refusals_seen: List[str] = []
+        try:
+            attempts = 1 + max(0, self.config.booking_retries)
+            for attempt in range(1, attempts + 1):
+                result = yield from self._submit_inner(request)
+                result.attempts = attempt
+                dead_seen.extend(result.dead_peers)
+                refusals_seen.extend(result.refusals)
+                if result.status is not JobStatus.INFEASIBLE or \
+                        attempt == attempts:
+                    break
+                # Lost a booking race or a churn burst: back off and
+                # try a fresh reservation round ("dynamically tries
+                # during a limited time", §3.2).
+                yield self.sim.timeout(self.config.retry_backoff_s)
+        finally:
+            self._submitting = False
+        result.dead_peers = sorted(set(dead_seen))
+        result.refusals = sorted(set(refusals_seen))
+        self.results[result.job_id] = result
+        return result
+
+    def _submit_inner(self, request: JobRequest) -> Generator:
+        sim = self.sim
+        timings = JobTimings(submitted_at=sim.now)
+        job_id = f"{self.host.name}#{next(self._job_seq)}"
+        needed = request.total_processes
+        result = JobResult(job_id=job_id, request=request,
+                           status=JobStatus.INFEASIBLE, timings=timings)
+
+        # -- Step 2: booking -------------------------------------------------
+        # The MPD "periodically contacts its supernode to update its
+        # cached list"; we model the freshest state by refreshing at
+        # submission time (and unconditionally when the cache is short,
+        # which is the paper's explicit trigger).
+        yield from self.peer.refresh_cache()
+        self.peer.cache.add(self.host)
+        # Fresh latency round: the cached values are whatever the last
+        # periodic ping measured; we model it as a measurement made
+        # close to submission time.
+        self.peer.measure_latencies(only_unmeasured=False)
+        entries = self.peer.cache.sorted_by_latency()
+        target = min(len(entries), self.config.booking_target(needed))
+        book = entries[:target]
+
+        key = self.keys.new_key(job_id)
+        reply_port = Ports.rs_reply(key.value)
+
+        # -- Step 3: RS-RS brokering ------------------------------------------
+        self.rs.broadcast_reserve(
+            [e.host.name for e in book], key.value, job_id, reply_port
+        )
+
+        # -- Step 5: gather replies, mark dead ---------------------------------
+        oks: Dict[str, int] = {}
+        refusals: List[str] = []
+        pending = {e.host.name for e in book}
+        deadline = sim.timeout(self.config.rs_timeout_s)
+        while pending:
+            recv = self.network.receive(self.host.name, reply_port)
+            fired = yield sim.any_of([recv, deadline])
+            if recv in fired:
+                msg: Message = fired[recv]
+                pending.discard(msg.src)
+                if msg.kind == "RESERVE_OK":
+                    oks[msg.src] = msg.payload["p_limit"]
+                else:
+                    refusals.append(msg.src)
+            if deadline in fired and recv not in fired:
+                break
+        dead = sorted(pending)
+        if dead:
+            self.peer.report_dead(dead)
+        timings.booked_at = sim.now
+        result.dead_peers = dead
+        result.refusals = refusals
+
+        rlist = [
+            ReservedHost(host=e.host, p_limit=oks[e.host.name],
+                         latency_ms=e.latency_ms or 0.0)
+            for e in book
+            if e.host.name in oks
+        ]
+
+        # -- Step 6: selection, feasibility, strategy, ranks ---------------------
+        slist = rlist[:needed]
+        for extra in rlist[needed:]:
+            self._cancel_reservation(extra.host.name, key.value)
+        strategy_kwargs = dict(request.strategy_kwargs)
+        if (request.strategy == "site-affine"
+                and "local_hosts" not in strategy_kwargs):
+            # The middleware knows the site boundary: count slist
+            # entries co-located with the submitter.
+            strategy_kwargs["local_hosts"] = sum(
+                1 for reserved in slist
+                if reserved.host.site == self.host.site
+            )
+        try:
+            strategy = get_strategy(request.strategy, **strategy_kwargs)
+            plan = build_plan(strategy, slist, request.n, request.r)
+        except (InfeasibleAllocation, KeyError) as exc:
+            for reserved in slist:
+                self._cancel_reservation(reserved.host.name, key.value)
+            result.status = JobStatus.INFEASIBLE
+            result.failure_reason = str(exc)
+            timings.allocated_at = timings.launched_at = timings.finished_at = sim.now
+            return result
+        result.plan = plan
+        timings.allocated_at = sim.now
+        for cancelled in plan.cancelled:
+            self._cancel_reservation(cancelled.host.name, key.value)
+
+        # -- durations from the application model --------------------------------
+        durations: Dict[Tuple[int, int], float] = {}
+        if request.app is not None:
+            durations = dict(request.app.predicted_rank_times(plan, self.app_env))
+
+        by_host: Dict[str, List[Tuple[int, int, float]]] = {}
+        for placement in plan.placements:
+            by_host.setdefault(placement.host.name, []).append(
+                (placement.rank, placement.replica,
+                 float(durations.get((placement.rank, placement.replica), 0.0)))
+            )
+
+        # -- launch (steps 7-8 on the remote side) ---------------------------------
+        start_port = Ports.start_reply(job_id)
+        done_port = Ports.done(job_id)
+        for host_name, assignments in by_host.items():
+            self.network.send(
+                self.host.name, host_name, port=MPD_PORT, kind="START",
+                payload={
+                    "job_id": job_id,
+                    "key": key.value,
+                    "assignments": assignments,
+                    "reply_port": start_port,
+                    "done_port": done_port,
+                },
+                size_bytes=SIZE_CONTROL + 24 * len(assignments),
+            )
+        ack_pending = set(by_host)
+        started: List[str] = []
+        refused: List[str] = []
+        start_deadline = sim.timeout(self.config.start_timeout_s)
+        while ack_pending:
+            recv = self.network.receive(self.host.name, start_port)
+            fired = yield sim.any_of([recv, start_deadline])
+            if recv in fired:
+                msg = fired[recv]
+                ack_pending.discard(msg.src)
+                if msg.kind == "STARTED":
+                    started.append(msg.src)
+                else:
+                    refused.append(msg.src)
+            if start_deadline in fired and recv not in fired:
+                break
+        if ack_pending or refused:
+            for host_name in started:
+                self.network.send(
+                    self.host.name, host_name, port=MPD_PORT, kind="ABORT",
+                    payload={"job_id": job_id}, size_bytes=SIZE_CONTROL,
+                )
+            result.status = JobStatus.LAUNCH_FAILED
+            result.failure_reason = (
+                f"{len(refused)} refusals, {len(ack_pending)} silent hosts at start"
+            )
+            timings.launched_at = timings.finished_at = sim.now
+            return result
+        timings.launched_at = sim.now
+
+        # -- completion tracking ----------------------------------------------------
+        expected = plan.total_processes
+        max_duration = max([d for _h, a in by_host.items() for _r, _c, d in a],
+                           default=0.0)
+        done_deadline = sim.timeout(max_duration + self.config.app_grace_s)
+        completions: Dict[Tuple[int, int], Dict[str, Any]] = {}
+        while len(completions) < expected:
+            recv = self.network.receive(self.host.name, done_port)
+            fired = yield sim.any_of([recv, done_deadline])
+            if recv in fired:
+                msg = fired[recv]
+                completions[(msg.payload["rank"], msg.payload["replica"])] = (
+                    msg.payload
+                )
+            if done_deadline in fired and recv not in fired:
+                break
+        result.completions = completions
+        timings.finished_at = sim.now
+
+        covered = {rank for rank, _replica in completions}
+        if len(completions) == expected:
+            result.status = JobStatus.SUCCESS
+        elif len(covered) == request.n:
+            result.status = JobStatus.DEGRADED
+            result.failure_reason = (
+                f"{expected - len(completions)} replicas lost, all ranks covered"
+            )
+        else:
+            missing = request.n - len(covered)
+            result.status = JobStatus.RANKS_LOST
+            result.failure_reason = f"{missing} ranks have no surviving replica"
+        return result
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _cancel_reservation(self, host_name: str, key: str) -> None:
+        self.network.send(
+            self.host.name, host_name, port=RS_PORT, kind="CANCEL",
+            payload={"key": key}, size_bytes=SIZE_CONTROL,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<MPD {self.host.name}>"

@@ -1,0 +1,31 @@
+"""MPJ-like message-passing library over the simulated network.
+
+P2P-MPI's second facet (§3.1) is an MPJ communication library "quite
+close to the original MPI specification".  We provide, following the
+mpi4py lowercase-method convention for object communication:
+
+* a **message-level engine** (:class:`~repro.mpi.api.MPIWorld` /
+  :class:`~repro.mpi.api.Comm`): real simulated sends and receives,
+  collectives built from point-to-point algorithms (binomial trees,
+  ring allgather, pairwise alltoall).  Semantically exact — collectives
+  return real reduced values — and used for correctness tests and
+  examples at small process counts.
+* an **analytic cost model** (:class:`~repro.mpi.costmodel.CollectiveCostModel`):
+  closed-form execution-time formulas mirroring the same algorithms,
+  vectorised by site, used by the NAS application models at the
+  paper's scales (up to 600 processes).
+
+``tests/mpi/test_costmodel.py`` cross-validates the two.
+"""
+
+from repro.mpi.datatypes import BYTE, DOUBLE, FLOAT, INT, LONG, Op, MAX, MIN, PROD, SUM
+from repro.mpi.api import Comm, MPIWorld, MPIProcessFailure
+import repro.mpi.collectives  # noqa: F401  (binds collective methods on Comm)
+from repro.mpi.costmodel import CollectiveCostModel, CostParams, GroupLayout
+
+__all__ = [
+    "BYTE", "INT", "LONG", "FLOAT", "DOUBLE",
+    "Op", "SUM", "PROD", "MAX", "MIN",
+    "Comm", "MPIWorld", "MPIProcessFailure",
+    "CollectiveCostModel", "CostParams", "GroupLayout",
+]

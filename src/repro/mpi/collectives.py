@@ -1,0 +1,225 @@
+"""Collective operations for the message-level engine.
+
+Algorithms mirror classic MPICH choices (and are mirrored again by the
+closed forms in :mod:`repro.mpi.costmodel`):
+
+* ``barrier`` — dissemination, ``ceil(log2 p)`` rounds;
+* ``bcast`` / ``reduce`` — binomial trees;
+* ``allreduce`` — reduce to rank 0 then broadcast;
+* ``gather`` / ``scatter`` — linear at the root;
+* ``allgather`` — ring, ``p-1`` steps;
+* ``alltoall`` / ``alltoallv`` — pairwise exchange, ``p-1`` steps.
+
+Every function is a generator meant to be delegated to from a program
+(``result = yield from comm.allreduce(x)``).  Importing this module
+binds the functions onto :class:`repro.mpi.api.Comm`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Sequence
+
+from repro.mpi.api import Comm
+from repro.mpi.datatypes import Op, SUM
+
+__all__ = ["barrier", "bcast", "reduce", "allreduce", "gather", "scatter",
+           "allgather", "alltoall", "alltoallv"]
+
+#: Wire size of a zero-payload synchronisation message.
+SYNC_BYTES = 32
+
+
+def barrier(comm: Comm) -> Generator:
+    """Dissemination barrier."""
+    tag = comm._next_coll_tag()
+    p = comm.size
+    k = 1
+    while k < p:
+        dest = (comm.rank + k) % p
+        src = (comm.rank - k) % p
+        comm.isend(dest, None, SYNC_BYTES, tag)
+        yield from comm.recv(source=src, tag=tag)
+        k <<= 1
+    return None
+
+
+def bcast(comm: Comm, value: Any = None, root: int = 0,
+          size_bytes: int = SYNC_BYTES) -> Generator:
+    """Binomial-tree broadcast; every rank returns the root's value."""
+    tag = comm._next_coll_tag()
+    p = comm.size
+    relative = (comm.rank - root) % p
+    mask = 1
+    data = value if comm.rank == root else None
+    while mask < p:
+        if relative & mask:
+            src = (comm.rank - mask) % p
+            _s, _t, data = yield from comm.recv(source=src, tag=tag)
+            break
+        mask <<= 1
+    else:
+        mask = 1
+        while mask < p:
+            mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if relative + mask < p:
+            dest = (comm.rank + mask) % p
+            comm.isend(dest, data, size_bytes, tag)
+        mask >>= 1
+    return data
+
+
+def reduce(comm: Comm, value: Any, op: Op = SUM, root: int = 0,
+           size_bytes: int = SYNC_BYTES) -> Generator:
+    """Binomial fan-in; the root returns the reduction, others None."""
+    tag = comm._next_coll_tag()
+    p = comm.size
+    relative = (comm.rank - root) % p
+    acc = value
+    mask = 1
+    while mask < p:
+        if relative & mask == 0:
+            src_rel = relative | mask
+            if src_rel < p:
+                src = (src_rel + root) % p
+                _s, _t, partial = yield from comm.recv(source=src, tag=tag)
+                acc = op.fn(acc, partial)
+        else:
+            dest = (relative - mask + root) % p
+            comm.isend(dest, acc, size_bytes, tag)
+            break
+        mask <<= 1
+    return acc if comm.rank == root else None
+
+
+def allreduce(comm: Comm, value: Any, op: Op = SUM,
+              size_bytes: int = SYNC_BYTES) -> Generator:
+    """Recursive-doubling allreduce (MPICH small-message algorithm).
+
+    Non-power-of-two sizes fold the first ``2*rem`` ranks pairwise into
+    the power-of-two core, run the doubling, then fold the result back
+    out.  Requires a commutative op (all built-ins are).
+    """
+    tag = comm._next_coll_tag()
+    out_tag = comm._next_coll_tag()
+    p = comm.size
+    rank = comm.rank
+    if p == 1:
+        yield comm.sim.timeout(comm.world.network.sw_overhead_s)
+        return value
+    pof2 = 1 << (p.bit_length() - 1)  # largest power of two <= p
+    rem = p - pof2
+    acc = value
+    if rank < 2 * rem:
+        if rank % 2 == 1:
+            # Fold in: odd ranks hand their value to the left neighbour
+            # and wait for the final result.
+            comm.isend(rank - 1, acc, size_bytes, tag)
+            _s, _t, result = yield from comm.recv(source=rank - 1, tag=out_tag)
+            return result
+        _s, _t, other = yield from comm.recv(source=rank + 1, tag=tag)
+        acc = op.fn(acc, other)
+        vrank = rank // 2
+    else:
+        vrank = rank - rem
+    mask = 1
+    while mask < pof2:
+        vdest = vrank ^ mask
+        dest = 2 * vdest if vdest < rem else vdest + rem
+        _s, _t, other = yield from comm.sendrecv(
+            dest, acc, size_bytes, source=dest, tag=tag)
+        acc = op.fn(acc, other)
+        mask <<= 1
+    if rank < 2 * rem:
+        comm.isend(rank + 1, acc, size_bytes, out_tag)
+    return acc
+
+
+def gather(comm: Comm, value: Any, root: int = 0,
+           size_bytes: int = SYNC_BYTES) -> Generator:
+    """Linear gather; the root returns the rank-ordered list."""
+    tag = comm._next_coll_tag()
+    if comm.rank == root:
+        out: List[Any] = [None] * comm.size
+        out[root] = value
+        for _ in range(comm.size - 1):
+            src, _t, data = yield from comm.recv(tag=tag)
+            out[src] = data
+        return out
+    comm.isend(root, value, size_bytes, tag)
+    yield comm.sim.timeout(comm.world.network.sw_overhead_s)
+    return None
+
+
+def scatter(comm: Comm, values: Optional[Sequence[Any]] = None, root: int = 0,
+            size_bytes: int = SYNC_BYTES) -> Generator:
+    """Linear scatter; every rank returns its element of the root list."""
+    tag = comm._next_coll_tag()
+    if comm.rank == root:
+        if values is None or len(values) != comm.size:
+            raise ValueError("root must provide one value per rank")
+        for dest in range(comm.size):
+            if dest != root:
+                comm.isend(dest, values[dest], size_bytes, tag)
+        yield comm.sim.timeout(comm.world.network.sw_overhead_s)
+        return values[root]
+    _s, _t, data = yield from comm.recv(source=root, tag=tag)
+    return data
+
+
+def allgather(comm: Comm, value: Any,
+              size_bytes: int = SYNC_BYTES) -> Generator:
+    """Ring allgather; every rank returns the rank-ordered list."""
+    tag = comm._next_coll_tag()
+    p = comm.size
+    out: List[Any] = [None] * p
+    out[comm.rank] = value
+    right = (comm.rank + 1) % p
+    left = (comm.rank - 1) % p
+    block_rank, block = comm.rank, value
+    for _step in range(p - 1):
+        comm.isend(right, (block_rank, block), size_bytes, tag)
+        _s, _t, (block_rank, block) = yield from comm.recv(source=left, tag=tag)
+        out[block_rank] = block
+    return out
+
+
+def alltoall(comm: Comm, values: Sequence[Any],
+             size_bytes: int = SYNC_BYTES) -> Generator:
+    """Pairwise-exchange alltoall; returns list indexed by source rank."""
+    if len(values) != comm.size:
+        raise ValueError("alltoall needs one value per destination")
+    sizes = [size_bytes] * comm.size
+    out = yield from alltoallv(comm, values, sizes)
+    return out
+
+
+def alltoallv(comm: Comm, values: Sequence[Any],
+              sizes: Sequence[int]) -> Generator:
+    """Pairwise-exchange with per-destination sizes (NAS IS pattern)."""
+    p = comm.size
+    if len(values) != p or len(sizes) != p:
+        raise ValueError("alltoallv needs one value and size per destination")
+    tag = comm._next_coll_tag()
+    out: List[Any] = [None] * p
+    out[comm.rank] = values[comm.rank]
+    for step in range(1, p):
+        dest = (comm.rank + step) % p
+        src = (comm.rank - step) % p
+        comm.isend(dest, values[dest], int(sizes[dest]), tag)
+        _s, _t, data = yield from comm.recv(source=src, tag=tag)
+        out[src] = data
+    return out
+
+
+# Bind onto Comm so programs write `yield from comm.barrier()`.
+Comm.barrier = barrier
+Comm.bcast = bcast
+Comm.reduce = reduce
+Comm.allreduce = allreduce
+Comm.gather = gather
+Comm.scatter = scatter
+Comm.allgather = allgather
+Comm.alltoall = alltoall
+Comm.alltoallv = alltoallv

@@ -1,0 +1,325 @@
+"""Closed-form collective cost model (the scale path).
+
+At the paper's scales (up to 600 processes) simulating every message of
+every NAS iteration would cost O(p^2) events per alltoall; instead the
+application models evaluate these closed forms, which mirror the exact
+algorithms of :mod:`repro.mpi.collectives`:
+
+* point-to-point: ``latency + overheads + bytes * (ser + 8/bw_eff)``;
+* binomial trees: per-round max edge cost, summed over rounds;
+* dissemination barrier: likewise;
+* pairwise alltoall(v): per-rank sum over partners, max over ranks.
+
+Effective bandwidth accounts for NIC sharing between co-located
+processes and WAN link sharing between concurrent flows — the two
+contention effects the paper's Figure 4 analysis invokes.
+
+``CostParams.msg_fixed_s`` and ``ser_per_byte_s`` model the Java/MPJ
+per-message serialization overheads of the 2008 runtime; they are the
+main calibration knobs for absolute IS/EP times (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.topology import Host, Topology
+
+__all__ = ["CostParams", "GroupLayout", "CollectiveCostModel"]
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Tunable constants of the communication cost model.
+
+    Attributes
+    ----------
+    sw_overhead_s:
+        Kernel/syscall overhead per message.
+    msg_fixed_s:
+        Fixed runtime cost per *large* message (MPJ buffered path:
+        serialization setup, buffer copies, TCP segmentation).  The IS
+        calibration sets ~3.5 ms.
+    msg_fixed_small_s:
+        Fixed cost per *small* message (eager path); EP's one-double
+        allreduces ride this.
+    eager_threshold_bytes:
+        Boundary between the two paths.
+    ser_per_byte_s:
+        Per-byte (de)serialization cost.
+    wan_extra_s:
+        Extra fixed cost per WAN message (TCP windows over long RTT).
+    nic_share:
+        Divide LAN bandwidth by the number of co-located processes.
+    """
+
+    sw_overhead_s: float = 20e-6
+    msg_fixed_s: float = 0.0
+    msg_fixed_small_s: float = 0.0
+    eager_threshold_bytes: int = 6144
+    ser_per_byte_s: float = 0.0
+    wan_extra_s: float = 0.0
+    nic_share: bool = True
+
+    def fixed_cost_s(self, nbytes: int) -> float:
+        """Per-message runtime cost for a message of ``nbytes``."""
+        if nbytes <= self.eager_threshold_bytes:
+            return self.msg_fixed_small_s
+        return self.msg_fixed_s
+
+
+class GroupLayout:
+    """Precomputed structure of one process group (rank -> host).
+
+    Exposes per-rank site indices, co-location counts and the site-level
+    one-way latency matrix, so collective formulas are O(p * n_sites).
+    """
+
+    def __init__(self, hosts: Sequence[Host], topology: Topology) -> None:
+        if not hosts:
+            raise ValueError("empty process group")
+        self.hosts = list(hosts)
+        self.topology = topology
+        self.p = len(hosts)
+        site_names = sorted({h.site for h in hosts})
+        self.site_names = site_names
+        self.site_of: Dict[str, int] = {s: i for i, s in enumerate(site_names)}
+        self.rank_site = np.array([self.site_of[h.site] for h in hosts])
+        self.site_counts = np.bincount(self.rank_site, minlength=len(site_names))
+        per_host = Counter(h.name for h in hosts)
+        #: Processes co-located with each rank (including itself).
+        self.colocated = np.array([per_host[h.name] for h in hosts])
+        # One-way latency between sites, seconds.
+        n = len(site_names)
+        self.oneway_s = np.zeros((n, n))
+        for i, a in enumerate(site_names):
+            for j, b in enumerate(site_names):
+                self.oneway_s[i, j] = topology.site_rtt_ms(a, b) / 2.0 / 1000.0
+        # WAN capacity between sites, bit/s (LAN on the diagonal).
+        self.bw_bps = np.zeros((n, n))
+        for i, a in enumerate(site_names):
+            for j, b in enumerate(site_names):
+                if a == b:
+                    self.bw_bps[i, j] = topology.lan_bw_bps
+                else:
+                    ha = topology.hosts_in_site(a)[0]
+                    hb = topology.hosts_in_site(b)[0]
+                    self.bw_bps[i, j] = topology.bandwidth_bps(ha, hb)
+
+    @property
+    def max_colocated(self) -> int:
+        return int(self.colocated.max())
+
+    def sites_used(self) -> List[str]:
+        return [s for s, c in zip(self.site_names, self.site_counts) if c > 0]
+
+
+class CollectiveCostModel:
+    """Evaluates collective execution times for a :class:`GroupLayout`."""
+
+    def __init__(self, topology: Topology, params: CostParams = CostParams()) -> None:
+        self.topology = topology
+        self.params = params
+
+    def layout(self, hosts: Sequence[Host]) -> GroupLayout:
+        return GroupLayout(hosts, self.topology)
+
+    # -- point-to-point ---------------------------------------------------------
+    def p2p_time(self, layout: GroupLayout, src: int, dst: int,
+                 nbytes: int) -> float:
+        """Modelled transfer time between two ranks of the group."""
+        if src == dst:
+            return self.params.sw_overhead_s
+        pa = self.params
+        same_host = layout.hosts[src].name == layout.hosts[dst].name
+        si, sj = layout.rank_site[src], layout.rank_site[dst]
+        lat = 0.0 if same_host else layout.oneway_s[si, sj]
+        cost = lat + pa.sw_overhead_s + pa.fixed_cost_s(nbytes)
+        if si != sj:
+            cost += pa.wan_extra_s
+        if nbytes > 0 and not same_host:
+            bw = layout.bw_bps[si, sj]
+            if pa.nic_share:
+                share = max(layout.colocated[src], layout.colocated[dst])
+                bw = bw / share
+            cost += nbytes * (pa.ser_per_byte_s + 8.0 / bw)
+        elif nbytes > 0:
+            cost += nbytes * pa.ser_per_byte_s
+        return float(cost)
+
+    # -- tree / dissemination collectives -------------------------------------------
+    def _round_edges_barrier(self, p: int) -> List[List[Tuple[int, int]]]:
+        rounds = []
+        k = 1
+        while k < p:
+            rounds.append([(i, (i + k) % p) for i in range(p)])
+            k <<= 1
+        return rounds
+
+    def barrier_time(self, layout: GroupLayout) -> float:
+        """Dissemination barrier: sum over rounds of the slowest edge."""
+        total = 0.0
+        for edges in self._round_edges_barrier(layout.p):
+            total += max(self.p2p_time(layout, i, j, 32) for i, j in edges)
+        return total
+
+    def _binomial_rounds(self, p: int, root: int) -> List[List[Tuple[int, int]]]:
+        """Edges (parent -> child) per round of a binomial bcast."""
+        rounds = []
+        mask = 1
+        while mask < p:
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            edges = []
+            for rel in range(0, p, mask << 1 if mask else 1):
+                # sender rel transmits to rel+mask in this round
+                if rel + mask < p:
+                    src = (rel + root) % p
+                    dst = (rel + mask + root) % p
+                    edges.append((src, dst))
+            if edges:
+                rounds.append(edges)
+            mask >>= 1
+        return rounds
+
+    def bcast_time(self, layout: GroupLayout, nbytes: int,
+                   root: int = 0) -> float:
+        """Binomial broadcast: per-round max edge, summed."""
+        total = 0.0
+        for edges in self._binomial_rounds(layout.p, root):
+            total += max(self.p2p_time(layout, i, j, nbytes) for i, j in edges)
+        return total
+
+    def reduce_time(self, layout: GroupLayout, nbytes: int,
+                    root: int = 0) -> float:
+        """Binomial fan-in mirrors the broadcast tree."""
+        return self.bcast_time(layout, nbytes, root=root)
+
+    def allreduce_time(self, layout: GroupLayout, nbytes: int) -> float:
+        """Recursive doubling, mirroring the message-level engine.
+
+        ``ceil(log2 pof2)`` exchange rounds (each priced at its slowest
+        edge) plus a fold-in and fold-out round for non-power-of-two
+        sizes.
+        """
+        p = layout.p
+        if p == 1:
+            return self.params.sw_overhead_s
+        pof2 = 1 << (p.bit_length() - 1)
+        if pof2 > p:  # pragma: no cover - bit_length guards this
+            pof2 >>= 1
+        rem = p - pof2
+        total = 0.0
+        if rem:
+            fold = max(
+                self.p2p_time(layout, 2 * i + 1, 2 * i, nbytes)
+                for i in range(rem)
+            )
+            total += 2 * fold  # fold in + fold out
+
+        def real(vrank: int) -> int:
+            return 2 * vrank if vrank < rem else vrank + rem
+
+        mask = 1
+        while mask < pof2:
+            total += max(
+                self.p2p_time(layout, real(v), real(v ^ mask), nbytes)
+                for v in range(pof2)
+            )
+            mask <<= 1
+        return total
+
+    def gather_time(self, layout: GroupLayout, nbytes: int,
+                    root: int = 0) -> float:
+        """Linear gather: root drains p-1 messages."""
+        pa = self.params
+        if layout.p == 1:
+            return pa.sw_overhead_s
+        lat = max(
+            self.p2p_time(layout, i, root, 0)
+            for i in range(layout.p) if i != root
+        )
+        per_msg = (pa.sw_overhead_s + pa.fixed_cost_s(nbytes)
+                   + nbytes * pa.ser_per_byte_s)
+        return lat + (layout.p - 1) * per_msg + self._serial_bytes_time(
+            layout, root, nbytes * (layout.p - 1)
+        )
+
+    def _serial_bytes_time(self, layout: GroupLayout, rank: int,
+                           nbytes: int) -> float:
+        bw = layout.bw_bps[layout.rank_site[rank], layout.rank_site[rank]]
+        if self.params.nic_share:
+            bw /= layout.colocated[rank]
+        return nbytes * 8.0 / bw
+
+    # -- pairwise exchange ------------------------------------------------------------
+    def alltoall_time(self, layout: GroupLayout, bytes_per_pair: int) -> float:
+        """Pairwise alltoall: slowest rank's sum over its partners.
+
+        Vectorised by site: a rank's partner mix is the site population,
+        corrected for same-host partners (zero latency, no NIC transit).
+        """
+        return self.alltoallv_time(layout, bytes_per_pair)
+
+    def alltoallv_time(self, layout: GroupLayout, bytes_per_pair: int) -> float:
+        pa = self.params
+        p = layout.p
+        if p == 1:
+            return pa.sw_overhead_s
+        n_sites = len(layout.site_names)
+        # unit[s, s'] = cost of one message between sites s and s'.
+        unit = np.zeros((n_sites, n_sites))
+        fixed = pa.fixed_cost_s(bytes_per_pair)
+        for si in range(n_sites):
+            for sj in range(n_sites):
+                cost = layout.oneway_s[si, sj] + pa.sw_overhead_s + fixed
+                if si != sj:
+                    cost += pa.wan_extra_s
+                if bytes_per_pair > 0:
+                    cost += bytes_per_pair * pa.ser_per_byte_s
+                unit[si, sj] = cost
+        # Bandwidth term is added per rank below (depends on colocation).
+        per_rank = np.zeros(p)
+        for i in range(p):
+            si = layout.rank_site[i]
+            counts = layout.site_counts.astype(float).copy()
+            counts[si] -= 1  # exclude self
+            total = float(np.dot(counts, unit[si]))
+            if bytes_per_pair > 0:
+                for sj in range(n_sites):
+                    c = counts[sj]
+                    if c <= 0:
+                        continue
+                    bw = layout.bw_bps[si, sj]
+                    if pa.nic_share:
+                        bw = bw / layout.colocated[i]
+                    if si != sj:
+                        # WAN link shared by every concurrent cross flow.
+                        flows = min(layout.site_counts[si], layout.site_counts[sj])
+                        bw = min(bw, layout.bw_bps[si, sj] / max(1, flows))
+                    total += c * bytes_per_pair * 8.0 / bw
+                # Same-host partners: no wire, only overheads (already in
+                # `unit` diagonal via latency=LAN; subtract the LAN
+                # latency for the (colocated-1) same-host partners).
+                k = layout.colocated[i] - 1
+                if k > 0:
+                    total -= k * layout.oneway_s[si, si]
+                    total -= k * bytes_per_pair * 8.0 / (
+                        layout.bw_bps[si, si]
+                        / (layout.colocated[i] if pa.nic_share else 1)
+                    )
+            per_rank[i] = total
+        return float(per_rank.max())
+
+    # -- convenience ---------------------------------------------------------------
+    def describe(self, layout: GroupLayout) -> str:
+        sites = ", ".join(
+            f"{s}:{c}" for s, c in zip(layout.site_names, layout.site_counts) if c
+        )
+        return f"p={layout.p} over [{sites}], max colocated={layout.max_colocated}"

@@ -1,0 +1,62 @@
+"""Wire sizes and reduction operators.
+
+MPJ (like MPI) sizes messages by element type; we only need the byte
+widths for the simulated transfer times, plus real reduction operators
+so collectives in the message-level engine return true values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+__all__ = ["Datatype", "BYTE", "INT", "LONG", "FLOAT", "DOUBLE",
+           "Op", "SUM", "PROD", "MAX", "MIN"]
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """An element type with a wire width."""
+
+    name: str
+    size: int  # bytes per element
+
+    def extent(self, count: int) -> int:
+        return self.size * count
+
+
+BYTE = Datatype("byte", 1)
+INT = Datatype("int", 4)
+LONG = Datatype("long", 8)
+FLOAT = Datatype("float", 4)
+DOUBLE = Datatype("double", 8)
+
+
+@dataclass(frozen=True)
+class Op:
+    """A commutative, associative reduction operator."""
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+
+    def reduce(self, values: Sequence[Any]) -> Any:
+        if not values:
+            raise ValueError("reduce of empty sequence")
+        acc = values[0]
+        for value in values[1:]:
+            acc = self.fn(acc, value)
+        return acc
+
+
+def _sum(a, b):
+    return a + b
+
+
+def _prod(a, b):
+    return a * b
+
+
+SUM = Op("sum", _sum)
+PROD = Op("prod", _prod)
+MAX = Op("max", max)
+MIN = Op("min", min)

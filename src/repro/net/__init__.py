@@ -1,0 +1,37 @@
+"""Network substrate: topology, latency/bandwidth models, transport.
+
+This package simulates the wide-area federation the paper's testbed
+(Grid'5000) provides physically.  Layering:
+
+* :mod:`~repro.net.topology` — static description: sites, clusters,
+  hosts, per-site-pair RTT and bandwidth.
+* :mod:`~repro.net.latency` — stochastic *measured* latency: the paper's
+  application-level (non-ICMP) ping observes base RTT plus CPU/TCP load
+  noise; this module models that perturbation and the EWMA smoothing
+  P2P-MPI's future work calls for.
+* :mod:`~repro.net.bandwidth` — per-link flow counting and effective
+  bandwidth under contention.
+* :mod:`~repro.net.transport` — message delivery between host inboxes
+  with latency + serialization + contention delays.
+* :mod:`~repro.net.ping` — round-trip measurement probes built on the
+  transport, and the fast analytic estimator used at scale.
+"""
+
+from repro.net.topology import Cluster, Host, Site, Topology
+from repro.net.latency import LatencyModel, LatencyEstimate
+from repro.net.bandwidth import BandwidthAllocator
+from repro.net.transport import Message, Network
+from repro.net.ping import PingService
+
+__all__ = [
+    "Cluster",
+    "Host",
+    "Site",
+    "Topology",
+    "LatencyModel",
+    "LatencyEstimate",
+    "BandwidthAllocator",
+    "Message",
+    "Network",
+    "PingService",
+]

@@ -1,0 +1,68 @@
+"""Per-link flow accounting and effective bandwidth under contention.
+
+The transport treats each site pair (and each site's LAN) as one
+contention domain.  Effective bandwidth for a new flow is the link
+capacity divided by the number of flows active in the domain at send
+time.  This processor-sharing snapshot is a standard fluid
+approximation: it captures the first-order effect the paper's IS
+analysis relies on (collectives crossing a loaded WAN link slow down)
+without simulating packets.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Tuple
+
+from repro.net.topology import Host, Topology
+
+__all__ = ["BandwidthAllocator"]
+
+
+class BandwidthAllocator:
+    """Tracks active flows per contention domain.
+
+    Notes
+    -----
+    ``acquire`` returns the effective bandwidth granted to the new flow
+    and registers it; the caller must ``release`` the same key when the
+    transfer completes.  A zero-byte (latency-only) message should not
+    acquire bandwidth at all.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._active: Dict[Tuple[str, str], int] = defaultdict(int)
+        #: Cumulative flow count per domain (diagnostics).
+        self.total_flows: Dict[Tuple[str, str], int] = defaultdict(int)
+
+    def domain(self, src: Host, dst: Host) -> Tuple[str, str]:
+        return self.topology.link_key(src, dst)
+
+    def active_flows(self, src: Host, dst: Host) -> int:
+        return self._active[self.domain(src, dst)]
+
+    def acquire(self, src: Host, dst: Host) -> float:
+        """Register a flow; return its effective bandwidth in bit/s."""
+        key = self.domain(src, dst)
+        self._active[key] += 1
+        self.total_flows[key] += 1
+        capacity = self.topology.bandwidth_bps(src, dst)
+        return capacity / self._active[key]
+
+    def release(self, src: Host, dst: Host) -> None:
+        key = self.domain(src, dst)
+        if self._active[key] <= 0:
+            raise RuntimeError(f"release without acquire on {key}")
+        self._active[key] -= 1
+
+    def effective_bandwidth_bps(self, src: Host, dst: Host,
+                                extra_flows: int = 0) -> float:
+        """Bandwidth a flow *would* get now (without registering it)."""
+        key = self.domain(src, dst)
+        flows = self._active[key] + extra_flows + 1
+        return self.topology.bandwidth_bps(src, dst) / flows
+
+    def snapshot(self) -> Dict[Tuple[str, str], int]:
+        """Copy of the active-flow table (for tests/monitors)."""
+        return {k: v for k, v in self._active.items() if v}

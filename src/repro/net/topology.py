@@ -1,0 +1,277 @@
+"""Static network topology: sites, clusters, hosts, links.
+
+The model matches how the paper describes Grid'5000: a federation of
+*sites* (nancy, lyon, ...), each hosting one or more *clusters* of
+homogeneous *hosts*.  Latency is defined between sites (WAN RTT) with a
+small uniform intra-site LAN RTT; bandwidth likewise.  Inter-site RTTs
+not reported by the paper are derived with a hub (star) approximation
+through the submitting site, which is conservative and only affects the
+application-model experiments (Figure 4), never allocation decisions
+(which depend solely on RTT *to* the submitting site).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+__all__ = ["Host", "Cluster", "Site", "Topology", "LinkSpec"]
+
+#: Default intra-site (LAN) round-trip time in milliseconds.  The paper's
+#: figure legends report 0.087 ms for nancy-to-nancy probes.
+DEFAULT_LAN_RTT_MS = 0.087
+
+#: Default LAN bandwidth: Grid'5000 nodes of that era had GigE NICs.
+DEFAULT_LAN_BW_BPS = 1.0e9
+
+
+@dataclass(frozen=True)
+class Host:
+    """One computing node (one MPD daemon runs per host).
+
+    Attributes
+    ----------
+    name:
+        Globally unique, e.g. ``"grelon-17.nancy"``.
+    site / cluster:
+        Names of the owning site and cluster.
+    cores:
+        Number of cores; the paper configures each peer's ``P`` (max
+        processes per application) to this value.
+    speed:
+        Relative per-core compute rate (1.0 = nancy's Xeon 5110
+        baseline); used by the application models.
+    memory_mb:
+        Node memory, used by the spread-strategy rationale checks.
+    """
+
+    name: str
+    site: str
+    cluster: str
+    cores: int
+    speed: float = 1.0
+    memory_mb: int = 2048
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A homogeneous set of hosts within a site (paper Table 1 rows)."""
+
+    name: str
+    site: str
+    cpu_model: str
+    nodes: int
+    cpus: int
+    cores: int
+    speed: float = 1.0
+    memory_mb: int = 2048
+
+    @property
+    def cores_per_node(self) -> int:
+        if self.cores % self.nodes:
+            raise ValueError(
+                f"cluster {self.name}: {self.cores} cores not divisible by "
+                f"{self.nodes} nodes"
+            )
+        return self.cores // self.nodes
+
+    def hosts(self) -> List[Host]:
+        """Materialise the node list (``<cluster>-<i>.<site>``)."""
+        return [
+            Host(
+                name=f"{self.name}-{i}.{self.site}",
+                site=self.site,
+                cluster=self.name,
+                cores=self.cores_per_node,
+                speed=self.speed,
+                memory_mb=self.memory_mb,
+            )
+            for i in range(1, self.nodes + 1)
+        ]
+
+
+@dataclass(frozen=True)
+class Site:
+    """A geographical site hosting clusters."""
+
+    name: str
+    clusters: Tuple[Cluster, ...]
+
+    @property
+    def n_hosts(self) -> int:
+        return sum(c.nodes for c in self.clusters)
+
+    @property
+    def n_cores(self) -> int:
+        return sum(c.cores for c in self.clusters)
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """WAN link properties between two sites."""
+
+    rtt_ms: float
+    bandwidth_bps: float
+
+
+class Topology:
+    """Site/host database plus the site-level link graph.
+
+    Parameters
+    ----------
+    sites:
+        Site definitions.
+    site_rtt_ms:
+        Mapping ``(site_a, site_b) -> RTT in ms`` for WAN pairs.  Pairs
+        may be given in either order; missing non-hub pairs are filled
+        with the hub approximation through ``hub`` if provided.
+    site_bw_bps:
+        Mapping ``(site_a, site_b) -> bandwidth in bit/s``; missing
+        pairs default to ``default_wan_bw_bps``.
+    hub:
+        Site through which unknown pairwise RTTs are routed
+        (``rtt(a,b) = rtt(a,hub) + rtt(hub,b)``).
+    """
+
+    def __init__(
+        self,
+        sites: Iterable[Site],
+        site_rtt_ms: Optional[Dict[Tuple[str, str], float]] = None,
+        site_bw_bps: Optional[Dict[Tuple[str, str], float]] = None,
+        hub: Optional[str] = None,
+        lan_rtt_ms: float = DEFAULT_LAN_RTT_MS,
+        lan_bw_bps: float = DEFAULT_LAN_BW_BPS,
+        default_wan_bw_bps: float = 10.0e9,
+    ) -> None:
+        self.sites: Dict[str, Site] = {}
+        self.hosts: Dict[str, Host] = {}
+        self._hosts_by_site: Dict[str, List[Host]] = {}
+        self.lan_rtt_ms = lan_rtt_ms
+        self.lan_bw_bps = lan_bw_bps
+        self.default_wan_bw_bps = default_wan_bw_bps
+        self.hub = hub
+
+        for site in sites:
+            if site.name in self.sites:
+                raise ValueError(f"duplicate site {site.name!r}")
+            self.sites[site.name] = site
+            bucket: List[Host] = []
+            for cluster in site.clusters:
+                for host in cluster.hosts():
+                    if host.name in self.hosts:
+                        raise ValueError(f"duplicate host {host.name!r}")
+                    self.hosts[host.name] = host
+                    bucket.append(host)
+            self._hosts_by_site[site.name] = bucket
+
+        self._rtt: Dict[Tuple[str, str], float] = {}
+        for (a, b), val in (site_rtt_ms or {}).items():
+            self._check_site(a), self._check_site(b)
+            self._rtt[self._key(a, b)] = float(val)
+        self._bw: Dict[Tuple[str, str], float] = {}
+        for (a, b), val in (site_bw_bps or {}).items():
+            self._check_site(a), self._check_site(b)
+            self._bw[self._key(a, b)] = float(val)
+
+        if hub is not None:
+            self._check_site(hub)
+            self._fill_via_hub(hub)
+
+        self.graph = self._build_graph()
+
+    # -- helpers ---------------------------------------------------------
+    @staticmethod
+    def _key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def _check_site(self, name: str) -> None:
+        if name not in self.sites:
+            raise KeyError(f"unknown site {name!r}")
+
+    def _fill_via_hub(self, hub: str) -> None:
+        names = sorted(self.sites)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                key = self._key(a, b)
+                if key in self._rtt or hub in (a, b):
+                    continue
+                ra = self._rtt.get(self._key(a, hub))
+                rb = self._rtt.get(self._key(b, hub))
+                if ra is not None and rb is not None:
+                    self._rtt[key] = ra + rb
+
+    def _build_graph(self) -> nx.Graph:
+        graph = nx.Graph()
+        graph.add_nodes_from(self.sites)
+        for (a, b), rtt in self._rtt.items():
+            graph.add_edge(a, b, rtt_ms=rtt, bw_bps=self._bw.get((a, b), self.default_wan_bw_bps))
+        return graph
+
+    # -- queries ---------------------------------------------------------
+    def host(self, name: str) -> Host:
+        return self.hosts[name]
+
+    def hosts_in_site(self, site: str) -> List[Host]:
+        self._check_site(site)
+        return list(self._hosts_by_site[site])
+
+    def all_hosts(self) -> List[Host]:
+        """All hosts in deterministic (site, cluster, index) order."""
+        return [h for s in sorted(self.sites) for h in self._hosts_by_site[s]]
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self.hosts)
+
+    @property
+    def n_cores(self) -> int:
+        return sum(h.cores for h in self.hosts.values())
+
+    def same_site(self, a: Host, b: Host) -> bool:
+        return a.site == b.site
+
+    def base_rtt_ms(self, a: Host, b: Host) -> float:
+        """Unperturbed round-trip time between two hosts in ms."""
+        if a.site == b.site:
+            return 0.0 if a.name == b.name else self.lan_rtt_ms
+        key = self._key(a.site, b.site)
+        try:
+            return self._rtt[key]
+        except KeyError:
+            raise KeyError(f"no RTT defined between {a.site} and {b.site}") from None
+
+    def site_rtt_ms(self, a: str, b: str) -> float:
+        if a == b:
+            return self.lan_rtt_ms
+        return self._rtt[self._key(a, b)]
+
+    def bandwidth_bps(self, a: Host, b: Host) -> float:
+        """Bottleneck bandwidth of the a->b path in bit/s."""
+        if a.name == b.name:
+            return float("inf")
+        if a.site == b.site:
+            return self.lan_bw_bps
+        wan = self._bw.get(self._key(a.site, b.site), self.default_wan_bw_bps)
+        # A WAN flow still traverses both LANs.
+        return min(self.lan_bw_bps, wan)
+
+    def link_key(self, a: Host, b: Host) -> Tuple[str, str]:
+        """Canonical contention-domain key for the a<->b path."""
+        if a.site == b.site:
+            return (a.site, a.site)
+        return self._key(a.site, b.site)
+
+    def summary(self) -> str:
+        lines = [f"{len(self.sites)} sites, {self.n_hosts} hosts, {self.n_cores} cores"]
+        for name in sorted(self.sites):
+            site = self.sites[name]
+            lines.append(f"  {name}: {site.n_hosts} hosts / {site.n_cores} cores")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Topology sites={len(self.sites)} hosts={self.n_hosts}>"

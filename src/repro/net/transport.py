@@ -1,0 +1,200 @@
+"""Message transport between simulated hosts.
+
+Every host that registers with the :class:`Network` gets a FIFO inbox
+(:class:`~repro.sim.resources.FilterStore` so receivers can match on
+port/tag).  ``send`` computes the delivery time from the latency model,
+the payload size and the bandwidth allocator, then schedules delivery
+into the destination inbox.  Failed (dead) hosts silently drop traffic,
+which is exactly what a crashed MPD does from the sender's viewpoint —
+the reservation protocol's timeouts are what detect it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Dict, Optional
+
+from repro.net.bandwidth import BandwidthAllocator
+from repro.net.latency import LatencyModel
+from repro.net.topology import Host, Topology
+from repro.sim.core import Simulator
+from repro.sim.resources import FilterStore
+
+__all__ = ["Message", "Network"]
+
+#: Fixed per-message software overhead in seconds (marshalling, syscall).
+DEFAULT_SW_OVERHEAD_S = 20e-6
+
+
+@dataclass
+class Message:
+    """A delivered network message.
+
+    Attributes
+    ----------
+    src, dst:
+        Host names.
+    port:
+        Logical service name at the destination (``"mpd"``, ``"rs"``,
+        ``"mpi:<job>:<slot>"`` ...).
+    kind:
+        Message type tag (protocol-specific).
+    payload:
+        Arbitrary picklable-equivalent content.
+    size_bytes:
+        Wire size used for the bandwidth term.
+    sent_at / delivered_at:
+        Simulation timestamps.
+    """
+
+    src: str
+    dst: str
+    port: str
+    kind: str
+    payload: Any = None
+    size_bytes: int = 0
+    sent_at: float = 0.0
+    delivered_at: float = 0.0
+    msg_id: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Message #{self.msg_id} {self.kind} {self.src}->{self.dst}"
+                f":{self.port} {self.size_bytes}B>")
+
+
+class Network:
+    """Delivers messages between registered host inboxes.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    topology:
+        Static site/host/link description.
+    latency:
+        Latency model; if omitted a noiseless model on the simulator's
+        ``net.latency`` stream is built.
+    sw_overhead_s:
+        Fixed per-message software overhead.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        latency: Optional[LatencyModel] = None,
+        sw_overhead_s: float = DEFAULT_SW_OVERHEAD_S,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.latency = latency or LatencyModel(
+            topology, sim.rng.stream("net.latency"), noise_sigma_ms=0.0
+        )
+        self.bandwidth = BandwidthAllocator(topology)
+        self.sw_overhead_s = sw_overhead_s
+        self._inboxes: Dict[str, FilterStore] = {}
+        self._down: Dict[str, bool] = {}
+        self._msg_ids = count(1)
+        #: Delivered-message counter (diagnostics).
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # -- membership -----------------------------------------------------
+    def register(self, host_name: str) -> FilterStore:
+        """Create (or return) the inbox for ``host_name``."""
+        if host_name not in self.topology.hosts:
+            raise KeyError(f"unknown host {host_name!r}")
+        inbox = self._inboxes.get(host_name)
+        if inbox is None:
+            inbox = FilterStore(self.sim, name=f"inbox:{host_name}")
+            self._inboxes[host_name] = inbox
+            self._down[host_name] = False
+        return inbox
+
+    def inbox(self, host_name: str) -> FilterStore:
+        return self._inboxes[host_name]
+
+    def set_down(self, host_name: str, down: bool = True) -> None:
+        """Mark a host dead (drops all traffic to it) or alive again."""
+        if host_name not in self._inboxes:
+            raise KeyError(f"host {host_name!r} never registered")
+        self._down[host_name] = down
+
+    def is_down(self, host_name: str) -> bool:
+        return self._down.get(host_name, False)
+
+    # -- sending -----------------------------------------------------------
+    def transfer_time_s(self, src: Host, dst: Host, size_bytes: int) -> float:
+        """Latency + serialization time for one message, with contention."""
+        delay = self.latency.one_way_delay_s(src, dst) + self.sw_overhead_s
+        if size_bytes > 0 and src.name != dst.name:
+            bw = self.bandwidth.effective_bandwidth_bps(src, dst)
+            delay += size_bytes * 8.0 / bw
+        return delay
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        port: str,
+        kind: str,
+        payload: Any = None,
+        size_bytes: int = 0,
+    ) -> Message:
+        """Fire-and-forget message; returns the (scheduled) message.
+
+        Delivery is silently dropped if the destination is down or was
+        never registered — like TCP connect timeouts to a dead peer,
+        the *caller's* protocol timeout is the detection mechanism.
+        """
+        src_host = self.topology.host(src)
+        dst_host = self.topology.host(dst)
+        msg = Message(
+            src=src,
+            dst=dst,
+            port=port,
+            kind=kind,
+            payload=payload,
+            size_bytes=size_bytes,
+            sent_at=self.sim.now,
+            msg_id=next(self._msg_ids),
+        )
+        if self._down.get(src, False):
+            # A dead host cannot send either.
+            self.messages_dropped += 1
+            return msg
+        inbox = self._inboxes.get(dst)
+        if inbox is None or self._down.get(dst, False):
+            self.messages_dropped += 1
+            return msg
+
+        delay = self.transfer_time_s(src_host, dst_host, size_bytes)
+        uses_bw = size_bytes > 0 and src != dst
+        if uses_bw:
+            self.bandwidth.acquire(src_host, dst_host)
+
+        def _deliver(_event) -> None:
+            if uses_bw:
+                self.bandwidth.release(src_host, dst_host)
+            if self._down.get(dst, False):
+                self.messages_dropped += 1
+                return
+            msg.delivered_at = self.sim.now
+            self.messages_delivered += 1
+            inbox.put(msg)
+
+        evt = self.sim.event(name=f"deliver:{msg.msg_id}")
+        evt.callbacks.append(_deliver)
+        evt.succeed(delay=delay)
+        return msg
+
+    # -- receiving helpers ---------------------------------------------------
+    def receive(self, host_name: str, port: str, kind: Optional[str] = None):
+        """Event yielding the next message for ``port`` (and ``kind``)."""
+        inbox = self._inboxes[host_name]
+
+        def match(msg: Message) -> bool:
+            return msg.port == port and (kind is None or msg.kind == kind)
+
+        return inbox.get(match)

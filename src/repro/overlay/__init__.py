@@ -1,0 +1,33 @@
+"""P2P overlay: supernode registry, MPD membership, latency caches.
+
+This is the JXTA-replacement infrastructure §3.2 describes: a
+*supernode* is the bootstrap entry point maintaining the host list;
+each peer's *MPD* joins on ``mpiboot``, keeps a cached copy of the host
+list, measures application-level latency to cached peers, and sends
+periodic alive signals.
+"""
+
+from repro.overlay.messages import (
+    MPD_PORT,
+    RS_PORT,
+    SUPERNODE_PORT,
+    Ports,
+)
+from repro.overlay.supernode import Supernode, PeerRecord
+from repro.overlay.cache import CacheEntry, PeerCache
+from repro.overlay.peer import PeerDaemon
+from repro.overlay.churn import ChurnInjector, FailureEvent
+
+__all__ = [
+    "MPD_PORT",
+    "RS_PORT",
+    "SUPERNODE_PORT",
+    "Ports",
+    "Supernode",
+    "PeerRecord",
+    "CacheEntry",
+    "PeerCache",
+    "PeerDaemon",
+    "ChurnInjector",
+    "FailureEvent",
+]

@@ -1,0 +1,125 @@
+"""The MPD's cached host list with latency values (§4.1).
+
+"Each MPD maintains a local cache of the supernode host list, called
+cached list ... To each host in the cache list is associated a network
+latency value."  The booking step sorts this cache by ascending
+latency (§4.2 step 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.net.latency import LatencyEstimate
+from repro.net.topology import Host
+
+__all__ = ["CacheEntry", "PeerCache"]
+
+
+@dataclass
+class CacheEntry:
+    """One cached peer."""
+
+    host: Host
+    latency_ms: Optional[float] = None
+    n_samples: int = 0
+    last_update: float = 0.0
+    dead: bool = False
+
+    @property
+    def measured(self) -> bool:
+        return self.latency_ms is not None
+
+
+class PeerCache:
+    """Insertion-ordered peer cache with latency bookkeeping."""
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        self._entries: Dict[str, CacheEntry] = {}
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._entries.values() if not e.dead)
+
+    def __contains__(self, host_name: str) -> bool:
+        entry = self._entries.get(host_name)
+        return entry is not None and not entry.dead
+
+    # -- updates ------------------------------------------------------------
+    def add(self, host: Host) -> CacheEntry:
+        """Insert or revive a peer; keeps existing measurements."""
+        entry = self._entries.get(host.name)
+        if entry is None:
+            entry = CacheEntry(host=host)
+            self._entries[host.name] = entry
+        entry.dead = False
+        return entry
+
+    def merge(self, hosts: Iterable[Host]) -> int:
+        """Add many peers; returns the number of new entries."""
+        added = 0
+        for host in hosts:
+            if host.name not in self._entries:
+                added += 1
+            self.add(host)
+        return added
+
+    def set_latency(self, host_name: str, estimate: LatencyEstimate,
+                    now: float) -> None:
+        entry = self._entries[host_name]
+        entry.latency_ms = estimate.value_ms
+        entry.n_samples += estimate.n_samples
+        entry.last_update = now
+
+    def fold_latency(self, host_name: str, sample_ms: float, now: float,
+                     ewma_alpha: Optional[float] = None) -> float:
+        """Fold one new probe into the cached value.
+
+        With ``ewma_alpha`` the cache keeps an exponential moving
+        average across ping rounds (the paper's future-work smoothing);
+        without it the newest sample replaces the old value (the
+        published behaviour: the cache holds the last measurement).
+        """
+        entry = self._entries[host_name]
+        if entry.latency_ms is None or ewma_alpha is None:
+            entry.latency_ms = sample_ms
+        else:
+            entry.latency_ms += ewma_alpha * (sample_ms - entry.latency_ms)
+        entry.n_samples += 1
+        entry.last_update = now
+        return entry.latency_ms
+
+    def mark_dead(self, host_name: str) -> None:
+        entry = self._entries.get(host_name)
+        if entry is not None:
+            entry.dead = True
+
+    def drop_dead(self) -> List[str]:
+        """Remove dead entries entirely; returns their names."""
+        dead = [name for name, e in self._entries.items() if e.dead]
+        for name in dead:
+            del self._entries[name]
+        return dead
+
+    # -- queries -----------------------------------------------------------
+    def entry(self, host_name: str) -> CacheEntry:
+        return self._entries[host_name]
+
+    def live_entries(self) -> List[CacheEntry]:
+        return [e for e in self._entries.values() if not e.dead]
+
+    def unmeasured(self) -> List[CacheEntry]:
+        return [e for e in self.live_entries() if not e.measured]
+
+    def sorted_by_latency(self) -> List[CacheEntry]:
+        """Live, measured entries by ascending latency (booking order).
+
+        Ties (extremely unlikely with continuous latencies) break by
+        host name for determinism.
+        """
+        measured = [e for e in self.live_entries() if e.measured]
+        return sorted(measured, key=lambda e: (e.latency_ms, e.host.name))
+
+    def hosts(self) -> List[Host]:
+        return [e.host for e in self.live_entries()]

@@ -1,0 +1,99 @@
+"""Failure/churn injection.
+
+Grid failures are "far more frequent than on supercomputers" (§3.2) —
+this module schedules host crashes (and optional revivals) so the
+fault-tolerance layer and the reservation timeouts can be exercised
+deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.net.transport import Network
+from repro.sim.core import Simulator
+
+__all__ = ["FailureEvent", "ChurnInjector"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scheduled state change."""
+
+    time: float
+    host_name: str
+    down: bool  # True = crash, False = revive
+
+
+class ChurnInjector:
+    """Applies a deterministic schedule of host crashes/revivals.
+
+    Parameters
+    ----------
+    sim, network:
+        Substrate; crashes are applied via ``network.set_down``.
+    on_change:
+        Optional hook ``(host_name, down) -> None`` so higher layers
+        (MPD tables, gatekeeper) can react.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        on_change: Optional[Callable[[str, bool], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.on_change = on_change
+        self.applied: List[FailureEvent] = []
+
+    # -- schedule construction ---------------------------------------------
+    @staticmethod
+    def poisson_schedule(
+        hosts: Sequence[str],
+        rate_per_host_s: float,
+        horizon_s: float,
+        rng: np.random.Generator,
+        revive_after_s: Optional[float] = None,
+    ) -> List[FailureEvent]:
+        """Independent exponential time-to-failure per host."""
+        events: List[FailureEvent] = []
+        for name in hosts:
+            t = float(rng.exponential(1.0 / rate_per_host_s))
+            if t < horizon_s:
+                events.append(FailureEvent(t, name, True))
+                if revive_after_s is not None and t + revive_after_s < horizon_s:
+                    events.append(FailureEvent(t + revive_after_s, name, False))
+        events.sort(key=lambda e: (e.time, e.host_name))
+        return events
+
+    @staticmethod
+    def kill_at(times_hosts: Sequence[tuple]) -> List[FailureEvent]:
+        """Explicit schedule: iterable of ``(time, host_name)``."""
+        return sorted(
+            (FailureEvent(t, h, True) for t, h in times_hosts),
+            key=lambda e: (e.time, e.host_name),
+        )
+
+    # -- execution ------------------------------------------------------------
+    def run(self, schedule: Sequence[FailureEvent]) -> Generator:
+        """Process body applying the schedule in order."""
+        last = 0.0
+        for event in schedule:
+            if event.time < last:
+                raise ValueError("schedule must be time-sorted")
+            if event.time > self.sim.now:
+                yield self.sim.timeout(event.time - self.sim.now)
+            last = event.time
+            self.network.set_down(event.host_name, event.down)
+            self.applied.append(event)
+            if self.on_change is not None:
+                self.on_change(event.host_name, event.down)
+
+    def start(self, schedule: Sequence[FailureEvent]):
+        """Spawn the injector as a simulation process."""
+        return self.sim.process(self.run(schedule))

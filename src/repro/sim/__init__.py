@@ -1,0 +1,61 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the substrate on which every other ``repro`` subsystem
+runs: the P2P overlay, the reservation middleware, the MPJ-like
+communication library and the application models are all simulated
+processes scheduled by :class:`~repro.sim.core.Simulator`.
+
+The kernel is intentionally SimPy-like (generator-based processes that
+``yield`` events) because that idiom maps naturally onto protocol code:
+an MPD daemon is a generator that waits on its mailbox, a ping probe is
+a generator that sleeps and samples, an MPI collective is a generator
+that waits on partner sends.  Unlike SimPy we guarantee *bit-for-bit
+determinism* given a seed: the event queue breaks time ties by insertion
+sequence and all randomness flows through :mod:`repro.sim.rng` named
+streams.
+
+Public API
+----------
+:class:`Simulator`
+    The event loop; owns the clock and the queue.
+:class:`Event`, :class:`Timeout`, :class:`Process`
+    Waitable primitives.
+:class:`AnyOf`, :class:`AllOf`
+    Condition events over several waitables.
+:class:`Interrupt`
+    Exception injected into an interrupted process.
+:class:`Store`, :class:`FilterStore`, :class:`PriorityStore`
+    FIFO / predicate / priority mailboxes.
+:class:`Resource`
+    Counted resource with FIFO queueing.
+:class:`RngRegistry`
+    Named deterministic random streams.
+:class:`Monitor`
+    Time-series / counter recorder used by experiments.
+"""
+
+from repro.sim.core import Simulator, SimulationError, StopSimulation
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Interrupt, Process
+from repro.sim.resources import FilterStore, PriorityStore, Resource, Store
+from repro.sim.rng import RngRegistry
+from repro.sim.monitor import Monitor, TraceRecord
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "StopSimulation",
+    "Event",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "Process",
+    "Interrupt",
+    "Store",
+    "FilterStore",
+    "PriorityStore",
+    "Resource",
+    "RngRegistry",
+    "Monitor",
+    "TraceRecord",
+]

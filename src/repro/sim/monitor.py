@@ -1,0 +1,104 @@
+"""Measurement collection for simulation experiments.
+
+A :class:`Monitor` is a lightweight append-only recorder of
+``(time, key, value)`` samples plus named counters.  Experiment drivers
+attach one monitor per run and the report layer turns it into the
+paper-style series (hosts per site, cores per site, execution times).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["TraceRecord", "Monitor"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One recorded sample."""
+
+    time: float
+    key: str
+    value: Any
+    tags: Tuple[Tuple[str, Any], ...] = ()
+
+    def tag(self, name: str, default: Any = None) -> Any:
+        for key, val in self.tags:
+            if key == name:
+                return val
+        return default
+
+
+@dataclass
+class Monitor:
+    """Sample and counter recorder.
+
+    Examples
+    --------
+    >>> mon = Monitor()
+    >>> mon.record(0.0, "alloc.host", "grelon-1", site="nancy")
+    >>> mon.count("alloc.cores", 4)
+    >>> mon.counters["alloc.cores"]
+    4
+    """
+
+    records: List[TraceRecord] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+
+    def record(self, time: float, key: str, value: Any, **tags: Any) -> None:
+        self.records.append(TraceRecord(time, key, value, tuple(sorted(tags.items()))))
+
+    def count(self, key: str, increment: float = 1) -> None:
+        self.counters[key] += increment
+
+    # -- queries -------------------------------------------------------------
+    def select(self, key: str, **tags: Any) -> List[TraceRecord]:
+        """Records matching ``key`` and every given tag value."""
+        out = []
+        for rec in self.records:
+            if rec.key != key:
+                continue
+            if all(rec.tag(name) == want for name, want in tags.items()):
+                out.append(rec)
+        return out
+
+    def values(self, key: str, **tags: Any) -> List[Any]:
+        return [rec.value for rec in self.select(key, **tags)]
+
+    def series(self, key: str, **tags: Any) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, values) arrays for a numeric-valued key."""
+        recs = self.select(key, **tags)
+        times = np.array([r.time for r in recs], dtype=float)
+        vals = np.array([r.value for r in recs], dtype=float)
+        return times, vals
+
+    def group_count(self, key: str, tag: str) -> Dict[Any, int]:
+        """Histogram of a tag's values over records of ``key``."""
+        out: Dict[Any, int] = defaultdict(int)
+        for rec in self.select(key):
+            out[rec.tag(tag)] += 1
+        return dict(out)
+
+    def group_sum(self, key: str, tag: str) -> Dict[Any, float]:
+        """Sum of record values grouped by a tag."""
+        out: Dict[Any, float] = defaultdict(float)
+        for rec in self.select(key):
+            out[rec.tag(tag)] += float(rec.value)
+        return dict(out)
+
+    def merge(self, other: "Monitor") -> "Monitor":
+        """Return a new monitor containing both runs' data."""
+        merged = Monitor(records=list(self.records) + list(other.records))
+        for key, val in self.counters.items():
+            merged.counters[key] += val
+        for key, val in other.counters.items():
+            merged.counters[key] += val
+        return merged
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.counters.clear()

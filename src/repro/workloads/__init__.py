@@ -1,0 +1,20 @@
+"""Synthetic multi-user workload generation and queueing experiments.
+
+The paper evaluates one job at a time; a real P2P grid serves a *stream*
+of submissions from many users.  This package generates deterministic
+job streams (Poisson arrivals, configurable size/strategy mixes) and
+replays them against a cluster, measuring what a middleware operator
+would: acceptance rate, booking retries, reservation latency and host
+utilisation.
+"""
+
+from repro.workloads.generator import JobMix, WorkloadSpec, generate_stream
+from repro.workloads.replay import ReplayStats, replay_stream
+
+__all__ = [
+    "JobMix",
+    "WorkloadSpec",
+    "generate_stream",
+    "ReplayStats",
+    "replay_stream",
+]

@@ -1,0 +1,105 @@
+"""Deterministic synthetic job streams.
+
+A :class:`WorkloadSpec` turns a seed into a reproducible list of
+:class:`TimedJob` submissions: exponential inter-arrival times, a
+categorical mix of job shapes, and a submitter chosen per job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.middleware.jobs import JobRequest
+
+__all__ = ["JobMix", "WorkloadSpec", "TimedJob", "generate_stream"]
+
+
+@dataclass(frozen=True)
+class JobMix:
+    """One job shape with a sampling weight.
+
+    ``app`` is an optional application model attached to every job of
+    this shape (its modelled duration is what makes jobs *overlap* in
+    time, creating real gatekeeper contention).
+    """
+
+    n: int
+    r: int = 1
+    strategy: str = "spread"
+    weight: float = 1.0
+    app: object = None
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.r < 1:
+            raise ValueError("n and r must be >= 1")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+
+
+@dataclass(frozen=True)
+class TimedJob:
+    """A submission with its arrival time and origin."""
+
+    at_s: float
+    submitter: str
+    request: JobRequest
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Stream parameters.
+
+    Attributes
+    ----------
+    arrival_rate_per_s:
+        Mean job arrival rate (Poisson process).
+    horizon_s:
+        Generation stops at this simulated time.
+    mixes:
+        Candidate job shapes with weights.
+    submitters:
+        Hosts jobs originate from (uniform choice).
+    max_jobs:
+        Hard cap regardless of horizon.
+    """
+
+    arrival_rate_per_s: float
+    horizon_s: float
+    mixes: Tuple[JobMix, ...]
+    submitters: Tuple[str, ...]
+    max_jobs: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate_per_s <= 0:
+            raise ValueError("arrival_rate_per_s must be positive")
+        if self.horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if not self.mixes:
+            raise ValueError("need at least one job mix")
+        if not self.submitters:
+            raise ValueError("need at least one submitter")
+
+
+def generate_stream(spec: WorkloadSpec,
+                    rng: np.random.Generator) -> List[TimedJob]:
+    """Sample a deterministic job stream from ``spec``."""
+    weights = np.array([m.weight for m in spec.mixes], dtype=float)
+    weights /= weights.sum()
+    jobs: List[TimedJob] = []
+    t = 0.0
+    while len(jobs) < spec.max_jobs:
+        t += float(rng.exponential(1.0 / spec.arrival_rate_per_s))
+        if t >= spec.horizon_s:
+            break
+        mix = spec.mixes[int(rng.choice(len(spec.mixes), p=weights))]
+        submitter = spec.submitters[int(rng.integers(len(spec.submitters)))]
+        jobs.append(TimedJob(
+            at_s=t,
+            submitter=submitter,
+            request=JobRequest(n=mix.n, r=mix.r, strategy=mix.strategy,
+                               app=mix.app, tag=f"wl-{len(jobs)}"),
+        ))
+    return jobs

@@ -1,0 +1,129 @@
+"""Site-affine and auto strategies (future-work extensions)."""
+
+import pytest
+
+from repro.alloc import (
+    AutoStrategy,
+    ConcentrateStrategy,
+    ReservedHost,
+    SiteAffineStrategy,
+    SpreadStrategy,
+    build_plan,
+    choose_strategy_for_app,
+    get_strategy,
+)
+from repro.net.topology import Host
+
+
+def rh(i, p, site="s"):
+    return ReservedHost(Host(f"h{i}.{site}", site, "c", cores=p), p_limit=p,
+                        latency_ms=float(i))
+
+
+class TestSiteAffine:
+    def test_packs_local_then_spreads(self):
+        # 2 local quad-cores + 4 remote duals, n=12.
+        caps = [4, 4, 2, 2, 2, 2]
+        u = SiteAffineStrategy(local_hosts=2).distribute(caps, 12, 1)
+        assert u[:2] == [4, 4]              # local packed
+        assert u[2:] == [1, 1, 1, 1]        # remainder spread
+
+    def test_all_local_fits(self):
+        u = SiteAffineStrategy(local_hosts=3).distribute([4, 4, 4], 8, 1)
+        assert u == [4, 4, 0]
+
+    def test_no_local_is_pure_spread(self):
+        caps = [2, 2, 2, 2]
+        affine = SiteAffineStrategy(local_hosts=0).distribute(caps, 6, 1)
+        spread = SpreadStrategy().distribute(caps, 6, 1)
+        assert affine == spread
+
+    def test_all_local_is_pure_concentrate(self):
+        caps = [2, 2, 2, 2]
+        affine = SiteAffineStrategy(local_hosts=4).distribute(caps, 6, 1)
+        conc = ConcentrateStrategy().distribute(caps, 6, 1)
+        assert affine == conc
+
+    def test_exhaustion_raises(self):
+        with pytest.raises(Exception):
+            SiteAffineStrategy(local_hosts=1).distribute([1, 1], 5, 1)
+
+    def test_negative_local_rejected(self):
+        with pytest.raises(ValueError):
+            SiteAffineStrategy(local_hosts=-1)
+
+    def test_registered(self):
+        strat = get_strategy("site-affine", local_hosts=2)
+        assert isinstance(strat, SiteAffineStrategy)
+
+    def test_plan_valid_with_replication(self):
+        slist = [rh(i, 4) for i in range(4)]
+        plan = build_plan(SiteAffineStrategy(local_hosts=2), slist, n=4, r=2)
+        plan.validate()
+
+
+class TestAuto:
+    def test_comm_bound_chooses_concentrate(self):
+        assert choose_strategy_for_app(2.0, beta=0.3) == "concentrate"
+
+    def test_compute_bound_chooses_spread(self):
+        assert choose_strategy_for_app(0.05, beta=0.15) == "spread"
+
+    def test_delegation_matches_choice(self):
+        caps = [4, 4, 4]
+        auto_c = AutoStrategy(comm_compute_ratio=3.0)
+        assert auto_c.chosen == "concentrate"
+        assert (auto_c.distribute(caps, 6, 1)
+                == ConcentrateStrategy().distribute(caps, 6, 1))
+        auto_s = AutoStrategy(comm_compute_ratio=0.01)
+        assert auto_s.chosen == "spread"
+        assert (auto_s.distribute(caps, 6, 1)
+                == SpreadStrategy().distribute(caps, 6, 1))
+
+    def test_invalid_profile(self):
+        with pytest.raises(ValueError):
+            AutoStrategy(comm_compute_ratio=-1)
+
+    def test_registered(self):
+        strat = get_strategy("auto", comm_compute_ratio=5.0)
+        assert strat.chosen == "concentrate"
+
+
+class TestAppProfiles:
+    """The auto rule encodes §5.2: IS -> concentrate, EP -> spread."""
+
+    def test_is_profile_selects_concentrate(self, small_topology):
+        """At the paper's scales (n >= 64) IS is communication bound."""
+        from repro.apps import AppEnv, ISBenchmark
+        from repro.mpi.costmodel import CostParams
+
+        env = AppEnv(topology=small_topology,
+                     cost_params=CostParams(msg_fixed_s=3.5e-3))
+        hosts = (small_topology.all_hosts() * 7)[:64]
+        ratio = ISBenchmark("B").comm_compute_ratio(hosts, 64, env)
+        assert choose_strategy_for_app(ratio, 0.25) == "concentrate"
+
+    def test_ep_profile_selects_spread(self, small_topology):
+        from repro.apps import AppEnv, EPBenchmark
+        from repro.mpi.costmodel import CostParams
+
+        env = AppEnv(topology=small_topology,
+                     cost_params=CostParams(msg_fixed_small_s=3e-4))
+        hosts = [h for h in small_topology.all_hosts()][:8]
+        ratio = EPBenchmark("B").comm_compute_ratio(hosts, 8, env)
+        assert choose_strategy_for_app(ratio, 0.15) == "spread"
+
+
+class TestMiddlewareIntegration:
+    def test_site_affine_via_middleware(self, small_cluster):
+        from repro.middleware.jobs import JobRequest, JobStatus
+
+        res = small_cluster.submit_and_run(
+            JobRequest(n=18, strategy="site-affine"))
+        assert res.status is JobStatus.SUCCESS
+        # alpha (submitter site, 4x4 cores) packed first.
+        assert res.allocation.cores_by_site()["alpha"] == 16
+        # Remainder spread one-per-host beyond the site.
+        remote = {s: c for s, c in res.allocation.cores_by_site().items()
+                  if s != "alpha"}
+        assert sum(remote.values()) == 2

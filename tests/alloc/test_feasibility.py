@@ -1,0 +1,71 @@
+"""Feasibility conditions (a) and (b) of §4.2 step 6."""
+
+import pytest
+
+from repro.alloc import (
+    InfeasibleAllocation,
+    ReservedHost,
+    capacities,
+    check_feasible,
+    is_feasible,
+)
+from repro.net.topology import Host
+
+
+def rh(i: int, p: int) -> ReservedHost:
+    return ReservedHost(Host(f"h{i}.s", "s", "c", cores=p), p_limit=p)
+
+
+class TestCapacities:
+    def test_c_is_min_p_n(self):
+        slist = [rh(0, 2), rh(1, 10)]
+        assert capacities(slist, n=4) == [2, 4]
+
+    def test_paper_rationale_p_greater_than_n(self):
+        """P > n must clamp: two copies of a rank would share the host."""
+        assert capacities([rh(0, 100)], n=3) == [3]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            capacities([rh(0, 1)], n=0)
+
+
+class TestConditions:
+    def test_feasible(self):
+        ok, reason = is_feasible([rh(0, 4), rh(1, 4)], n=6, r=1)
+        assert ok and reason == "feasible"
+
+    def test_condition_a_fails(self):
+        ok, reason = is_feasible([rh(0, 8)], n=2, r=2)
+        assert not ok and "(a)" in reason
+
+    def test_condition_b_fails(self):
+        ok, reason = is_feasible([rh(0, 1), rh(1, 1)], n=3, r=1)
+        assert not ok and "(b)" in reason
+
+    def test_condition_b_counts_clamped_capacity(self):
+        # Three hosts, P = [10, 1, 1], n=3, r=2: sum c = 3+1+1 = 5 < 6
+        # even though raw P sums to 12 — the min(P, n) clamp binds.
+        ok, reason = is_feasible([rh(0, 10), rh(1, 1), rh(2, 1)], n=3, r=2)
+        assert not ok and "(b)" in reason
+
+    def test_exact_boundary_feasible(self):
+        ok, _ = is_feasible([rh(0, 2), rh(1, 2)], n=2, r=2)
+        assert ok
+
+    def test_check_raises(self):
+        with pytest.raises(InfeasibleAllocation):
+            check_feasible([], n=1, r=1)
+
+    def test_invalid_r(self):
+        with pytest.raises(ValueError):
+            is_feasible([rh(0, 1)], n=1, r=0)
+
+    def test_replication_example_from_paper(self):
+        """p2pmpirun -n 3 -r 2 needs at least two hosts (§3.2)."""
+        one_host = [rh(0, 6)]
+        ok, reason = is_feasible(one_host, n=3, r=2)
+        assert not ok
+        two_hosts = [rh(0, 3), rh(1, 3)]
+        ok, _ = is_feasible(two_hosts, n=3, r=2)
+        assert ok

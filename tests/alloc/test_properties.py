@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) for the §4.3 invariants.
+
+The paper claims, implicitly or explicitly:
+
+* a strategy maps exactly ``n*r`` processes, never beyond host
+  capacities (``u_i <= c_i``);
+* concentrate uses the shortest possible prefix of ``slist``;
+* spread's per-host loads differ by at most 1 among hosts that still
+  had headroom;
+* cyclic rank assignment never places two copies of a rank on a host
+  and gives every rank exactly ``r`` copies;
+* block(1) == spread and block(max) == concentrate.
+"""
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc import (
+    BlockStrategy,
+    ConcentrateStrategy,
+    ReservedHost,
+    SpreadStrategy,
+    assign_ranks,
+    build_plan,
+    capacities as capacity_vector,
+    is_feasible,
+)
+from repro.net.topology import Host
+
+
+def make_slist(p_limits):
+    return [
+        ReservedHost(Host(f"h{i}.s", "s", "c", cores=p), p_limit=p,
+                     latency_ms=float(i))
+        for i, p in enumerate(p_limits)
+    ]
+
+
+# A feasible (slist, n, r) triple generator.
+feasible_cases = st.integers(1, 12).flatmap(
+    lambda n: st.integers(1, 3).flatmap(
+        lambda r: st.lists(st.integers(1, 8), min_size=r, max_size=20)
+        .map(lambda ps: (ps, n, r))
+        .filter(lambda case: sum(min(p, case[1]) for p in case[0])
+                >= case[1] * case[2])
+    )
+)
+
+strategy_instances = st.sampled_from([
+    SpreadStrategy(),
+    ConcentrateStrategy(),
+    BlockStrategy(block=1),
+    BlockStrategy(block=2),
+    BlockStrategy(block=5),
+])
+
+
+@given(case=feasible_cases, strategy=strategy_instances)
+@settings(max_examples=200, deadline=None)
+def test_distribution_invariants(case, strategy):
+    p_limits, n, r = case
+    slist = make_slist(p_limits)
+    caps = capacity_vector(slist, n)
+    usage = strategy.distribute(caps, n, r)
+    assert len(usage) == len(slist)
+    assert sum(usage) == n * r
+    assert all(0 <= u <= c for u, c in zip(usage, caps))
+
+
+@given(case=feasible_cases)
+@settings(max_examples=200, deadline=None)
+def test_concentrate_uses_shortest_prefix(case):
+    p_limits, n, r = case
+    slist = make_slist(p_limits)
+    caps = capacity_vector(slist, n)
+    usage = ConcentrateStrategy().distribute(caps, n, r)
+    # Once a host is not filled to capacity, every later host is empty.
+    seen_partial = False
+    for u, c in zip(usage, caps):
+        if seen_partial:
+            assert u == 0
+        if u < c:
+            seen_partial = True
+
+
+@given(case=feasible_cases)
+@settings(max_examples=200, deadline=None)
+def test_spread_is_balanced(case):
+    p_limits, n, r = case
+    slist = make_slist(p_limits)
+    caps = capacity_vector(slist, n)
+    usage = SpreadStrategy().distribute(caps, n, r)
+    # Hosts below their capacity must be within 1 of the maximum load:
+    # round-robin never skips a host with headroom.
+    max_u = max(usage)
+    for u, c in zip(usage, caps):
+        if u < c:
+            assert u >= max_u - 1
+
+
+@given(case=feasible_cases, strategy=strategy_instances)
+@settings(max_examples=200, deadline=None)
+def test_rank_assignment_invariants(case, strategy):
+    p_limits, n, r = case
+    slist = make_slist(p_limits)
+    plan = build_plan(strategy, slist, n, r)
+    # Every rank exactly r copies.
+    per_rank = defaultdict(list)
+    for placement in plan.placements:
+        per_rank[placement.rank].append(placement)
+    assert set(per_rank) == set(range(n))
+    for rank, copies in per_rank.items():
+        assert len(copies) == r
+        hosts = [p.host.name for p in copies]
+        assert len(set(hosts)) == r, f"rank {rank} replicas collide"
+        assert sorted(p.replica for p in copies) == list(range(r))
+    # Cancelled = unused slist hosts.
+    used_names = {p.host.name for p in plan.placements}
+    for reserved, u in zip(plan.slist, plan.usage):
+        if u == 0:
+            assert reserved.host.name not in used_names
+            assert reserved in plan.cancelled
+
+
+@given(case=feasible_cases)
+@settings(max_examples=150, deadline=None)
+def test_block_degenerate_equivalences(case):
+    p_limits, n, r = case
+    slist = make_slist(p_limits)
+    caps = capacity_vector(slist, n)
+    assert (BlockStrategy(block=1).distribute(caps, n, r)
+            == SpreadStrategy().distribute(caps, n, r))
+    big = max(caps) if caps else 1
+    assert (BlockStrategy(block=big).distribute(caps, n, r)
+            == ConcentrateStrategy().distribute(caps, n, r))
+
+
+@given(
+    p_limits=st.lists(st.integers(1, 8), min_size=1, max_size=20),
+    n=st.integers(1, 12),
+    r=st.integers(1, 3),
+)
+@settings(max_examples=200, deadline=None)
+def test_feasibility_decision_is_sound(p_limits, n, r):
+    """is_feasible == True iff some assignment exists; strategies must
+    succeed exactly on feasible inputs."""
+    slist = make_slist(p_limits)
+    ok, _reason = is_feasible(slist, n, r)
+    if ok:
+        plan = build_plan(SpreadStrategy(), slist, n, r)
+        plan.validate()
+    else:
+        with pytest.raises(Exception):
+            build_plan(SpreadStrategy(), slist, n, r)

@@ -1,0 +1,114 @@
+"""Cyclic rank assignment and plan construction (§4.3)."""
+
+import pytest
+
+from repro.alloc import (
+    AllocationError,
+    ReservedHost,
+    assign_ranks,
+    build_plan,
+    get_strategy,
+)
+from repro.net.topology import Host
+
+
+def rh(i: int, p: int, site: str = "s") -> ReservedHost:
+    return ReservedHost(Host(f"h{i}.{site}", site, "c", cores=p),
+                        p_limit=p, latency_ms=float(i))
+
+
+class TestAssignRanks:
+    def test_cyclic_numbering(self):
+        slist = [rh(0, 3), rh(1, 3)]
+        placements = assign_ranks(slist, [3, 3], n=3, r=2)
+        assert [(p.rank, p.replica, p.host.name) for p in placements] == [
+            (0, 0, "h0.s"), (1, 0, "h0.s"), (2, 0, "h0.s"),
+            (0, 1, "h1.s"), (1, 1, "h1.s"), (2, 1, "h1.s"),
+        ]
+
+    def test_paper_example_n3_r2(self):
+        """§3.2: P0..P2 on H0, replicas on H1."""
+        slist = [rh(0, 3), rh(1, 3)]
+        placements = assign_ranks(slist, [3, 3], n=3, r=2)
+        h0_ranks = sorted(p.rank for p in placements if p.host.name == "h0.s")
+        h1_ranks = sorted(p.rank for p in placements if p.host.name == "h1.s")
+        assert h0_ranks == h1_ranks == [0, 1, 2]
+
+    def test_wrap_across_hosts(self):
+        slist = [rh(0, 2), rh(1, 2), rh(2, 2)]
+        placements = assign_ranks(slist, [2, 2, 2], n=3, r=2)
+        by_rank = {}
+        for p in placements:
+            by_rank.setdefault(p.rank, []).append(p.host.name)
+        for rank, hosts in by_rank.items():
+            assert len(hosts) == 2
+            assert len(set(hosts)) == 2, f"rank {rank} collided"
+
+    def test_total_mismatch_raises(self):
+        with pytest.raises(AllocationError):
+            assign_ranks([rh(0, 4)], [3], n=2, r=1)
+
+    def test_u_exceeding_n_raises(self):
+        with pytest.raises(AllocationError):
+            assign_ranks([rh(0, 10), rh(1, 10)], [6, 2], n=4, r=2)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(AllocationError):
+            assign_ranks([rh(0, 4)], [2, 2], n=4, r=1)
+
+
+class TestBuildPlan:
+    def test_cancelled_hosts_listed(self):
+        slist = [rh(i, 4) for i in range(4)]
+        plan = build_plan(get_strategy("concentrate"), slist, n=4, r=1)
+        assert plan.usage == [4, 0, 0, 0]
+        assert [r.host.name for r in plan.cancelled] == ["h1.s", "h2.s", "h3.s"]
+
+    def test_plan_validates(self):
+        slist = [rh(i, 2) for i in range(5)]
+        plan = build_plan(get_strategy("spread"), slist, n=6, r=1)
+        plan.validate()  # no raise
+
+    def test_infeasible_raises_before_strategy(self):
+        with pytest.raises(Exception) as exc:
+            build_plan(get_strategy("spread"), [rh(0, 1)], n=5, r=1)
+        assert "condition (b)" in str(exc.value)
+
+    def test_aggregations(self):
+        slist = [rh(0, 4, "x"), rh(1, 4, "x"), rh(2, 4, "y")]
+        plan = build_plan(get_strategy("concentrate"), slist, n=10, r=1)
+        assert plan.hosts_by_site() == {"x": 2, "y": 1}
+        assert plan.cores_by_site() == {"x": 8, "y": 2}
+        assert plan.total_processes == 10
+
+    def test_ranks_on_host(self):
+        slist = [rh(0, 4), rh(1, 4)]
+        plan = build_plan(get_strategy("concentrate"), slist, n=6, r=1)
+        assert plan.ranks_on_host("h0.s") == [0, 1, 2, 3]
+        assert plan.ranks_on_host("h1.s") == [4, 5]
+
+    def test_replicas_of_rank(self):
+        slist = [rh(0, 2), rh(1, 2), rh(2, 2)]
+        plan = build_plan(get_strategy("spread"), slist, n=3, r=2)
+        for rank in range(3):
+            copies = plan.replicas_of_rank(rank)
+            assert len(copies) == 2
+            assert len({p.host.name for p in copies}) == 2
+
+    def test_strategy_returning_bad_usage_caught(self):
+        from repro.alloc.base import Strategy
+
+        class Bogus(Strategy):
+            name = "bogus-test-only"
+
+            def distribute(self, capacities, n, r):
+                return [n * r]  # ignores other hosts, might exceed cap
+
+        slist = [rh(0, 2), rh(1, 2)]
+        with pytest.raises(AllocationError):
+            build_plan(Bogus(), slist, n=4, r=1)
+
+    def test_summary_mentions_strategy(self):
+        slist = [rh(0, 4)]
+        plan = build_plan(get_strategy("concentrate"), slist, n=2, r=1)
+        assert "concentrate" in plan.summary()

@@ -1,0 +1,121 @@
+"""Spread / concentrate / block distribution semantics (paper §4.3)."""
+
+import pytest
+
+from repro.alloc import (
+    AllocationError,
+    BlockStrategy,
+    ConcentrateStrategy,
+    SpreadStrategy,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+)
+from repro.alloc.base import Strategy
+
+
+class TestSpread:
+    def test_one_process_per_host_first_pass(self):
+        u = SpreadStrategy().distribute([4, 4, 4, 4], n=4, r=1)
+        assert u == [1, 1, 1, 1]
+
+    def test_round_robin_second_pass(self):
+        u = SpreadStrategy().distribute([4, 4, 4], n=5, r=1)
+        assert u == [2, 2, 1]
+
+    def test_respects_capacity(self):
+        u = SpreadStrategy().distribute([1, 1, 4], n=5, r=1)
+        assert u == [1, 1, 3]
+
+    def test_paper_stair_shape(self):
+        """More processes than hosts: closest hosts double up first."""
+        capacities = [4] * 10
+        u = SpreadStrategy().distribute(capacities, n=13, r=1)
+        assert u == [2, 2, 2, 1, 1, 1, 1, 1, 1, 1]
+
+    def test_capacity_exhaustion_raises(self):
+        with pytest.raises(AllocationError):
+            SpreadStrategy().distribute([1, 1], n=3, r=1)
+
+    def test_replication_multiplies_total(self):
+        u = SpreadStrategy().distribute([4, 4, 4], n=3, r=2)
+        assert sum(u) == 6
+
+
+class TestConcentrate:
+    def test_fills_first_host_first(self):
+        u = ConcentrateStrategy().distribute([4, 4, 4], n=6, r=1)
+        assert u == [4, 2, 0]
+
+    def test_exact_fit(self):
+        u = ConcentrateStrategy().distribute([4, 4], n=8, r=1)
+        assert u == [4, 4]
+
+    def test_single_host_enough(self):
+        u = ConcentrateStrategy().distribute([8, 8], n=4, r=1)
+        assert u == [4, 0]
+
+    def test_capacity_exhaustion_raises(self):
+        with pytest.raises(AllocationError):
+            ConcentrateStrategy().distribute([2, 2], n=5, r=1)
+
+    def test_prefers_low_latency_prefix(self):
+        """All processes land in the shortest prefix of slist."""
+        u = ConcentrateStrategy().distribute([2, 2, 2, 2, 2], n=6, r=1)
+        assert u == [2, 2, 2, 0, 0]
+
+
+class TestBlock:
+    def test_block_one_is_spread(self):
+        caps = [4, 2, 4, 1]
+        assert (BlockStrategy(block=1).distribute(caps, 7, 1)
+                == SpreadStrategy().distribute(caps, 7, 1))
+
+    def test_big_block_is_concentrate(self):
+        caps = [4, 2, 4, 1]
+        assert (BlockStrategy(block=99).distribute(caps, 7, 1)
+                == ConcentrateStrategy().distribute(caps, 7, 1))
+
+    def test_intermediate_block(self):
+        u = BlockStrategy(block=2).distribute([4, 4, 4], n=8, r=1)
+        assert u == [4, 2, 2]
+
+    def test_invalid_block(self):
+        with pytest.raises(ValueError):
+            BlockStrategy(block=0)
+
+    def test_exhaustion_raises(self):
+        with pytest.raises(AllocationError):
+            BlockStrategy(block=2).distribute([1], n=2, r=1)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"spread", "concentrate", "block"} <= set(available_strategies())
+
+    def test_get_strategy_with_kwargs(self):
+        strat = get_strategy("block", block=3)
+        assert strat.block == 3
+
+    def test_unknown_strategy(self):
+        with pytest.raises(KeyError, match="unknown strategy"):
+            get_strategy("nope")
+
+    def test_register_requires_name(self):
+        class Anonymous(Strategy):
+            name = ""
+
+            def distribute(self, capacities, n, r):  # pragma: no cover
+                return []
+
+        with pytest.raises(ValueError):
+            register_strategy(Anonymous)
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError):
+            @register_strategy
+            class Fake(Strategy):
+                name = "spread"
+
+                def distribute(self, capacities, n, r):  # pragma: no cover
+                    return []

@@ -1,0 +1,48 @@
+"""Machine model and contention factor."""
+
+import pytest
+
+from repro.apps.machine import MachineModel, contention_factor
+from repro.net.topology import Host
+
+
+def host(speed=1.0):
+    return Host("h.s", "s", "c", cores=4, speed=speed)
+
+
+class TestContention:
+    def test_single_process_no_penalty(self):
+        assert contention_factor(1, 0.5) == 1.0
+
+    def test_linear_growth(self):
+        assert contention_factor(4, 0.25) == pytest.approx(1.75)
+
+    def test_zero_beta(self):
+        assert contention_factor(8, 0.0) == 1.0
+
+    @pytest.mark.parametrize("colocated,beta", [(0, 0.1), (1, -0.1)])
+    def test_invalid_inputs(self, colocated, beta):
+        with pytest.raises(ValueError):
+            contention_factor(colocated, beta)
+
+
+class TestMachineModel:
+    def test_base_time(self):
+        mm = MachineModel()
+        assert mm.compute_time(host(), 1000, 0.001) == pytest.approx(1.0)
+
+    def test_speed_scales_inverse(self):
+        mm = MachineModel()
+        slow = mm.compute_time(host(speed=0.5), 100, 0.01)
+        fast = mm.compute_time(host(speed=2.0), 100, 0.01)
+        assert slow == pytest.approx(4 * fast)
+
+    def test_contention_applied(self):
+        mm = MachineModel()
+        alone = mm.compute_time(host(), 100, 0.01, colocated=1, beta=0.2)
+        packed = mm.compute_time(host(), 100, 0.01, colocated=4, beta=0.2)
+        assert packed == pytest.approx(alone * 1.6)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            MachineModel().compute_time(host(), -1, 0.01)

@@ -1,0 +1,178 @@
+"""Application models: EP, IS, CG, hostname — analytic behaviour."""
+
+import pytest
+
+from repro.alloc import ReservedHost, build_plan, get_strategy
+from repro.apps import (
+    AppEnv,
+    CGLikeBenchmark,
+    EPBenchmark,
+    HostnameApp,
+    ISBenchmark,
+)
+from repro.mpi.costmodel import CostParams
+from repro.net.topology import Host
+from tests.conftest import make_small_topology
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return make_small_topology()
+
+
+@pytest.fixture(scope="module")
+def env(topo):
+    return AppEnv(topology=topo, cost_params=CostParams(
+        msg_fixed_s=1e-3, msg_fixed_small_s=1e-4, eager_threshold_bytes=4096))
+
+
+def plan_on(topo, n, strategy="spread", sites=("alpha",), r=1):
+    hosts = [h for h in topo.all_hosts() if h.site in sites]
+    slist = [ReservedHost(h, p_limit=h.cores) for h in hosts]
+    return build_plan(get_strategy(strategy), slist, n=n, r=r)
+
+
+def plan_on_hosts(topo, names, n, strategy="spread", r=1):
+    slist = [ReservedHost(topo.host(name), p_limit=topo.host(name).cores)
+             for name in names]
+    return build_plan(get_strategy(strategy), slist, n=n, r=r)
+
+
+class TestHostname:
+    def test_durations_tiny(self, topo, env):
+        plan = plan_on(topo, 4)
+        times = HostnameApp(startup_s=0.01).predicted_rank_times(plan, env)
+        assert set(times) == {(r, 0) for r in range(4)}
+        assert all(t == pytest.approx(0.01) for t in times.values())
+
+    def test_negative_startup_rejected(self):
+        with pytest.raises(ValueError):
+            HostnameApp(startup_s=-1)
+
+
+class TestEP:
+    def test_class_sizes_ordered(self):
+        assert (EPBenchmark("A").pairs < EPBenchmark("B").pairs
+                < EPBenchmark("C").pairs)
+
+    def test_unknown_class(self):
+        with pytest.raises(ValueError):
+            EPBenchmark("Z")
+
+    def test_time_decreases_with_n(self, topo, env):
+        ep = EPBenchmark("A")
+        t4 = ep.predicted_rank_times(plan_on(topo, 4), env)[(0, 0)]
+        t8 = ep.predicted_rank_times(plan_on(topo, 8), env)[(0, 0)]
+        assert t8 < t4
+
+    def test_contention_penalises_concentrate(self, topo, env):
+        ep = EPBenchmark("A")
+        spread = ep.predicted_rank_times(plan_on(topo, 4, "spread"), env)
+        conc = ep.predicted_rank_times(plan_on(topo, 4, "concentrate"), env)
+        assert conc[(0, 0)] > spread[(0, 0)]
+
+    def test_all_ranks_same_duration(self, topo, env):
+        """Final collective synchronises: one duration per replica."""
+        times = EPBenchmark("A").predicted_rank_times(plan_on(topo, 6), env)
+        assert len(set(times.values())) == 1
+
+    def test_replicas_priced_separately(self, topo, env):
+        plan = plan_on(topo, 3, r=2, sites=("alpha", "beta"))
+        times = EPBenchmark("A").predicted_rank_times(plan, env)
+        assert set(times) == {(r, c) for r in range(3) for c in range(2)}
+
+
+class TestIS:
+    def test_comm_heavier_than_ep(self, topo, env):
+        """IS is communication bound: its comm share must exceed EP's."""
+        plan = plan_on(topo, 8, sites=("alpha", "beta"))
+        layout = env.costmodel.layout([p.host for p in plan.placements])
+        ep, isb = EPBenchmark("A"), ISBenchmark("A")
+        ep_ratio = ep.comm_time(layout, 8, env) / ep.rank_time(
+            plan.placements[0].host, 8, env, 1)
+        is_ratio = isb.comm_time(layout, 8, env) / isb.rank_time(
+            plan.placements[0].host, 8, env, 1)
+        assert is_ratio > ep_ratio
+
+    def test_wan_placement_slower(self, topo, env):
+        isb = ISBenchmark("A")
+        local = isb.predicted_rank_times(plan_on(topo, 4, "spread"), env)
+        remote = isb.predicted_rank_times(
+            plan_on_hosts(topo, ["a1-1.alpha", "a1-2.alpha",
+                                 "g1-1.gamma", "g1-2.gamma"], 4), env)
+        # gamma is 20 ms away; alltoallv over WAN must dominate
+        assert remote[(0, 0)] > local[(0, 0)]
+
+    def test_iterations_scale_time(self, topo, env):
+        short = ISBenchmark("A", iterations=2)
+        long = ISBenchmark("A", iterations=8)
+        plan = plan_on(topo, 4)
+        t_short = short.predicted_rank_times(plan, env)[(0, 0)]
+        t_long = long.predicted_rank_times(plan, env)[(0, 0)]
+        assert t_long == pytest.approx(4 * t_short, rel=0.05)
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            ISBenchmark("B", iterations=0)
+
+
+class TestCG:
+    def test_ring_neighbour_cost_visible(self, topo, env):
+        cg = CGLikeBenchmark("A")
+        local = cg.predicted_rank_times(plan_on(topo, 4, "spread"), env)
+        cross = cg.predicted_rank_times(
+            plan_on_hosts(topo, ["a1-1.alpha", "a1-2.alpha",
+                                 "g1-1.gamma", "g1-2.gamma"], 4), env)
+        assert cross[(0, 0)] > local[(0, 0)]
+
+    def test_unknown_class(self):
+        with pytest.raises(ValueError):
+            CGLikeBenchmark("Q")
+
+
+class TestMessagePrograms:
+    """The message-level programs of each app run and return real data."""
+
+    def run_program(self, topo, app, n=4):
+        from repro.mpi import MPIWorld
+        from repro.net.transport import Network
+        from repro.sim import Simulator
+
+        sim = Simulator(seed=1)
+        net = Network(sim, topo)
+        hosts = [h for h in topo.all_hosts() if h.site == "alpha"]
+        chosen = (hosts * 2)[:n]
+        world = MPIWorld(sim, net, chosen, job_id=app.name)
+        return world.run(app.program)
+
+    def test_hostname_program(self, topo):
+        results = self.run_program(topo, HostnameApp())
+        assert results[0] is not None and len(results[0]) == 4
+
+    def test_ep_program_sums(self, topo):
+        results = self.run_program(topo, EPBenchmark("S"))
+        assert all(r["sx"] == sum(range(1, 5)) for r in results)
+        assert all(r["counts"] == (4.0, 4.0) for r in results)
+
+    def test_is_program_checksums_agree(self, topo):
+        results = self.run_program(topo, ISBenchmark("S"))
+        assert len(set(results)) == 1
+
+    def test_cg_program_converges_consistently(self, topo):
+        results = self.run_program(topo, CGLikeBenchmark("S"))
+        assert all(isinstance(r, float) for r in results)
+
+    def test_base_class_program_not_implemented(self, topo):
+        from repro.apps.base import Application
+
+        class Bare(Application):
+            name = "bare"
+
+            def rank_time(self, host, n, env, colocated):  # pragma: no cover
+                return 0.0
+
+            def comm_time(self, layout, n, env):  # pragma: no cover
+                return 0.0
+
+        with pytest.raises(Exception):
+            self.run_program(topo, Bare())

@@ -1,0 +1,89 @@
+"""Multi-user contention and ASCII figures."""
+
+import pytest
+
+from repro.experiments.figures import ascii_plot
+from repro.experiments.multiuser import run_multiuser_experiment
+from repro.middleware.jobs import JobRequest, JobStatus
+
+
+class TestMultiUser:
+    def test_concurrent_jobs_never_corun_on_a_host(self, small_cluster):
+        outcome = run_multiuser_experiment(
+            small_cluster,
+            submitters=["a1-1.alpha", "b1-1.beta"],
+            n=4, strategy="spread",
+        )
+        assert set(outcome.statuses.values()) == {"success"}
+        assert outcome.concurrent_overlaps() == []
+
+    def test_contention_produces_refusals_and_retries(self, small_cluster):
+        """Two 5-host jobs on a 10-host grid overbook into each other:
+        somebody gets NOKed; the loser's §3.2 retry wins eventually."""
+        outcome = run_multiuser_experiment(
+            small_cluster,
+            submitters=["a1-1.alpha", "g1-1.gamma"],
+            n=5, strategy="spread",
+        )
+        assert set(outcome.statuses.values()) == {"success"}
+        assert outcome.concurrent_overlaps() == []
+        assert outcome.total_refusals() > 0
+
+    def test_capacity_pressure_still_serialised(self, small_cluster):
+        """Two n=20 jobs on 28 cores: they may run back-to-back via the
+        retry path, but never concurrently on shared hosts."""
+        outcome = run_multiuser_experiment(
+            small_cluster,
+            submitters=["a1-1.alpha", "b1-1.beta"],
+            requests=[
+                JobRequest(n=20, strategy="concentrate", tag="u0"),
+                JobRequest(n=20, strategy="concentrate", tag="u1"),
+            ],
+        )
+        assert outcome.concurrent_overlaps() == []
+        # At least one job succeeded; simultaneous success of both at
+        # full capacity is impossible, so a retry (or an infeasible
+        # verdict) must show up.
+        statuses = list(outcome.statuses.values())
+        assert "success" in statuses
+        assert outcome.max_attempts() > 1 or "infeasible" in statuses
+
+    def test_request_count_mismatch(self, small_cluster):
+        with pytest.raises(ValueError):
+            run_multiuser_experiment(
+                small_cluster, submitters=["a1-1.alpha"],
+                requests=[JobRequest(n=2), JobRequest(n=2)])
+
+    def test_stagger(self, small_cluster):
+        outcome = run_multiuser_experiment(
+            small_cluster,
+            submitters=["a1-1.alpha", "a1-2.alpha"],
+            n=3, strategy="concentrate", stagger_s=5.0,
+        )
+        assert set(outcome.statuses.values()) == {"success"}
+        assert outcome.overlaps() == []
+
+
+class TestAsciiPlot:
+    def test_renders_markers_and_legend(self):
+        text = ascii_plot([1, 2, 3], {"up": [1, 2, 3], "down": [3, 2, 1]},
+                          width=30, height=8, title="T")
+        assert text.startswith("T")
+        assert "o=down" in text and "x=up" in text
+        assert "o" in text and "x" in text
+
+    def test_flat_series_ok(self):
+        text = ascii_plot([0, 1], {"flat": [2.0, 2.0]}, width=10, height=4)
+        assert "flat" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], {"bad": [1]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([], {})
+
+    def test_scales_to_extremes(self):
+        text = ascii_plot([0, 10], {"s": [5.0, 25.0]}, width=20, height=5)
+        assert "25.00" in text and "5.00" in text

@@ -1,0 +1,63 @@
+"""Heartbeat failure detector."""
+
+import pytest
+
+from repro.ft.detector import HeartbeatDetector
+from repro.net.transport import Network
+from repro.sim import Simulator
+from tests.conftest import make_small_topology
+
+
+@pytest.fixture
+def env():
+    sim = Simulator(seed=6)
+    topo = make_small_topology()
+    net = Network(sim, topo)
+    for host in topo.all_hosts():
+        net.register(host.name)
+    peers = ["b1-1.beta", "b1-2.beta"]
+    det = HeartbeatDetector(sim, net, "a1-1.alpha", peers,
+                            period_s=1.0, timeout_s=3.5)
+    sim.process(det.service())
+    for peer in peers:
+        sim.process(det.emitter(peer))
+    return sim, net, det
+
+
+class TestDetector:
+    def test_no_suspicion_while_alive(self, env):
+        sim, net, det = env
+        sim.run(until=20.0)
+        assert det.suspects() == set()
+
+    def test_crash_detected_within_timeout(self, env):
+        sim, net, det = env
+        sim.run(until=5.0)
+        net.set_down("b1-1.beta")
+        sim.run(until=5.0 + 3.5 + 1.5)
+        assert det.suspects() == {"b1-1.beta"}
+        crash_to_detect = det.suspicions[0][0] - 5.0
+        assert crash_to_detect <= 3.5 + 1.5
+
+    def test_revival_clears_suspicion(self, env):
+        sim, net, det = env
+        sim.run(until=5.0)
+        net.set_down("b1-1.beta")
+        sim.run(until=12.0)
+        assert "b1-1.beta" in det.suspects()
+        net.set_down("b1-1.beta", down=False)
+        sim.run(until=15.0)
+        assert "b1-1.beta" not in det.suspects()
+
+    def test_timeout_must_exceed_period(self, env):
+        sim, net, _ = env
+        with pytest.raises(ValueError):
+            HeartbeatDetector(sim, net, "a1-1.alpha", [], period_s=2.0,
+                              timeout_s=1.0)
+
+    def test_only_monitored_peers_tracked(self, env):
+        sim, net, det = env
+        net.send("g1-1.gamma", "a1-1.alpha", "heartbeat", "HB",
+                 payload={}, size_bytes=64)
+        sim.run(until=1.0)
+        assert "g1-1.gamma" not in det.states

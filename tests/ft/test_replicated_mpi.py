@@ -1,0 +1,154 @@
+"""Replica-transparent message passing (§3.2 engine-level demo)."""
+
+import pytest
+
+from repro.alloc import ReservedHost, build_plan, get_strategy
+from repro.ft.replicated_mpi import ReplicatedWorld
+from repro.mpi.datatypes import SUM
+from repro.net.transport import Network
+from repro.sim import Simulator
+from tests.conftest import make_small_topology
+
+
+def build_world(n=4, r=2, seed=9):
+    sim = Simulator(seed=seed)
+    topo = make_small_topology()
+    net = Network(sim, topo)
+    slist = [ReservedHost(h, p_limit=h.cores) for h in topo.all_hosts()]
+    plan = build_plan(get_strategy("spread"), slist, n=n, r=r)
+    return sim, topo, net, ReplicatedWorld(sim, net, plan, job_id="t")
+
+
+def allreduce_program(comm):
+    total = yield from comm.allreduce(comm.rank + 1, op=SUM, size_bytes=8)
+    return total
+
+
+def ring_program(comm):
+    """Logical ring: rank i sends to i+1, receives from i-1."""
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    comm.isend(right, f"token-{comm.rank}", size_bytes=32, tag=3)
+    token = yield from comm.recv(left, tag=3)
+    return token
+
+
+class TestHappyPath:
+    def test_allreduce_all_replicas_agree(self):
+        sim, topo, net, world = build_world(n=4, r=2)
+        results = world.run(allreduce_program)
+        expected = 4 * 5 // 2
+        for rank in range(4):
+            assert results[rank] == [expected, expected]
+
+    def test_ring_with_replication(self):
+        sim, topo, net, world = build_world(n=5, r=2)
+        results = world.run(ring_program)
+        for rank in range(5):
+            left = (rank - 1) % 5
+            assert set(results[rank]) == {f"token-{left}"}
+
+    def test_r1_degenerates_to_plain_world(self):
+        sim, topo, net, world = build_world(n=4, r=1)
+        results = world.run(allreduce_program)
+        assert all(len(v) == 1 for v in results.values())
+
+    def test_replica_placement_disjoint_hosts(self):
+        sim, topo, net, world = build_world(n=4, r=2)
+        for rank in range(4):
+            h0 = world.host_of(rank, 0).name
+            h1 = world.host_of(rank, 1).name
+            assert h0 != h1
+
+
+class TestFailures:
+    def crash(self, sim, net, world, rank, replica, after_s):
+        host = world.host_of(rank, replica)
+
+        def killer():
+            yield sim.timeout(after_s)
+            net.set_down(host.name)
+            # every copy on that host dies
+            for (rk, rep), placed in world._hosts.items():
+                if placed.name == host.name:
+                    world.kill_copy(rk, rep)
+
+        sim.process(killer())
+
+    def test_single_replica_crash_job_survives(self):
+        """§3.2: 'a failure of H0 or H1 leaves a fully functional set
+        of processes'."""
+        sim, topo, net, world = build_world(n=4, r=2)
+
+        def slow_allreduce(comm):
+            yield comm.sim.timeout(1.0)  # crash lands before comms
+            total = yield from comm.allreduce(comm.rank + 1, op=SUM,
+                                              size_bytes=8)
+            return total
+
+        world.spawn(slow_allreduce)
+        self.crash(sim, net, world, rank=2, replica=0, after_s=0.5)
+        results = world.run(slow_allreduce)
+        expected = 10
+        for rank in range(4):
+            assert expected in results[rank]
+        # rank 2 survives through its replica 1 only.
+        assert len(results[2]) == 1
+
+    def test_unreplicated_crash_kills_job(self):
+        sim, topo, net, world = build_world(n=4, r=1)
+
+        def slow_allreduce(comm):
+            yield comm.sim.timeout(1.0)
+            total = yield from comm.allreduce(comm.rank + 1, op=SUM,
+                                              size_bytes=8)
+            return total
+
+        world.spawn(slow_allreduce)
+        self.crash(sim, net, world, rank=2, replica=0, after_s=0.5)
+        with pytest.raises(RuntimeError):
+            world.run(slow_allreduce)
+
+    def test_both_replicas_crash_kills_job(self):
+        sim, topo, net, world = build_world(n=4, r=2)
+
+        def slow_allreduce(comm):
+            yield comm.sim.timeout(1.0)
+            total = yield from comm.allreduce(comm.rank + 1, op=SUM,
+                                              size_bytes=8)
+            return total
+
+        world.spawn(slow_allreduce)
+        self.crash(sim, net, world, rank=2, replica=0, after_s=0.4)
+        self.crash(sim, net, world, rank=2, replica=1, after_s=0.5)
+        with pytest.raises(RuntimeError):
+            world.run(slow_allreduce)
+
+    def test_crash_after_completion_is_harmless(self):
+        sim, topo, net, world = build_world(n=3, r=2)
+        results = world.run(allreduce_program)
+        world.kill_copy(0, 0)  # already finished
+        assert results[0] == [6, 6]
+
+
+class TestDeduplication:
+    def test_duplicate_copies_are_dropped(self):
+        """Two sender replicas multicast the same logical messages;
+        receivers must see each logical message exactly once."""
+        sim, topo, net, world = build_world(n=2, r=2)
+
+        def chatty(comm):
+            out = []
+            if comm.rank == 0:
+                for _ in range(3):
+                    comm.isend(1, f"m{_}", size_bytes=16, tag=5)
+                yield comm.sim.timeout(0)
+                return None
+            for i in range(3):
+                data = yield from comm.recv(0, tag=5)
+                out.append(data)
+            return out
+
+        results = world.run(chatty)
+        for value in results[1]:
+            assert value == ["m0", "m1", "m2"]

@@ -1,0 +1,108 @@
+"""Replica-set analysis."""
+
+import numpy as np
+import pytest
+
+from repro.alloc import ReservedHost, build_plan, get_strategy
+from repro.ft.replication import (
+    ReplicaSets,
+    coverage,
+    min_hosts_to_kill,
+    survival_probability,
+    survives,
+)
+from repro.net.topology import Host
+
+
+def make_plan(n=4, r=2, hosts=6, p=2, strategy="spread"):
+    slist = [
+        ReservedHost(Host(f"h{i}.s", "s", "c", cores=p), p_limit=p,
+                     latency_ms=float(i))
+        for i in range(hosts)
+    ]
+    return build_plan(get_strategy(strategy), slist, n=n, r=r)
+
+
+class TestReplicaSets:
+    def test_by_rank_hosts_distinct(self):
+        plan = make_plan()
+        sets = ReplicaSets(plan)
+        for rank in range(plan.n):
+            assert len(sets.hosts_of(rank)) == plan.r
+
+    def test_live_ranks_all_alive(self):
+        plan = make_plan()
+        sets = ReplicaSets(plan)
+        assert sets.live_ranks([]) == list(range(plan.n))
+
+    def test_all_hosts(self):
+        plan = make_plan()
+        sets = ReplicaSets(plan)
+        assert sets.all_hosts() == {h.name for h in plan.used_hosts()}
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        done = [(0, 0), (1, 0), (2, 1)]
+        covered, missing = coverage(done, n=3)
+        assert covered == {0, 1, 2} and not missing
+
+    def test_missing_ranks(self):
+        covered, missing = coverage([(0, 0)], n=3)
+        assert missing == {1, 2}
+
+    def test_out_of_range_ignored(self):
+        covered, _ = coverage([(7, 0)], n=3)
+        assert covered == set()
+
+
+class TestSurvival:
+    def test_single_failure_survives_with_r2(self):
+        """The §3.2 claim: one host failure never kills an r=2 job."""
+        plan = make_plan(r=2)
+        for host in plan.used_hosts():
+            assert survives(plan, [host.name]), host.name
+
+    def test_r1_dies_on_any_used_host(self):
+        plan = make_plan(n=4, r=1)
+        for host in plan.used_hosts():
+            assert not survives(plan, [host.name])
+
+    def test_killing_both_copies_kills_job(self):
+        plan = make_plan(r=2)
+        sets = ReplicaSets(plan)
+        both = list(sets.hosts_of(0))
+        assert not survives(plan, both)
+
+    def test_min_hosts_to_kill_equals_r(self):
+        for r in (1, 2):
+            plan = make_plan(n=3, r=r, hosts=8)
+            assert min_hosts_to_kill(plan) == r
+
+    def test_survival_probability_monotone_in_r(self):
+        rng = np.random.default_rng(0)
+        probs = []
+        for r in (1, 2, 3):
+            plan = make_plan(n=3, r=r, hosts=9, p=2)
+            probs.append(survival_probability(plan, 0.2, rng, trials=3000))
+        assert probs[0] < probs[1] < probs[2]
+
+    def test_survival_probability_bounds(self):
+        plan = make_plan(r=2)
+        rng = np.random.default_rng(1)
+        assert survival_probability(plan, 0.0, rng) == 1.0
+        assert survival_probability(plan, 1.0, rng) == 0.0
+
+    def test_invalid_probability(self):
+        plan = make_plan()
+        with pytest.raises(ValueError):
+            survival_probability(plan, 1.5, np.random.default_rng(0))
+
+    def test_r2_close_to_analytic_upper_bound(self):
+        """With disjoint rank pairs, P(survive) <= (1 - q^2)^n."""
+        plan = make_plan(n=4, r=2, hosts=8, p=1)  # 8 hosts, 1 proc each
+        rng = np.random.default_rng(2)
+        q = 0.1
+        estimate = survival_probability(plan, q, rng, trials=20000)
+        analytic = (1 - q ** 2) ** 4
+        assert estimate == pytest.approx(analytic, abs=0.02)

@@ -1,0 +1,95 @@
+"""Built Grid'5000 topology: legend values, RTT matrix, bandwidths."""
+
+import pytest
+
+from repro.grid5000.builder import build_topology, paper_site_legend
+from repro.grid5000.sites import (
+    SITE_ORDER,
+    SITE_RTT_MS_FROM_NANCY,
+    site_rtt_matrix,
+    wan_bandwidth_bps,
+)
+
+#: Figure-legend rows: (site, RTT ms, hosts, cores).
+LEGEND = {
+    "nancy": (0.087, 60, 240),
+    "lyon": (10.576, 50, 100),
+    "rennes": (11.612, 90, 180),
+    "bordeaux": (12.674, 60, 240),
+    "grenoble": (13.204, 20, 64),
+    "sophia": (17.167, 70, 216),
+}
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology()
+
+
+class TestLegend:
+    def test_site_totals(self, topo):
+        for site, (_rtt, hosts, cores) in LEGEND.items():
+            assert topo.sites[site].n_hosts == hosts, site
+            assert topo.sites[site].n_cores == cores, site
+
+    def test_legend_rows_sorted_by_descending_rtt(self, topo):
+        rows = paper_site_legend(topo)
+        rtts = [row[1] for row in rows]
+        assert rtts == sorted(rtts, reverse=True)
+        assert rows[-1][0] == "nancy"
+
+    def test_rtt_to_nancy_values(self, topo):
+        nancy = topo.host("grelon-1.nancy")
+        for site, (rtt, _h, _c) in LEGEND.items():
+            if site == "nancy":
+                continue
+            other = topo.hosts_in_site(site)[0]
+            assert topo.base_rtt_ms(nancy, other) == pytest.approx(rtt)
+
+    def test_site_order_matches_rtt_ranking(self):
+        rtts = [SITE_RTT_MS_FROM_NANCY[s] for s in SITE_ORDER]
+        assert rtts == sorted(rtts)
+
+
+class TestNetworkModel:
+    def test_bordeaux_links_at_1gbps(self):
+        for other in ("nancy", "lyon", "rennes", "grenoble", "sophia"):
+            assert wan_bandwidth_bps("bordeaux", other) == pytest.approx(1e9)
+
+    def test_backbone_at_10gbps(self):
+        assert wan_bandwidth_bps("nancy", "sophia") == pytest.approx(10e9)
+
+    def test_same_site_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            wan_bandwidth_bps("nancy", "nancy")
+
+    def test_rtt_matrix_complete(self):
+        matrix = site_rtt_matrix()
+        names = [s for s in SITE_ORDER]
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                key = (a, b) if (a, b) in matrix else (b, a)
+                assert key in matrix
+
+    def test_overlap_keeps_triangle_inequality_to_nancy(self):
+        """site-to-site must not be cheaper than |r_a - r_b| (physics)."""
+        matrix = site_rtt_matrix()
+        for (a, b), rtt in matrix.items():
+            if "nancy" in (a, b):
+                continue
+            ra = SITE_RTT_MS_FROM_NANCY[a]
+            rb = SITE_RTT_MS_FROM_NANCY[b]
+            assert rtt >= abs(ra - rb) - 1e-9
+
+    def test_lan_rtt_is_nancy_legend_value(self, topo):
+        a = topo.host("grelon-1.nancy")
+        b = topo.host("grelon-2.nancy")
+        assert topo.base_rtt_ms(a, b) == pytest.approx(0.087)
+
+    def test_custom_cluster_subset(self):
+        from repro.grid5000.resources import CLUSTERS
+
+        topo = build_topology(clusters=[c for c in CLUSTERS
+                                        if c.site in ("nancy", "lyon")])
+        assert set(topo.sites) == {"nancy", "lyon"}
+        assert topo.n_hosts == 110

@@ -1,0 +1,55 @@
+"""Paper Table 1 fidelity."""
+
+import pytest
+
+from repro.grid5000.resources import (
+    CLUSTERS,
+    CPU_SPEEDS,
+    cluster_by_name,
+    total_cores,
+    total_hosts,
+)
+
+#: (site, cluster, cpu, nodes, cpus, cores) — Table 1 verbatim.
+TABLE1 = [
+    ("nancy", "grelon", "Intel Xeon 5110", 60, 120, 240),
+    ("lyon", "capricorn", "AMD Opteron 246", 50, 100, 100),
+    ("rennes", "paravent", "AMD Opteron 246", 90, 180, 180),
+    ("bordeaux", "bordereau", "AMD Opteron 2218", 60, 120, 240),
+    ("grenoble", "idpot", "Intel Xeon IA32", 8, 16, 16),
+    ("grenoble", "idcalc", "Intel Itanium 2", 12, 24, 48),
+    ("sophia", "azur", "AMD Opteron 246", 32, 64, 64),
+    ("sophia", "sol", "AMD Opteron 2218", 38, 76, 152),
+]
+
+
+class TestTable1:
+    def test_row_count(self):
+        assert len(CLUSTERS) == 8
+
+    @pytest.mark.parametrize("site,name,cpu,nodes,cpus,cores", TABLE1)
+    def test_rows_verbatim(self, site, name, cpu, nodes, cpus, cores):
+        c = cluster_by_name(name)
+        assert (c.site, c.cpu_model, c.nodes, c.cpus, c.cores) == (
+            site, cpu, nodes, cpus, cores)
+
+    def test_totals(self):
+        """The paper's §5.1 narrative: 350 hosts overall."""
+        assert total_hosts() == 350
+        assert total_cores() == 1040
+
+    def test_cores_per_node_match_paper_p_settings(self):
+        expected = {"grelon": 4, "capricorn": 2, "paravent": 2,
+                    "bordereau": 4, "idpot": 2, "idcalc": 4,
+                    "azur": 2, "sol": 4}
+        for name, per_node in expected.items():
+            assert cluster_by_name(name).cores_per_node == per_node
+
+    def test_unknown_cluster_raises(self):
+        with pytest.raises(KeyError):
+            cluster_by_name("nosuch")
+
+    def test_all_cpus_have_speeds(self):
+        for c in CLUSTERS:
+            assert c.cpu_model in CPU_SPEEDS
+            assert 0.3 < CPU_SPEEDS[c.cpu_model] <= 1.5

@@ -1,0 +1,138 @@
+"""Reservation Service protocol (§4.2 steps 3-5, 7)."""
+
+import pytest
+
+from repro.middleware.config import OwnerPrefs
+from repro.middleware.gatekeeper import Gatekeeper
+from repro.middleware.reservation import ReservationService
+from repro.net.transport import Network
+from repro.overlay.messages import RS_PORT
+from repro.sim import Simulator
+from tests.conftest import make_small_topology
+
+
+@pytest.fixture
+def env():
+    sim = Simulator(seed=5)
+    topo = make_small_topology()
+    net = Network(sim, topo)
+    for host in topo.all_hosts():
+        net.register(host.name)
+
+    def make_rs(name, j=1, p=4, denied=frozenset(), ttl=60.0):
+        gk = Gatekeeper(name, OwnerPrefs(j_limit=j, p_limit=p, denied=denied))
+        rs = ReservationService(sim, net, name, gk, ttl_s=ttl)
+        sim.process(rs.service())
+        return rs
+
+    return sim, net, make_rs
+
+
+def reserve(sim, net, target, key, submitter="a1-1.alpha"):
+    """Send RESERVE from submitter, return the reply message."""
+
+    def body():
+        net.send(submitter, target, RS_PORT, "RESERVE",
+                 payload={"key": key, "job_id": "job", "submitter": submitter,
+                          "reply_port": "t"}, size_bytes=64)
+        msg = yield net.receive(submitter, "t")
+        return msg
+
+    return sim.run_until_complete(sim.process(body()))
+
+
+class TestReserve:
+    def test_ok_carries_p_limit(self, env):
+        sim, net, make_rs = env
+        make_rs("b1-1.beta", p=4)
+        msg = reserve(sim, net, "b1-1.beta", "k1")
+        assert msg.kind == "RESERVE_OK"
+        assert msg.payload["p_limit"] == 4
+
+    def test_j_limit_refuses_second(self, env):
+        sim, net, make_rs = env
+        make_rs("b1-1.beta", j=1)
+        assert reserve(sim, net, "b1-1.beta", "k1").kind == "RESERVE_OK"
+        assert reserve(sim, net, "b1-1.beta", "k2").kind == "RESERVE_NOK"
+
+    def test_denied_submitter_refused(self, env):
+        sim, net, make_rs = env
+        make_rs("b1-1.beta", denied=frozenset({"a1-1.alpha"}))
+        assert reserve(sim, net, "b1-1.beta", "k1").kind == "RESERVE_NOK"
+
+    def test_cancel_frees_slot(self, env):
+        sim, net, make_rs = env
+        rs = make_rs("b1-1.beta", j=1)
+        reserve(sim, net, "b1-1.beta", "k1")
+        net.send("a1-1.alpha", "b1-1.beta", RS_PORT, "CANCEL",
+                 payload={"key": "k1"}, size_bytes=64)
+        sim.run()
+        assert not rs.holds_key("k1")
+        assert reserve(sim, net, "b1-1.beta", "k2").kind == "RESERVE_OK"
+
+    def test_ttl_expiry_frees_slot(self, env):
+        sim, net, make_rs = env
+        rs = make_rs("b1-1.beta", j=1, ttl=10.0)
+        reserve(sim, net, "b1-1.beta", "k1")
+
+        def wait():
+            yield sim.timeout(11.0)
+
+        sim.run_until_complete(sim.process(wait()))
+        assert not rs.holds_key("k1")
+        assert reserve(sim, net, "b1-1.beta", "k2").kind == "RESERVE_OK"
+
+
+class TestKeyVerification:
+    def test_holds_key_after_ok(self, env):
+        sim, net, make_rs = env
+        rs = make_rs("b1-1.beta")
+        reserve(sim, net, "b1-1.beta", "k1")
+        assert rs.holds_key("k1")
+        assert not rs.holds_key("forged")
+
+    def test_consume_marks_used(self, env):
+        sim, net, make_rs = env
+        rs = make_rs("b1-1.beta")
+        reserve(sim, net, "b1-1.beta", "k1")
+        rs.consume("k1")
+        assert not rs.holds_key("k1")
+
+    def test_consumed_key_not_cancellable(self, env):
+        sim, net, make_rs = env
+        rs = make_rs("b1-1.beta")
+        reserve(sim, net, "b1-1.beta", "k1")
+        rs.consume("k1")
+        assert not rs.cancel("k1")
+
+    def test_finish_forgets(self, env):
+        sim, net, make_rs = env
+        rs = make_rs("b1-1.beta")
+        reserve(sim, net, "b1-1.beta", "k1")
+        rs.consume("k1")
+        rs.finish("k1")
+        assert "k1" not in rs.reservations
+
+
+class TestBrokering:
+    def test_broadcast_reserve_reaches_all(self, env):
+        sim, net, make_rs = env
+        submitter_gk = Gatekeeper("a1-1.alpha", OwnerPrefs.for_cores(4))
+        submitter_rs = ReservationService(sim, net, "a1-1.alpha", submitter_gk)
+        for name in ("b1-1.beta", "b1-2.beta", "g1-1.gamma"):
+            make_rs(name)
+
+        def body():
+            submitter_rs.broadcast_reserve(
+                ["b1-1.beta", "b1-2.beta", "g1-1.gamma"],
+                key="k", job_id="j", reply_port="replies")
+            got = []
+            for _ in range(3):
+                msg = yield net.receive("a1-1.alpha", "replies")
+                got.append((msg.src, msg.kind))
+            return got
+
+        got = sim.run_until_complete(sim.process(body()))
+        assert {src for src, _ in got} == {"b1-1.beta", "b1-2.beta",
+                                           "g1-1.gamma"}
+        assert all(kind == "RESERVE_OK" for _, kind in got)

@@ -1,0 +1,195 @@
+"""Collective correctness on the message-level engine (values + sizes)."""
+
+import pytest
+
+from repro.mpi import MAX, MIN, MPIWorld, PROD, SUM
+from repro.net.transport import Network
+from repro.sim import Simulator
+from tests.conftest import make_small_topology
+
+SIZES = [1, 2, 3, 4, 5, 7, 8]
+
+
+def make_world(n, seed=0):
+    sim = Simulator(seed=seed)
+    topo = make_small_topology()
+    net = Network(sim, topo)
+    hosts = topo.all_hosts()
+    chosen = (hosts * ((n // len(hosts)) + 1))[:n]
+    return MPIWorld(sim, net, chosen, job_id=f"coll{n}")
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_barrier_synchronises(self, n):
+        world = make_world(n)
+        finish_times = []
+
+        def prog(comm):
+            # Stagger arrivals; everyone must leave after the latest.
+            yield comm.sim.timeout(0.01 * comm.rank)
+            yield from comm.barrier()
+            finish_times.append(comm.sim.now)
+            return None
+
+        world.run(prog)
+        latest_arrival = 0.01 * (n - 1)
+        assert all(t >= latest_arrival for t in finish_times)
+
+
+class TestBcast:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_bcast_from_zero(self, n):
+        world = make_world(n)
+
+        def prog(comm):
+            data = yield from comm.bcast("payload" if comm.rank == 0 else None)
+            return data
+
+        assert world.run(prog) == ["payload"] * n
+
+    def test_bcast_nonzero_root(self):
+        world = make_world(5)
+
+        def prog(comm):
+            data = yield from comm.bcast(
+                comm.rank if comm.rank == 3 else None, root=3)
+            return data
+
+        assert world.run(prog) == [3] * 5
+
+
+class TestReduce:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_reduce_sum_to_zero(self, n):
+        world = make_world(n)
+
+        def prog(comm):
+            total = yield from comm.reduce(comm.rank + 1, op=SUM)
+            return total
+
+        results = world.run(prog)
+        assert results[0] == n * (n + 1) // 2
+        assert all(r is None for r in results[1:])
+
+    def test_reduce_max_nonzero_root(self):
+        world = make_world(6)
+
+        def prog(comm):
+            value = yield from comm.reduce(comm.rank, op=MAX, root=2)
+            return value
+
+        results = world.run(prog)
+        assert results[2] == 5
+        assert results[0] is None
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("n", SIZES)
+    @pytest.mark.parametrize("op,expect", [
+        (SUM, lambda n: n * (n + 1) // 2),
+        (MAX, lambda n: n),
+        (MIN, lambda n: 1),
+    ])
+    def test_allreduce_ops(self, n, op, expect):
+        world = make_world(n)
+
+        def prog(comm):
+            value = yield from comm.allreduce(comm.rank + 1, op=op)
+            return value
+
+        assert world.run(prog) == [expect(n)] * n
+
+    def test_allreduce_prod(self):
+        world = make_world(4)
+
+        def prog(comm):
+            value = yield from comm.allreduce(2, op=PROD)
+            return value
+
+        assert world.run(prog) == [16] * 4
+
+
+class TestGatherScatter:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_gather(self, n):
+        world = make_world(n)
+
+        def prog(comm):
+            data = yield from comm.gather(comm.rank * 10)
+            return data
+
+        results = world.run(prog)
+        assert results[0] == [r * 10 for r in range(n)]
+        assert all(r is None for r in results[1:])
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_scatter(self, n):
+        world = make_world(n)
+
+        def prog(comm):
+            values = [f"v{i}" for i in range(n)] if comm.rank == 0 else None
+            data = yield from comm.scatter(values)
+            return data
+
+        assert world.run(prog) == [f"v{i}" for i in range(n)]
+
+    def test_scatter_requires_full_list(self):
+        world = make_world(3)
+
+        def prog(comm):
+            values = ["only-one"] if comm.rank == 0 else None
+            data = yield from comm.scatter(values)
+            return data
+
+        with pytest.raises(Exception):
+            world.run(prog)
+
+
+class TestAllgatherAlltoall:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_allgather(self, n):
+        world = make_world(n)
+
+        def prog(comm):
+            data = yield from comm.allgather(comm.rank ** 2)
+            return data
+
+        expected = [r ** 2 for r in range(n)]
+        assert world.run(prog) == [expected] * n
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_alltoall_routing(self, n):
+        world = make_world(n)
+
+        def prog(comm):
+            outgoing = [f"{comm.rank}->{dest}" for dest in range(n)]
+            incoming = yield from comm.alltoall(outgoing)
+            return incoming
+
+        results = world.run(prog)
+        for rank, incoming in enumerate(results):
+            assert incoming == [f"{src}->{rank}" for src in range(n)]
+
+    def test_alltoallv_sizes_checked(self):
+        world = make_world(3)
+
+        def prog(comm):
+            out = yield from comm.alltoallv(["a", "b", "c"], sizes=[1, 2])
+            return out
+
+        with pytest.raises(Exception):
+            world.run(prog)
+
+    def test_back_to_back_collectives_do_not_cross(self):
+        """Consecutive collectives use distinct tags: no aliasing."""
+        world = make_world(5)
+
+        def prog(comm):
+            first = yield from comm.allreduce(comm.rank, op=SUM)
+            second = yield from comm.allreduce(comm.rank * 2, op=SUM)
+            third = yield from comm.allgather(comm.rank)
+            return (first, second, third)
+
+        results = world.run(prog)
+        assert all(r == (10, 20, [0, 1, 2, 3, 4]) for r in results)

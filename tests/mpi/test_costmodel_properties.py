@@ -1,0 +1,119 @@
+"""Property-based tests of the collective cost model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.costmodel import CollectiveCostModel, CostParams
+from tests.conftest import make_small_topology
+
+TOPO = make_small_topology()
+ALL_HOSTS = TOPO.all_hosts()
+
+
+def layout_for(model, n):
+    hosts = (ALL_HOSTS * ((n // len(ALL_HOSTS)) + 1))[:n]
+    return model.layout(hosts)
+
+
+@st.composite
+def model_and_sizes(draw):
+    params = CostParams(
+        sw_overhead_s=draw(st.floats(1e-6, 1e-4)),
+        msg_fixed_s=draw(st.floats(0, 5e-3)),
+        msg_fixed_small_s=draw(st.floats(0, 5e-4)),
+        ser_per_byte_s=draw(st.floats(0, 1e-7)),
+        wan_extra_s=draw(st.floats(0, 2e-3)),
+    )
+    n = draw(st.integers(2, 24))
+    nbytes = draw(st.integers(0, 1 << 20))
+    return CollectiveCostModel(TOPO, params), n, nbytes
+
+
+@given(case=model_and_sizes())
+@settings(max_examples=80, deadline=None)
+def test_all_costs_positive_and_finite(case):
+    model, n, nbytes = case
+    layout = layout_for(model, n)
+    for value in (
+        model.barrier_time(layout),
+        model.bcast_time(layout, nbytes),
+        model.reduce_time(layout, nbytes),
+        model.allreduce_time(layout, nbytes),
+        model.gather_time(layout, nbytes),
+        model.alltoall_time(layout, nbytes),
+    ):
+        assert 0 < value < 1e6
+
+
+@given(case=model_and_sizes(),
+       extra=st.integers(1, 1 << 20))
+@settings(max_examples=80, deadline=None)
+def test_costs_monotone_in_bytes(case, extra):
+    """More bytes never makes a collective cheaper (same size class)."""
+    model, n, nbytes = case
+    layout = layout_for(model, n)
+    threshold = model.params.eager_threshold_bytes
+    bigger = nbytes + extra
+    # Crossing the eager threshold changes the fixed-cost class, which
+    # is allowed to jump; compare within a class only.
+    if (nbytes <= threshold) != (bigger <= threshold):
+        return
+    assert (model.allreduce_time(layout, bigger)
+            >= model.allreduce_time(layout, nbytes) - 1e-12)
+    assert (model.alltoall_time(layout, bigger)
+            >= model.alltoall_time(layout, nbytes) - 1e-12)
+
+
+@given(case=model_and_sizes())
+@settings(max_examples=60, deadline=None)
+def test_costs_monotone_in_group_size(case):
+    """Adding ranks never makes alltoall cheaper (every rank gains
+    partners), and a barrier is at worst mildly non-monotone (the
+    dissemination partner pattern (rank+2^k) mod p crosses sites
+    differently for different p — true of the real algorithm too)."""
+    model, n, nbytes = case
+    small = layout_for(model, n)
+    big = layout_for(model, n + 3)
+    assert (model.alltoall_time(big, nbytes)
+            >= model.alltoall_time(small, nbytes) - 1e-12)
+    assert model.barrier_time(big) >= 0.5 * model.barrier_time(small)
+
+
+@given(case=model_and_sizes())
+@settings(max_examples=60, deadline=None)
+def test_p2p_symmetry_same_bytes(case):
+    """p2p cost between two ranks is direction-independent."""
+    model, n, nbytes = case
+    layout = layout_for(model, n)
+    for i, j in ((0, n - 1), (0, 1)):
+        assert model.p2p_time(layout, i, j, nbytes) == pytest.approx(
+            model.p2p_time(layout, j, i, nbytes))
+
+
+@given(nbytes=st.integers(0, 1 << 16))
+@settings(max_examples=40, deadline=None)
+def test_single_rank_collectives_trivial(nbytes):
+    model = CollectiveCostModel(TOPO, CostParams())
+    layout = model.layout([ALL_HOSTS[0]])
+    assert model.allreduce_time(layout, nbytes) == pytest.approx(
+        model.params.sw_overhead_s)
+    assert model.alltoall_time(layout, nbytes) == pytest.approx(
+        model.params.sw_overhead_s)
+
+
+@given(case=model_and_sizes())
+@settings(max_examples=60, deadline=None)
+def test_wan_groups_cost_more_than_lan(case):
+    """With identical co-location structure, a group spanning sites is
+    never cheaper than one inside a site (only latency differs)."""
+    model, n, nbytes = case
+    alpha = [h for h in ALL_HOSTS if h.site == "alpha"]
+    beta = [h for h in ALL_HOSTS if h.site == "beta"]
+    lan_pool = alpha[:4]
+    wan_pool = alpha[:2] + beta[:2]  # same 4-host tiling, one WAN hop
+    lan = model.layout((lan_pool * ((n // 4) + 1))[:n])
+    wan = model.layout((wan_pool * ((n // 4) + 1))[:n])
+    assert model.barrier_time(wan) >= model.barrier_time(lan) - 1e-12
+    assert (model.allreduce_time(wan, nbytes)
+            >= model.allreduce_time(lan, nbytes) - 1e-12)

@@ -1,0 +1,160 @@
+"""Point-to-point semantics of the message-level MPI engine."""
+
+import pytest
+
+from repro.mpi import MPIWorld, MPIProcessFailure
+from repro.mpi.api import ANY_SOURCE, ANY_TAG
+from repro.net.transport import Network
+from repro.sim import Simulator
+from tests.conftest import make_small_topology
+
+
+@pytest.fixture
+def world_factory():
+    def make(n, spread_sites=False):
+        sim = Simulator(seed=3)
+        topo = make_small_topology()
+        net = Network(sim, topo)
+        hosts = topo.all_hosts()
+        if not spread_sites:
+            hosts = [h for h in hosts if h.site == "alpha"]
+        chosen = (hosts * ((n // len(hosts)) + 1))[:n]
+        return MPIWorld(sim, net, chosen, job_id="t")
+
+    return make
+
+
+class TestSendRecv:
+    def test_basic_roundtrip(self, world_factory):
+        world = world_factory(2)
+
+        def prog(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, {"x": 42}, size_bytes=64)
+                return None
+            src, tag, data = yield from comm.recv(source=0)
+            return (src, tag, data["x"])
+
+        results = world.run(prog)
+        assert results[1] == (0, 0, 42)
+
+    def test_tag_matching(self, world_factory):
+        world = world_factory(2)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.isend(1, "late", tag=7)
+                comm.isend(1, "urgent", tag=9)
+                yield comm.sim.timeout(0)
+                return None
+            _s, _t, urgent = yield from comm.recv(source=0, tag=9)
+            _s, _t, late = yield from comm.recv(source=0, tag=7)
+            return (urgent, late)
+
+        assert world.run(prog)[1] == ("urgent", "late")
+
+    def test_any_source(self, world_factory):
+        world = world_factory(3)
+
+        def prog(comm):
+            if comm.rank == 0:
+                out = []
+                for _ in range(2):
+                    src, _t, _d = yield from comm.recv(source=ANY_SOURCE)
+                    out.append(src)
+                return sorted(out)
+            yield from comm.send(0, comm.rank, size_bytes=8)
+            return None
+
+        assert world.run(prog)[0] == [1, 2]
+
+    def test_sendrecv_exchange(self, world_factory):
+        world = world_factory(2)
+
+        def prog(comm):
+            other = 1 - comm.rank
+            _s, _t, got = yield from comm.sendrecv(
+                other, f"from{comm.rank}", 32, source=other, tag=1)
+            return got
+
+        assert world.run(prog) == ["from1", "from0"]
+
+    def test_dest_out_of_range(self, world_factory):
+        world = world_factory(2)
+
+        def prog(comm):
+            comm.isend(5, "x")
+            yield comm.sim.timeout(0)
+
+        with pytest.raises(MPIProcessFailure):
+            world.run(prog)
+
+    def test_program_exception_wrapped(self, world_factory):
+        world = world_factory(2)
+
+        def prog(comm):
+            yield comm.sim.timeout(0)
+            raise ValueError("app bug")
+
+        with pytest.raises(MPIProcessFailure):
+            world.run(prog)
+
+
+class TestWorldConstruction:
+    def test_empty_world_rejected(self, world_factory):
+        sim = Simulator()
+        topo = make_small_topology()
+        net = Network(sim, topo)
+        with pytest.raises(ValueError):
+            MPIWorld(sim, net, [], job_id="x")
+
+    def test_from_plan(self):
+        from repro.alloc import ReservedHost, build_plan, get_strategy
+
+        sim = Simulator()
+        topo = make_small_topology()
+        net = Network(sim, topo)
+        slist = [ReservedHost(h, p_limit=h.cores)
+                 for h in topo.hosts_in_site("alpha")]
+        plan = build_plan(get_strategy("spread"), slist, n=4, r=2)
+        world = MPIWorld.from_plan(sim, net, plan, replica=1)
+        assert world.size == 4
+        # replica-1 hosts differ from replica-0 hosts per rank
+        world0 = MPIWorld.from_plan(sim, net, plan, replica=0)
+        assert any(a.name != b.name
+                   for a, b in zip(world.hosts, world0.hosts))
+
+    def test_from_plan_bad_replica(self):
+        from repro.alloc import ReservedHost, build_plan, get_strategy
+
+        sim = Simulator()
+        topo = make_small_topology()
+        net = Network(sim, topo)
+        slist = [ReservedHost(h, p_limit=h.cores)
+                 for h in topo.hosts_in_site("alpha")]
+        plan = build_plan(get_strategy("spread"), slist, n=4, r=1)
+        with pytest.raises(ValueError):
+            MPIWorld.from_plan(sim, net, plan, replica=1)
+
+    def test_two_worlds_coexist(self, world_factory):
+        sim = Simulator()
+        topo = make_small_topology()
+        net = Network(sim, topo)
+        hosts = topo.hosts_in_site("alpha")[:2]
+        w1 = MPIWorld(sim, net, hosts, job_id="one")
+        w2 = MPIWorld(sim, net, hosts, job_id="two")
+
+        def prog(label):
+            def inner(comm):
+                if comm.rank == 0:
+                    yield from comm.send(1, label, size_bytes=8)
+                    return None
+                _s, _t, data = yield from comm.recv(source=0)
+                return data
+            return inner
+
+        p1 = w1.spawn(prog("one"))
+        p2 = w2.spawn(prog("two"))
+        sim.run()
+        assert p1[1].value == "one"
+        assert p2[1].value == "two"

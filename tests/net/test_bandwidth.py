@@ -1,0 +1,77 @@
+"""Bandwidth allocator contention accounting."""
+
+import pytest
+
+from repro.net.bandwidth import BandwidthAllocator
+from tests.conftest import make_small_topology
+
+
+@pytest.fixture
+def topo():
+    return make_small_topology()
+
+
+@pytest.fixture
+def alloc(topo):
+    return BandwidthAllocator(topo)
+
+
+def hosts(topo):
+    return topo.host("a1-1.alpha"), topo.host("b1-1.beta")
+
+
+class TestAllocator:
+    def test_first_flow_full_capacity(self, topo, alloc):
+        a, b = hosts(topo)
+        bw = alloc.acquire(a, b)
+        assert bw == pytest.approx(topo.bandwidth_bps(a, b))
+
+    def test_contention_splits_capacity(self, topo, alloc):
+        a, b = hosts(topo)
+        alloc.acquire(a, b)
+        second = alloc.acquire(a, b)
+        assert second == pytest.approx(topo.bandwidth_bps(a, b) / 2)
+
+    def test_release_restores(self, topo, alloc):
+        a, b = hosts(topo)
+        alloc.acquire(a, b)
+        alloc.release(a, b)
+        assert alloc.active_flows(a, b) == 0
+
+    def test_release_without_acquire_raises(self, topo, alloc):
+        a, b = hosts(topo)
+        with pytest.raises(RuntimeError):
+            alloc.release(a, b)
+
+    def test_direction_agnostic_domain(self, topo, alloc):
+        a, b = hosts(topo)
+        alloc.acquire(a, b)
+        assert alloc.active_flows(b, a) == 1
+
+    def test_lan_and_wan_domains_independent(self, topo, alloc):
+        a, b = hosts(topo)
+        a2 = topo.host("a1-2.alpha")
+        alloc.acquire(a, b)          # WAN alpha-beta
+        bw_lan = alloc.acquire(a, a2)  # LAN alpha
+        assert bw_lan == pytest.approx(topo.lan_bw_bps)
+
+    def test_effective_bandwidth_preview(self, topo, alloc):
+        a, b = hosts(topo)
+        before = alloc.effective_bandwidth_bps(a, b)
+        alloc.acquire(a, b)
+        after = alloc.effective_bandwidth_bps(a, b)
+        assert after == pytest.approx(before / 2)
+        assert alloc.active_flows(a, b) == 1  # preview did not register
+
+    def test_snapshot_only_active(self, topo, alloc):
+        a, b = hosts(topo)
+        alloc.acquire(a, b)
+        alloc.release(a, b)
+        assert alloc.snapshot() == {}
+
+    def test_total_flows_cumulative(self, topo, alloc):
+        a, b = hosts(topo)
+        alloc.acquire(a, b)
+        alloc.release(a, b)
+        alloc.acquire(a, b)
+        assert alloc.total_flows[alloc.domain(a, b)] == 2

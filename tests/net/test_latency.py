@@ -1,0 +1,92 @@
+"""Latency model statistics and estimates."""
+
+import numpy as np
+import pytest
+
+from repro.net.latency import LatencyEstimate, LatencyModel
+from tests.conftest import make_small_topology
+
+
+@pytest.fixture
+def topo():
+    return make_small_topology()
+
+
+def make_model(topo, sigma=0.0, load_of=None, seed=0):
+    return LatencyModel(topo, np.random.default_rng(seed),
+                        noise_sigma_ms=sigma, load_of=load_of)
+
+
+class TestSampling:
+    def test_noiseless_equals_base(self, topo):
+        model = make_model(topo, sigma=0.0)
+        a, b = topo.host("a1-1.alpha"), topo.host("b1-1.beta")
+        assert model.sample_rtt_ms(a, b) == pytest.approx(10.0)
+
+    def test_noise_is_additive_positive(self, topo):
+        model = make_model(topo, sigma=1.0)
+        a, b = topo.host("a1-1.alpha"), topo.host("b1-1.beta")
+        samples = model.sample_many(a, b, 500)
+        assert (samples >= 10.0).all()
+        assert samples.std() > 0.1
+
+    def test_load_penalty(self, topo):
+        model = make_model(topo, sigma=0.0, load_of=lambda name: 4)
+        a, b = topo.host("a1-1.alpha"), topo.host("b1-1.beta")
+        assert model.sample_rtt_ms(a, b) == pytest.approx(10.0 + 4 * 0.05)
+
+    def test_negative_sigma_rejected(self, topo):
+        with pytest.raises(ValueError):
+            make_model(topo, sigma=-1.0)
+
+    def test_sample_many_matches_scalar_stats(self, topo):
+        a, b = topo.host("a1-1.alpha"), topo.host("b1-1.beta")
+        batch = make_model(topo, sigma=0.5, seed=1).sample_many(a, b, 4000)
+        scalars = np.array([
+            make_model(topo, sigma=0.5, seed=2).sample_rtt_ms(a, b)
+            for _ in range(4000)
+        ])
+        assert batch.mean() == pytest.approx(scalars.mean(), rel=0.05)
+
+    def test_one_way_delay_is_half_rtt_seconds(self, topo):
+        model = make_model(topo, sigma=0.0)
+        a, b = topo.host("a1-1.alpha"), topo.host("b1-1.beta")
+        assert model.base_one_way_delay_s(a, b) == pytest.approx(0.005)
+
+
+class TestEstimates:
+    def test_estimate_mean_of_samples(self, topo):
+        model = make_model(topo, sigma=0.0)
+        a, b = topo.host("a1-1.alpha"), topo.host("b1-1.beta")
+        est = model.estimate(a, b, samples=5)
+        assert est.value_ms == pytest.approx(10.0)
+        assert est.n_samples == 5
+
+    def test_more_samples_reduce_error(self, topo):
+        a, b = topo.host("a1-1.alpha"), topo.host("b1-1.beta")
+        errs = {}
+        for k in (1, 30):
+            model = make_model(topo, sigma=2.0, seed=3)
+            vals = [model.estimate(a, b, samples=k).value_ms
+                    for _ in range(200)]
+            errs[k] = np.std(vals)
+        assert errs[30] < errs[1]
+
+    def test_invalid_samples(self, topo):
+        model = make_model(topo)
+        a, b = topo.host("a1-1.alpha"), topo.host("b1-1.beta")
+        with pytest.raises(ValueError):
+            model.estimate(a, b, samples=0)
+
+    def test_ewma_update(self, topo):
+        est = LatencyEstimate(host=topo.host("a1-1.alpha"), value_ms=0.0,
+                              ewma_alpha=0.5)
+        est.update(10.0)
+        est.update(20.0)
+        assert est.value_ms == pytest.approx(15.0)
+
+    def test_plain_mean_update(self, topo):
+        est = LatencyEstimate(host=topo.host("a1-1.alpha"), value_ms=0.0)
+        for v in (10.0, 20.0, 30.0):
+            est.update(v)
+        assert est.value_ms == pytest.approx(20.0)

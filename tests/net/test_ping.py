@@ -1,0 +1,86 @@
+"""Application-level ping: probe vs analytic estimate."""
+
+import numpy as np
+import pytest
+
+from repro.net.latency import LatencyModel
+from repro.net.ping import PingService
+from repro.net.transport import Network
+from repro.sim import Simulator
+from tests.conftest import make_small_topology
+
+
+def build(sigma=0.0, seed=0):
+    sim = Simulator(seed=seed)
+    topo = make_small_topology()
+    latency = LatencyModel(topo, sim.rng.stream("net.latency"),
+                           noise_sigma_ms=sigma)
+    net = Network(sim, topo, latency=latency)
+    for host in topo.all_hosts():
+        net.register(host.name)
+    return sim, topo, net, latency
+
+
+class TestProbe:
+    def test_probe_measures_rtt(self):
+        sim, topo, net, latency = build()
+        src, dst = topo.host("a1-1.alpha"), topo.host("b1-1.beta")
+        svc_src = PingService(net, latency, src)
+        svc_dst = PingService(net, latency, dst)
+        sim.process(svc_dst.responder())
+
+        def body():
+            rtt = yield from svc_src.probe(dst)
+            return rtt
+
+        rtt = sim.run_until_complete(sim.process(body()))
+        # base RTT 10 ms + 4 software overheads (2 sends x 2 endpoints)
+        assert rtt == pytest.approx(10.0 + 4 * net.sw_overhead_s * 1000,
+                                    rel=0.05)
+
+    def test_probe_timeout_on_dead_host(self):
+        sim, topo, net, latency = build()
+        src, dst = topo.host("a1-1.alpha"), topo.host("b1-1.beta")
+        svc = PingService(net, latency, src)
+        net.set_down(dst.name)
+
+        def body():
+            rtt = yield from svc.probe(dst, timeout_s=0.5)
+            return rtt
+
+        assert sim.run_until_complete(sim.process(body())) is None
+        assert sim.now == pytest.approx(0.5)
+
+    def test_estimate_matches_probe_statistics(self):
+        """The analytic fast path must agree with real round trips."""
+        sigma = 0.8
+        sim, topo, net, latency = build(sigma=sigma, seed=3)
+        src, dst = topo.host("a1-1.alpha"), topo.host("b1-1.beta")
+        svc_src = PingService(net, latency, src)
+        svc_dst = PingService(net, latency, dst)
+        sim.process(svc_dst.responder())
+
+        def many_probes():
+            values = []
+            for _ in range(300):
+                rtt = yield from svc_src.probe(dst)
+                values.append(rtt)
+            return values
+
+        probed = np.array(sim.run_until_complete(sim.process(many_probes())))
+        estimated = np.array([
+            svc_src.estimate(dst, samples=1).value_ms for _ in range(300)
+        ])
+        assert probed.mean() == pytest.approx(estimated.mean(), rel=0.1)
+        assert probed.std() == pytest.approx(estimated.std(), rel=0.5)
+
+    def test_estimate_deterministic_given_stream(self):
+        sim, topo, net, latency = build(sigma=1.0, seed=5)
+        src, dst = topo.host("a1-1.alpha"), topo.host("b1-1.beta")
+        svc = PingService(net, latency, src)
+        first = svc.estimate(dst, samples=3).value_ms
+
+        sim2, topo2, net2, latency2 = build(sigma=1.0, seed=5)
+        svc2 = PingService(net2, latency2, topo2.host("a1-1.alpha"))
+        second = svc2.estimate(topo2.host("b1-1.beta"), samples=3).value_ms
+        assert first == second

@@ -1,0 +1,146 @@
+"""Message transport: delivery timing, drops, ports."""
+
+import pytest
+
+from repro.net.latency import LatencyModel
+from repro.net.transport import Network
+from repro.sim import Simulator
+from tests.conftest import make_small_topology
+
+
+@pytest.fixture
+def net():
+    simulator = Simulator(seed=1)
+    topo = make_small_topology()
+    network = Network(simulator, topo)  # noiseless by default
+    for host in topo.all_hosts():
+        network.register(host.name)
+    return network
+
+
+def recv_one(net, host, port):
+    def body(net):
+        msg = yield net.receive(host, port)
+        return msg
+
+    return net.sim.process(body(net))
+
+
+class TestDelivery:
+    def test_zero_byte_latency_only(self, net):
+        proc = recv_one(net, "b1-1.beta", "svc")
+        net.send("a1-1.alpha", "b1-1.beta", "svc", "K")
+        msg = net.sim.run_until_complete(proc)
+        # one-way 5 ms + software overhead
+        assert msg.delivered_at == pytest.approx(0.005 + net.sw_overhead_s)
+
+    def test_bytes_add_serialisation_time(self, net):
+        proc = recv_one(net, "b1-1.beta", "svc")
+        nbytes = 10_000_000  # 10 MB over 1 Gb/s = 80 ms
+        net.send("a1-1.alpha", "b1-1.beta", "svc", "K", size_bytes=nbytes)
+        msg = net.sim.run_until_complete(proc)
+        expected = 0.005 + net.sw_overhead_s + nbytes * 8.0 / 1.0e9
+        assert msg.delivered_at == pytest.approx(expected, rel=1e-6)
+
+    def test_self_send_works(self, net):
+        proc = recv_one(net, "a1-1.alpha", "loop")
+        net.send("a1-1.alpha", "a1-1.alpha", "loop", "K")
+        msg = net.sim.run_until_complete(proc)
+        assert msg.delivered_at == pytest.approx(net.sw_overhead_s)
+
+    def test_fifo_per_port(self, net):
+        got = []
+
+        def body(net):
+            for _ in range(3):
+                msg = yield net.receive("b1-1.beta", "svc")
+                got.append(msg.payload)
+
+        proc = net.sim.process(body(net))
+        for i in range(3):
+            net.send("a1-1.alpha", "b1-1.beta", "svc", "K", payload=i)
+        net.sim.run_until_complete(proc)
+        assert got == [0, 1, 2]
+
+    def test_kind_filtering(self, net):
+        def body(net):
+            msg = yield net.receive("b1-1.beta", "svc", kind="WANTED")
+            return msg.kind
+
+        proc = net.sim.process(body(net))
+        net.send("a1-1.alpha", "b1-1.beta", "svc", "OTHER")
+        net.send("a1-1.alpha", "b1-1.beta", "svc", "WANTED")
+        assert net.sim.run_until_complete(proc) == "WANTED"
+
+    def test_message_counter(self, net):
+        proc = recv_one(net, "b1-1.beta", "svc")
+        net.send("a1-1.alpha", "b1-1.beta", "svc", "K")
+        net.sim.run_until_complete(proc)
+        assert net.messages_delivered == 1
+
+
+class TestFailures:
+    def test_down_destination_drops(self, net):
+        net.set_down("b1-1.beta")
+        net.send("a1-1.alpha", "b1-1.beta", "svc", "K")
+        net.sim.run()
+        assert net.messages_dropped == 1
+        assert net.messages_delivered == 0
+
+    def test_down_source_cannot_send(self, net):
+        net.set_down("a1-1.alpha")
+        net.send("a1-1.alpha", "b1-1.beta", "svc", "K")
+        net.sim.run()
+        assert net.messages_dropped == 1
+
+    def test_down_at_delivery_time_drops(self, net):
+        # Message in flight when destination dies.
+        net.send("a1-1.alpha", "g1-1.gamma", "svc", "K")  # 10 ms one way
+
+        def killer(net):
+            yield net.sim.timeout(0.001)
+            net.set_down("g1-1.gamma")
+
+        net.sim.process(killer(net))
+        net.sim.run()
+        assert net.messages_dropped == 1
+
+    def test_revival_restores_delivery(self, net):
+        net.set_down("b1-1.beta")
+        net.set_down("b1-1.beta", down=False)
+        proc = recv_one(net, "b1-1.beta", "svc")
+        net.send("a1-1.alpha", "b1-1.beta", "svc", "K")
+        msg = net.sim.run_until_complete(proc)
+        assert msg.kind == "K"
+
+    def test_unregistered_destination_drops(self, net):
+        # gamma-2 deliberately never registered on a fresh network
+        sim2 = Simulator()
+        topo = make_small_topology()
+        net2 = Network(sim2, topo)
+        net2.register("a1-1.alpha")
+        net2.send("a1-1.alpha", "g1-2.gamma", "svc", "K")
+        sim2.run()
+        assert net2.messages_dropped == 1
+
+    def test_set_down_unknown_host_raises(self, net):
+        with pytest.raises(KeyError):
+            net.set_down("nosuch.host")
+
+    def test_register_unknown_host_raises(self, net):
+        with pytest.raises(KeyError):
+            net.register("nosuch.host")
+
+
+class TestContention:
+    def test_concurrent_flows_slow_each_other(self, net):
+        t_alone = net.transfer_time_s(
+            net.topology.host("a1-1.alpha"), net.topology.host("b1-1.beta"),
+            1_000_000)
+        # Occupy the link with another flow.
+        net.bandwidth.acquire(net.topology.host("a1-2.alpha"),
+                              net.topology.host("b1-2.beta"))
+        t_contended = net.transfer_time_s(
+            net.topology.host("a1-1.alpha"), net.topology.host("b1-1.beta"),
+            1_000_000)
+        assert t_contended > t_alone

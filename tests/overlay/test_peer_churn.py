@@ -1,0 +1,162 @@
+"""PeerDaemon boot/refresh and churn injection."""
+
+import numpy as np
+import pytest
+
+from repro.net.latency import LatencyModel
+from repro.net.transport import Network
+from repro.overlay.churn import ChurnInjector, FailureEvent
+from repro.overlay.peer import PeerDaemon
+from repro.overlay.supernode import Supernode
+from repro.sim import Simulator
+from tests.conftest import make_small_topology
+
+
+@pytest.fixture
+def env():
+    sim = Simulator(seed=4)
+    topo = make_small_topology()
+    latency = LatencyModel(topo, sim.rng.stream("net.latency"),
+                           noise_sigma_ms=0.0)
+    net = Network(sim, topo, latency=latency)
+    for host in topo.all_hosts():
+        net.register(host.name)
+    sn = Supernode(net, "a1-1.alpha")
+    sim.process(sn.service())
+
+    def daemon(name):
+        return PeerDaemon(sim, net, topo, topo.host(name), "a1-1.alpha",
+                          latency, alive_period_s=30.0)
+
+    return sim, topo, net, sn, daemon
+
+
+class TestPeerDaemon:
+    def test_boot_registers_and_seeds_cache(self, env):
+        sim, topo, net, sn, daemon = env
+        d1 = daemon("b1-1.beta")
+        sim.run_until_complete(sim.process(d1.boot()))
+        assert d1.joined
+        assert "b1-1.beta" in sn.records
+
+        d2 = daemon("g1-1.gamma")
+        sim.run_until_complete(sim.process(d2.boot()))
+        assert "b1-1.beta" in d2.cache
+
+    def test_boot_excludes_self_from_cache(self, env):
+        sim, topo, net, sn, daemon = env
+        d = daemon("b1-1.beta")
+        sim.run_until_complete(sim.process(d.boot()))
+        assert "b1-1.beta" not in d.cache
+
+    def test_alive_loop_sends_heartbeats(self, env):
+        sim, topo, net, sn, daemon = env
+        d = daemon("b1-1.beta")
+        sim.run_until_complete(sim.process(d.boot()))
+        sim.run(until=sim.now + 95.0)
+        assert sn.alive_signals >= 3
+
+    def test_refresh_cache_picks_up_new_peers(self, env):
+        sim, topo, net, sn, daemon = env
+        d1 = daemon("b1-1.beta")
+        sim.run_until_complete(sim.process(d1.boot()))
+        d2 = daemon("g1-1.gamma")
+        sim.run_until_complete(sim.process(d2.boot()))
+
+        def refresh():
+            added = yield from d1.refresh_cache()
+            return added
+
+        assert sim.run_until_complete(sim.process(refresh())) == 1
+        assert "g1-1.gamma" in d1.cache
+
+    def test_measure_latencies(self, env):
+        sim, topo, net, sn, daemon = env
+        d1 = daemon("b1-1.beta")
+        sim.run_until_complete(sim.process(d1.boot()))
+        d2 = daemon("a1-2.alpha")
+        sim.run_until_complete(sim.process(d2.boot()))
+        measured = d2.measure_latencies()
+        assert measured == 1
+        entry = d2.cache.entry("b1-1.beta")
+        assert entry.latency_ms == pytest.approx(10.0, abs=0.2)
+
+    def test_measure_only_unmeasured(self, env):
+        sim, topo, net, sn, daemon = env
+        d1 = daemon("b1-1.beta")
+        sim.run_until_complete(sim.process(d1.boot()))
+        d2 = daemon("a1-2.alpha")
+        sim.run_until_complete(sim.process(d2.boot()))
+        assert d2.measure_latencies() == 1
+        assert d2.measure_latencies() == 0
+        assert d2.measure_latencies(only_unmeasured=False) == 1
+
+    def test_report_dead_updates_cache_and_supernode(self, env):
+        sim, topo, net, sn, daemon = env
+        d1 = daemon("b1-1.beta")
+        sim.run_until_complete(sim.process(d1.boot()))
+        d2 = daemon("g1-1.gamma")
+        sim.run_until_complete(sim.process(d2.boot()))
+        d2.report_dead(["b1-1.beta"])
+        # Bounded run: the daemons' alive loops reschedule forever, so
+        # a bare run() would never return.
+        sim.run(until=sim.now + 1.0)
+        assert "b1-1.beta" not in d2.cache
+        assert "b1-1.beta" not in sn.records
+
+    def test_message_level_probe(self, env):
+        sim, topo, net, sn, daemon = env
+        d1 = daemon("b1-1.beta")
+        sim.run_until_complete(sim.process(d1.boot()))
+        d2 = daemon("a1-2.alpha")
+        sim.run_until_complete(sim.process(d2.boot()))
+
+        def body():
+            rtt = yield from d2.probe_latency(topo.host("b1-1.beta"))
+            return rtt
+
+        rtt = sim.run_until_complete(sim.process(body()))
+        assert rtt == pytest.approx(10.0, abs=0.5)
+
+
+class TestChurn:
+    def test_explicit_schedule(self, env):
+        sim, topo, net, sn, daemon = env
+        changes = []
+        injector = ChurnInjector(sim, net,
+                                 on_change=lambda h, d: changes.append((h, d)))
+        schedule = ChurnInjector.kill_at([(5.0, "b1-1.beta")])
+        proc = injector.start(schedule)
+        sim.run_until_complete(proc)
+        assert net.is_down("b1-1.beta")
+        assert changes == [("b1-1.beta", True)]
+        assert sim.now == 5.0
+
+    def test_poisson_schedule_deterministic(self):
+        rng1 = np.random.default_rng(9)
+        rng2 = np.random.default_rng(9)
+        hosts = [f"h{i}" for i in range(20)]
+        s1 = ChurnInjector.poisson_schedule(hosts, 0.01, 100.0, rng1)
+        s2 = ChurnInjector.poisson_schedule(hosts, 0.01, 100.0, rng2)
+        assert s1 == s2
+
+    def test_poisson_revival(self):
+        rng = np.random.default_rng(9)
+        events = ChurnInjector.poisson_schedule(
+            ["h1", "h2", "h3"], rate_per_host_s=1.0, horizon_s=100.0,
+            rng=rng, revive_after_s=1.0)
+        crashes = [e for e in events if e.down]
+        revivals = [e for e in events if not e.down]
+        assert crashes and revivals
+        for rev in revivals:
+            crash = next(e for e in crashes if e.host_name == rev.host_name)
+            assert rev.time == pytest.approx(crash.time + 1.0)
+
+    def test_unsorted_schedule_rejected(self, env):
+        sim, topo, net, sn, daemon = env
+        injector = ChurnInjector(sim, net)
+        bad = [FailureEvent(5.0, "b1-1.beta", True),
+               FailureEvent(1.0, "b1-2.beta", True)]
+        proc = injector.start(bad)
+        with pytest.raises(ValueError):
+            sim.run_until_complete(proc)

@@ -1,0 +1,98 @@
+"""The §4.1 periodic ping loop and EWMA cache folding."""
+
+import pytest
+
+from repro.net.latency import LatencyModel
+from repro.net.transport import Network
+from repro.overlay.peer import PeerDaemon
+from repro.overlay.supernode import Supernode
+from repro.sim import Simulator
+from tests.conftest import make_small_topology
+
+
+def build(ewma_alpha=None, sigma=0.5):
+    sim = Simulator(seed=8)
+    topo = make_small_topology()
+    latency = LatencyModel(topo, sim.rng.stream("net.latency"),
+                           noise_sigma_ms=sigma)
+    net = Network(sim, topo, latency=latency)
+    for host in topo.all_hosts():
+        net.register(host.name)
+    sn = Supernode(net, "a1-1.alpha")
+    sim.process(sn.service())
+    daemons = []
+    for name in ("b1-1.beta", "a1-2.alpha"):
+        d = PeerDaemon(sim, net, topo, topo.host(name), "a1-1.alpha",
+                       latency, ewma_alpha=ewma_alpha)
+        sim.run_until_complete(sim.process(d.boot()))
+        daemons.append(d)
+    return sim, net, daemons
+
+
+class TestPeriodicPing:
+    def test_rounds_update_cache(self):
+        sim, net, (d1, d2) = build()
+        sim.process(d2.periodic_ping(period_s=10.0))
+        sim.run(until=sim.now + 35.0)
+        entry = d2.cache.entry("b1-1.beta")
+        assert entry.n_samples >= 3
+        assert entry.latency_ms == pytest.approx(10.0, abs=3.0)
+
+    def test_stops_when_host_dies(self):
+        sim, net, (d1, d2) = build()
+        sim.process(d2.periodic_ping(period_s=10.0))
+        sim.run(until=sim.now + 15.0)
+        samples_before = d2.cache.entry("b1-1.beta").n_samples
+        net.set_down(d2.host.name)
+        sim.run(until=sim.now + 50.0)
+        assert d2.cache.entry("b1-1.beta").n_samples == samples_before
+
+    def test_invalid_period(self):
+        sim, net, (d1, d2) = build()
+        with pytest.raises(ValueError):
+            sim.run_until_complete(sim.process(d2.periodic_ping(period_s=0)))
+
+    def test_ewma_smoother_than_last_sample(self):
+        """EWMA-folded estimates vary less across rounds than raw ones."""
+        import numpy as np
+
+        def variability(alpha):
+            sim, net, (d1, d2) = build(ewma_alpha=alpha, sigma=2.0)
+            sim.process(d2.periodic_ping(period_s=5.0))
+            values = []
+            for _ in range(30):
+                sim.run(until=sim.now + 5.0)
+                entry = d2.cache.entry("b1-1.beta")
+                if entry.latency_ms is not None:
+                    values.append(entry.latency_ms)
+            return float(np.std(values[5:]))
+
+        assert variability(alpha=0.2) < variability(alpha=None)
+
+    def test_cache_fold_replaces_without_alpha(self):
+        sim, net, (d1, d2) = build()
+        d2.cache.fold_latency("b1-1.beta", 100.0, now=1.0)
+        assert d2.cache.entry("b1-1.beta").latency_ms == 100.0
+        d2.cache.fold_latency("b1-1.beta", 50.0, now=2.0)
+        assert d2.cache.entry("b1-1.beta").latency_ms == 50.0
+
+    def test_cache_fold_ewma(self):
+        sim, net, (d1, d2) = build()
+        d2.cache.fold_latency("b1-1.beta", 100.0, now=1.0, ewma_alpha=0.5)
+        d2.cache.fold_latency("b1-1.beta", 50.0, now=2.0, ewma_alpha=0.5)
+        assert d2.cache.entry("b1-1.beta").latency_ms == pytest.approx(75.0)
+
+
+class TestMiddlewarePingPeriod:
+    def test_cluster_with_periodic_ping_boots_and_allocates(self):
+        from repro.cluster import P2PMPICluster
+        from repro.middleware.config import MiddlewareConfig
+        from repro.middleware.jobs import JobRequest, JobStatus
+
+        cluster = P2PMPICluster(
+            make_small_topology(), seed=11,
+            config=MiddlewareConfig(noise_sigma_ms=0.05, ping_period_s=15.0),
+            supernode_host="a1-1.alpha",
+        ).boot()
+        res = cluster.submit_and_run(JobRequest(n=6, strategy="spread"))
+        assert res.status is JobStatus.SUCCESS

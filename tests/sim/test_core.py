@@ -1,0 +1,149 @@
+"""Event-loop semantics of the simulation kernel."""
+
+import pytest
+
+from repro.sim import Simulator, SimulationError
+from repro.sim.core import Infinity
+
+
+class TestClock:
+    def test_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_timeout_advances_clock(self, sim):
+        def body(sim):
+            yield sim.timeout(3.5)
+            return sim.now
+
+        assert sim.run_until_complete(sim.process(body(sim))) == 3.5
+
+    def test_run_until_sets_clock_even_if_queue_drains(self, sim):
+        sim.timeout(1.0)
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_run_until_in_past_raises(self, sim):
+        def body(sim):
+            yield sim.timeout(5.0)
+
+        sim.run_until_complete(sim.process(body(sim)))
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+
+class TestOrdering:
+    def test_fifo_within_same_time(self, sim):
+        order = []
+
+        def body(sim, label):
+            yield sim.timeout(1.0)
+            order.append(label)
+
+        for label in "abcde":
+            sim.process(body(sim, label))
+        sim.run()
+        assert order == list("abcde")
+
+    def test_time_ordering(self, sim):
+        order = []
+
+        def body(sim, delay, label):
+            yield sim.timeout(delay)
+            order.append(label)
+
+        sim.process(body(sim, 3.0, "late"))
+        sim.process(body(sim, 1.0, "early"))
+        sim.process(body(sim, 2.0, "mid"))
+        sim.run()
+        assert order == ["early", "mid", "late"]
+
+    def test_events_processed_counter(self, sim):
+        def body(sim):
+            yield sim.timeout(1.0)
+            yield sim.timeout(1.0)
+
+        sim.run_until_complete(sim.process(body(sim)))
+        assert sim.events_processed >= 3
+
+
+class TestRunControl:
+    def test_step_empty_queue_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_peek_empty_is_infinity(self, sim):
+        assert sim.peek() == Infinity
+
+    def test_stop_halts_run(self, sim):
+        seen = []
+
+        def body(sim):
+            for i in range(100):
+                yield sim.timeout(1.0)
+                seen.append(i)
+                if i == 4:
+                    sim.stop()
+
+        sim.process(body(sim))
+        sim.run()
+        assert seen[-1] == 4
+        assert sim.now == 5.0
+
+    def test_run_until_complete_returns_value(self, sim):
+        def body(sim):
+            yield sim.timeout(1.0)
+            return "payload"
+
+        assert sim.run_until_complete(sim.process(body(sim))) == "payload"
+
+    def test_run_until_complete_raises_process_error(self, sim):
+        def body(sim):
+            yield sim.timeout(1.0)
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            sim.run_until_complete(sim.process(body(sim)))
+
+    def test_run_until_complete_limit(self, sim):
+        def body(sim):
+            yield sim.timeout(100.0)
+
+        with pytest.raises(SimulationError):
+            sim.run_until_complete(sim.process(body(sim)), limit=1.0)
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        sim = Simulator(seed=seed)
+        trace = []
+
+        def body(sim, name):
+            rng = sim.rng.stream(f"test.{name}")
+            for _ in range(5):
+                yield sim.timeout(float(rng.random()))
+                trace.append((round(sim.now, 12), name))
+
+        for name in ("x", "y"):
+            sim.process(body(sim, name))
+        sim.run()
+        return trace
+
+    def test_same_seed_same_trace(self):
+        assert self._run(1) == self._run(1)
+
+    def test_different_seed_different_trace(self):
+        assert self._run(1) != self._run(2)
+
+    def test_trace_hook_called(self):
+        hits = []
+        sim = Simulator(trace=lambda t, e: hits.append(t))
+
+        def body(sim):
+            yield sim.timeout(1.0)
+
+        sim.run_until_complete(sim.process(body(sim)))
+        assert hits

@@ -1,0 +1,64 @@
+"""Monitor recording and querying."""
+
+import numpy as np
+
+from repro.sim import Monitor
+
+
+class TestMonitor:
+    def test_record_and_select(self):
+        mon = Monitor()
+        mon.record(0.0, "alloc", "h1", site="nancy")
+        mon.record(1.0, "alloc", "h2", site="lyon")
+        assert len(mon.select("alloc")) == 2
+        assert [r.value for r in mon.select("alloc", site="lyon")] == ["h2"]
+
+    def test_values(self):
+        mon = Monitor()
+        for i in range(3):
+            mon.record(i, "k", i * 10)
+        assert mon.values("k") == [0, 10, 20]
+
+    def test_counters(self):
+        mon = Monitor()
+        mon.count("jobs")
+        mon.count("jobs", 2)
+        assert mon.counters["jobs"] == 3
+
+    def test_series(self):
+        mon = Monitor()
+        mon.record(0.5, "load", 1.0)
+        mon.record(1.5, "load", 3.0)
+        times, values = mon.series("load")
+        assert np.allclose(times, [0.5, 1.5])
+        assert np.allclose(values, [1.0, 3.0])
+
+    def test_group_count_and_sum(self):
+        mon = Monitor()
+        mon.record(0, "proc", 2, site="a")
+        mon.record(0, "proc", 3, site="a")
+        mon.record(0, "proc", 5, site="b")
+        assert mon.group_count("proc", "site") == {"a": 2, "b": 1}
+        assert mon.group_sum("proc", "site") == {"a": 5.0, "b": 5.0}
+
+    def test_tag_default(self):
+        mon = Monitor()
+        mon.record(0, "k", 1)
+        assert mon.select("k")[0].tag("missing", "dflt") == "dflt"
+
+    def test_merge(self):
+        a, b = Monitor(), Monitor()
+        a.record(0, "k", 1)
+        a.count("c", 1)
+        b.record(1, "k", 2)
+        b.count("c", 2)
+        merged = a.merge(b)
+        assert len(merged.select("k")) == 2
+        assert merged.counters["c"] == 3
+
+    def test_clear(self):
+        mon = Monitor()
+        mon.record(0, "k", 1)
+        mon.count("c")
+        mon.clear()
+        assert not mon.records and not mon.counters

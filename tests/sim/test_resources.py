@@ -1,0 +1,207 @@
+"""Stores and resources."""
+
+import pytest
+
+from repro.sim import FilterStore, PriorityStore, Resource, Simulator, Store
+from repro.sim.core import SimulationError
+
+
+class TestStore:
+    def test_put_get_fifo(self, sim):
+        box = Store(sim)
+
+        def producer(sim, box):
+            for i in range(3):
+                yield box.put(i)
+
+        def consumer(sim, box):
+            out = []
+            for _ in range(3):
+                item = yield box.get()
+                out.append(item)
+            return out
+
+        sim.process(producer(sim, box))
+        proc = sim.process(consumer(sim, box))
+        assert sim.run_until_complete(proc) == [0, 1, 2]
+
+    def test_get_blocks_until_put(self, sim):
+        box = Store(sim)
+
+        def consumer(sim, box):
+            item = yield box.get()
+            return (sim.now, item)
+
+        def producer(sim, box):
+            yield sim.timeout(5.0)
+            yield box.put("late")
+
+        proc = sim.process(consumer(sim, box))
+        sim.process(producer(sim, box))
+        assert sim.run_until_complete(proc) == (5.0, "late")
+
+    def test_capacity_blocks_put(self, sim):
+        box = Store(sim, capacity=1)
+        done = []
+
+        def producer(sim, box):
+            yield box.put("a")
+            yield box.put("b")  # blocks until a get
+            done.append(sim.now)
+
+        def consumer(sim, box):
+            yield sim.timeout(3.0)
+            item = yield box.get()
+            return item
+
+        sim.process(producer(sim, box))
+        proc = sim.process(consumer(sim, box))
+        assert sim.run_until_complete(proc) == "a"
+        sim.run()
+        assert done and done[0] == 3.0
+
+    def test_len(self, sim):
+        box = Store(sim)
+        box.put("x")
+        sim.run()
+        assert len(box) == 1
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(SimulationError):
+            Store(sim, capacity=0)
+
+
+class TestFilterStore:
+    def test_predicate_matching(self, sim):
+        box = FilterStore(sim)
+
+        def producer(sim, box):
+            yield box.put({"tag": 1, "v": "one"})
+            yield box.put({"tag": 2, "v": "two"})
+
+        def consumer(sim, box):
+            msg = yield box.get(lambda m: m["tag"] == 2)
+            return msg["v"]
+
+        sim.process(producer(sim, box))
+        proc = sim.process(consumer(sim, box))
+        assert sim.run_until_complete(proc) == "two"
+
+    def test_unmatched_getter_not_starved_by_earlier_getter(self, sim):
+        box = FilterStore(sim)
+        got = []
+
+        def get_tag(sim, box, tag):
+            msg = yield box.get(lambda m: m["tag"] == tag)
+            got.append((tag, sim.now))
+
+        def producer(sim, box):
+            yield sim.timeout(1.0)
+            yield box.put({"tag": "b"})
+            yield sim.timeout(1.0)
+            yield box.put({"tag": "a"})
+
+        sim.process(get_tag(sim, box, "a"))  # registered first, matches later
+        sim.process(get_tag(sim, box, "b"))
+        sim.process(producer(sim, box))
+        sim.run()
+        assert dict(got) == {"b": 1.0, "a": 2.0}
+
+    def test_default_predicate_accepts_all(self, sim):
+        box = FilterStore(sim)
+        box.put("x")
+
+        def consumer(sim, box):
+            item = yield box.get()
+            return item
+
+        assert sim.run_until_complete(sim.process(consumer(sim, box))) == "x"
+
+
+class TestPriorityStore:
+    def test_pops_smallest(self, sim):
+        box = PriorityStore(sim)
+        for item in [(3, "c"), (1, "a"), (2, "b")]:
+            box.put(item)
+        sim.run()  # all items stored before any get
+
+        def consumer(sim, box):
+            out = []
+            for _ in range(3):
+                item = yield box.get()
+                out.append(item[1])
+            return out
+
+        proc = sim.process(consumer(sim, box))
+        assert sim.run_until_complete(proc) == ["a", "b", "c"]
+
+    def test_ties_fifo(self, sim):
+        box = PriorityStore(sim)
+        for label in ("first", "second"):
+            box.put((1, label))
+        sim.run()
+
+        def consumer(sim, box):
+            a = yield box.get()
+            b = yield box.get()
+            return [a[1], b[1]]
+
+        assert sim.run_until_complete(
+            sim.process(consumer(sim, box))) == ["first", "second"]
+
+
+class TestResource:
+    def test_grant_within_capacity(self, sim):
+        res = Resource(sim, capacity=2)
+
+        def body(sim, res):
+            req = res.request()
+            yield req
+            return res.in_use
+
+        assert sim.run_until_complete(sim.process(body(sim, res))) == 1
+
+    def test_queueing_and_release(self, sim):
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def worker(sim, res, label, hold):
+            req = res.request()
+            yield req
+            order.append((label, sim.now))
+            yield sim.timeout(hold)
+            res.release(req)
+
+        sim.process(worker(sim, res, "a", 2.0))
+        sim.process(worker(sim, res, "b", 1.0))
+        sim.run()
+        assert order == [("a", 0.0), ("b", 2.0)]
+
+    def test_release_idle_raises(self, sim):
+        res = Resource(sim)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_cancel_pending_request(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def holder(sim, res):
+            req = res.request()
+            yield req
+            yield sim.timeout(10.0)
+            res.release(req)
+
+        sim.process(holder(sim, res))
+        sim.run(until=1.0)
+        waiting = res.request()
+        waiting.cancel()
+        sim.run()
+        assert res.available == 1  # holder released; waiter never took it
+
+    def test_available(self, sim):
+        res = Resource(sim, capacity=3)
+        assert res.available == 3
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)

@@ -1,0 +1,62 @@
+"""Deterministic named random streams."""
+
+import numpy as np
+
+from repro.sim.rng import RngRegistry, stable_hash64
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash64("x") == stable_hash64("x")
+
+    def test_distinct_names(self):
+        assert stable_hash64("a") != stable_hash64("b")
+
+    def test_64_bit_range(self):
+        for name in ("", "x", "a.very.long.stream.name" * 10):
+            assert 0 <= stable_hash64(name) < 2 ** 64
+
+
+class TestRegistry:
+    def test_same_seed_same_stream(self):
+        a = RngRegistry(5).stream("net").random(10)
+        b = RngRegistry(5).stream("net").random(10)
+        assert np.array_equal(a, b)
+
+    def test_different_seed_differs(self):
+        a = RngRegistry(5).stream("net").random(10)
+        b = RngRegistry(6).stream("net").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_different_names_independent(self):
+        reg = RngRegistry(5)
+        a = reg.stream("one").random(10)
+        b = reg.stream("two").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_stream_is_cached(self):
+        reg = RngRegistry(0)
+        assert reg.stream("s") is reg.stream("s")
+        assert "s" in reg
+
+    def test_new_consumer_does_not_perturb_existing(self):
+        reg1 = RngRegistry(9)
+        _ = reg1.stream("a").random(3)
+        after_other = reg1.stream("b").random(3)
+
+        reg2 = RngRegistry(9)
+        direct = reg2.stream("b").random(3)
+        assert np.array_equal(after_other, direct)
+
+    def test_fork_independence(self):
+        reg = RngRegistry(4)
+        forked = reg.fork("rep1")
+        assert forked.seed != reg.seed
+        a = reg.stream("x").random(5)
+        b = forked.stream("x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_fork_deterministic(self):
+        a = RngRegistry(4).fork("rep1").stream("x").random(5)
+        b = RngRegistry(4).fork("rep1").stream("x").random(5)
+        assert np.array_equal(a, b)

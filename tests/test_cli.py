@@ -1,0 +1,49 @@
+"""CLI surface."""
+
+import pytest
+
+from repro.cli import build_parser, main, make_app
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["-n", "8"])
+        assert args.n == 8 and args.r == 1 and args.alloc == "spread"
+        assert args.prog == "hostname"
+
+    def test_paper_invocation(self):
+        args = build_parser().parse_args(
+            ["-n", "100", "-r", "2", "-a", "concentrate", "ep"])
+        assert (args.n, args.r, args.alloc, args.prog) == (
+            100, 2, "concentrate", "ep")
+
+    def test_experiment_flag(self):
+        args = build_parser().parse_args(["--experiment", "table1"])
+        assert args.experiment == "table1"
+
+
+class TestMakeApp:
+    @pytest.mark.parametrize("name", ["hostname", "ep", "is", "cg"])
+    def test_known_programs(self, name):
+        assert make_app(name) is not None
+
+    def test_unknown_program(self):
+        with pytest.raises(ValueError):
+            make_app("quake")
+
+
+class TestMain:
+    def test_missing_n_errors(self, capsys):
+        assert main([]) == 2
+        assert "-n is mandatory" in capsys.readouterr().err
+
+    def test_single_run(self, capsys):
+        code = main(["-n", "8", "-a", "concentrate", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "success" in out and "nancy" in out
+
+    def test_table1(self, capsys):
+        assert main(["--experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "grelon" in out and "sol" in out and "17.167" in out

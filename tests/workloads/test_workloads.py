@@ -1,0 +1,140 @@
+"""Workload generation and stream replay."""
+
+import numpy as np
+import pytest
+
+from repro.middleware.jobs import JobStatus
+from repro.workloads import (
+    JobMix,
+    WorkloadSpec,
+    generate_stream,
+    replay_stream,
+)
+
+
+def spec(submitters, rate=0.5, horizon=60.0, mixes=None, max_jobs=100):
+    return WorkloadSpec(
+        arrival_rate_per_s=rate,
+        horizon_s=horizon,
+        mixes=tuple(mixes or (JobMix(n=4), JobMix(n=6, strategy="concentrate",
+                                                  weight=0.5))),
+        submitters=tuple(submitters),
+        max_jobs=max_jobs,
+    )
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        s = spec(["h1", "h2"])
+        a = generate_stream(s, np.random.default_rng(5))
+        b = generate_stream(s, np.random.default_rng(5))
+        assert a == b
+
+    def test_arrival_times_sorted_within_horizon(self):
+        jobs = generate_stream(spec(["h1"]), np.random.default_rng(1))
+        times = [j.at_s for j in jobs]
+        assert times == sorted(times)
+        assert all(0 < t < 60.0 for t in times)
+
+    def test_rate_controls_count(self):
+        low = generate_stream(spec(["h1"], rate=0.1),
+                              np.random.default_rng(2))
+        high = generate_stream(spec(["h1"], rate=2.0),
+                               np.random.default_rng(2))
+        assert len(high) > len(low)
+
+    def test_max_jobs_cap(self):
+        jobs = generate_stream(spec(["h1"], rate=10.0, max_jobs=7),
+                               np.random.default_rng(3))
+        assert len(jobs) == 7
+
+    def test_mix_shapes_respected(self):
+        jobs = generate_stream(spec(["h1"], rate=2.0),
+                               np.random.default_rng(4))
+        shapes = {(j.request.n, j.request.strategy) for j in jobs}
+        assert shapes <= {(4, "spread"), (6, "concentrate")}
+        assert len(shapes) == 2  # both mixes appear at this rate
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(rate=0.0), dict(horizon=0.0),
+        dict(mixes=()), dict(submitters=[]),
+    ])
+    def test_invalid_spec(self, kwargs):
+        base = dict(rate=1.0, horizon=10.0, mixes=(JobMix(n=2),),
+                    submitters=("h1",))
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            WorkloadSpec(
+                arrival_rate_per_s=base["rate"],
+                horizon_s=base["horizon"],
+                mixes=tuple(base["mixes"]),
+                submitters=tuple(base["submitters"]),
+            )
+
+    def test_invalid_mix(self):
+        with pytest.raises(ValueError):
+            JobMix(n=0)
+        with pytest.raises(ValueError):
+            JobMix(n=1, weight=0)
+
+
+class TestReplay:
+    def test_light_load_all_accepted(self, small_cluster):
+        jobs = generate_stream(
+            spec(["a1-1.alpha", "b1-1.beta"], rate=0.05, horizon=100.0,
+                 mixes=(JobMix(n=3),)),
+            np.random.default_rng(6))
+        assert jobs, "stream must not be empty for this test"
+        stats = replay_stream(small_cluster, jobs)
+        assert stats.n_jobs == len(jobs)
+        assert stats.acceptance_rate == 1.0
+        assert stats.mean_reservation_s() > 0
+
+    def test_same_submitter_serialised(self, small_cluster):
+        """Burst from one submitter must not trip the concurrency guard."""
+        jobs = generate_stream(
+            spec(["a1-1.alpha"], rate=5.0, horizon=2.0, mixes=(JobMix(n=2),),
+                 max_jobs=6),
+            np.random.default_rng(7))
+        stats = replay_stream(small_cluster, jobs)
+        assert stats.acceptance_rate == 1.0
+
+    def test_overload_reports_failures_not_crashes(self, small_cluster):
+        """Long overlapping demands beyond capacity must surface as
+        retries or infeasible verdicts — never crashes."""
+        from repro.apps import HostnameApp
+
+        slow = HostnameApp(startup_s=30.0)  # jobs overlap for 30 s
+        jobs = generate_stream(
+            spec(["a1-1.alpha", "b1-1.beta", "g1-1.gamma"], rate=3.0,
+                 horizon=3.0,
+                 mixes=(JobMix(n=14, strategy="concentrate", app=slow),),
+                 max_jobs=6),
+            np.random.default_rng(12))
+        submitters = {j.submitter for j in jobs}
+        assert len(submitters) >= 2, "need cross-submitter overlap"
+        stats = replay_stream(small_cluster, jobs)
+        hist = stats.status_histogram()
+        assert sum(hist.values()) == stats.n_jobs
+        assert stats.accepted >= 1
+        # A 28-core grid cannot run overlapping 14-process jobs:
+        assert stats.total_retries() > 0 or hist.get("infeasible", 0) > 0
+
+    def test_cores_served_accounting(self, small_cluster):
+        jobs = generate_stream(
+            spec(["a1-1.alpha"], rate=0.1, horizon=30.0, mixes=(JobMix(n=4),)),
+            np.random.default_rng(9))
+        stats = replay_stream(small_cluster, jobs)
+        served = stats.cores_served_by_site()
+        assert sum(served.values()) == 4 * stats.accepted
+
+    def test_summary_text(self, small_cluster):
+        jobs = generate_stream(
+            spec(["a1-1.alpha"], rate=0.1, horizon=20.0, mixes=(JobMix(n=2),)),
+            np.random.default_rng(10))
+        stats = replay_stream(small_cluster, jobs)
+        assert "acceptance" in stats.summary()
+
+    def test_empty_stream(self, small_cluster):
+        stats = replay_stream(small_cluster, [])
+        assert stats.n_jobs == 0 and stats.acceptance_rate == 1.0
