@@ -10,6 +10,12 @@ and adds experiment subcommands::
     p2pmpirun --experiment fig3   # spread co-allocation sweep
     p2pmpirun --experiment fig4   # EP + IS timing sweeps
     p2pmpirun --experiment table1 # resource inventory
+    p2pmpirun --experiment all    # the whole campaign
+
+Sweeps run on the experiment engine: ``--jobs N`` fans cells out over
+worker processes, ``--out DIR`` persists results to a
+:class:`~repro.experiments.engine.ResultStore` (re-invocations skip
+cached cells), and ``--force`` invalidates the stored sweep first.
 """
 
 from __future__ import annotations
@@ -21,11 +27,23 @@ from typing import List, Optional
 from repro.apps import CGLikeBenchmark, EPBenchmark, HostnameApp, ISBenchmark
 from repro.cluster import build_grid5000_cluster
 from repro.experiments.applications import (
-    IS_PROCESS_COUNTS,
-    run_application_experiment,
+    app_series_from_sweep,
+    application_spec,
+    application_sweep,
 )
-from repro.experiments.coallocation import run_coallocation_experiment
+from repro.experiments.coallocation import (
+    coallocation_spec,
+    coallocation_sweep,
+    series_from_sweep,
+)
+from repro.experiments.engine import ResultStore, SweepResult
+from repro.experiments.multiuser import multiuser_spec, multiuser_sweep
 from repro.experiments.report import format_series_table, format_site_table
+from repro.experiments.scaling import (
+    scaling_series_from_sweep,
+    scaling_spec,
+    scaling_sweep,
+)
 from repro.grid5000.builder import build_topology, paper_site_legend
 from repro.grid5000.resources import CLUSTERS
 from repro.middleware.jobs import JobRequest
@@ -66,9 +84,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--experiment",
                         choices=("fig2", "fig3", "fig4", "table1",
-                                 "ablations"),
-                        help="regenerate a paper figure/table (or the "
-                             "ablation studies) instead of running a job")
+                                 "ablations", "scaling", "multiuser",
+                                 "all"),
+                        help="regenerate a paper figure/table, run the "
+                             "ablation studies, or run the whole campaign "
+                             "('all') instead of running a job")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for sweep cells (default 1)")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="persist sweep results under DIR; cached "
+                             "cells are skipped on re-invocation")
+    parser.add_argument("--force", action="store_true",
+                        help="invalidate stored sweeps and recompute")
     parser.add_argument("--plot", action="store_true",
                         help="also render ASCII charts for figure sweeps")
     parser.add_argument("prog", nargs="?", default="hostname",
@@ -96,6 +123,102 @@ def _run_single(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _store(args: argparse.Namespace) -> Optional[ResultStore]:
+    return ResultStore(args.out) if args.out else None
+
+
+def _report_sweep(sweep: SweepResult, store: Optional[ResultStore]) -> None:
+    line = f"[engine] {sweep.summary()}"
+    if store is not None:
+        line += f" -> {store.path_for(sweep.spec)}"
+    print(line)
+
+
+def _run_coallocation(args: argparse.Namespace, experiment: str,
+                      store: Optional[ResultStore]) -> None:
+    strategy = "concentrate" if experiment == "fig2" else "spread"
+    spec = coallocation_spec(seed=args.seed, strategies=(strategy,),
+                             name=experiment)
+    sweep = coallocation_sweep(spec=spec, jobs=args.jobs, store=store,
+                               force=args.force)
+    _report_sweep(sweep, store)
+    series = series_from_sweep(sweep)[strategy]
+    print(format_site_table(series, value="hosts"))
+    print()
+    print(format_site_table(series, value="cores"))
+    if args.plot:
+        from repro.experiments.figures import ascii_plot
+        from repro.experiments.report import legend_order
+
+        sites = legend_order(
+            sorted({s for pt in series.points for s in pt.cores_by_site}))
+        print()
+        print(ascii_plot(
+            series.demands,
+            {site: series.cores_series(site) for site in sites},
+            title=f"{strategy}: allocated cores per site",
+            y_label="cores",
+        ))
+
+
+def _run_fig4(args: argparse.Namespace,
+              store: Optional[ResultStore]) -> None:
+    panels = {}
+    for app in (EPBenchmark(args.nas_class), ISBenchmark(args.nas_class)):
+        spec = application_spec(app, seed=args.seed)
+        sweep = application_sweep(spec=spec, jobs=args.jobs, store=store,
+                                  force=args.force)
+        _report_sweep(sweep, store)
+        panels[app.name] = app_series_from_sweep(sweep)
+    for label, series in panels.items():
+        print()
+        print(format_series_table(series, title=label.upper()))
+    if args.plot:
+        from repro.experiments.figures import ascii_plot
+
+        for label, series in panels.items():
+            print()
+            print(ascii_plot(
+                series["spread"].ns,
+                {name: s.times for name, s in series.items()},
+                title=f"{label} total time",
+                y_label="s",
+            ))
+
+
+def _run_scaling(args: argparse.Namespace,
+                 store: Optional[ResultStore]) -> None:
+    strategy = args.alloc
+    if strategy == "block":
+        print("warning: --experiment scaling does not sweep the block "
+              "strategy; using spread", file=sys.stderr)
+        strategy = "spread"
+    spec = scaling_spec(seed=args.seed, strategy=strategy)
+    sweep = scaling_sweep(spec=spec, jobs=args.jobs, store=store,
+                          force=args.force)
+    _report_sweep(sweep, store)
+    series = scaling_series_from_sweep(sweep)
+    print(f"strategy: {series.strategy}")
+    for p in series.points:
+        print(f"n={p.n:<4} reservation={p.reservation_s * 1e3:7.1f} ms  "
+              f"launch={p.launch_s * 1e3:7.1f} ms  booked={p.booked_hosts}  "
+              f"attempts={p.attempts}")
+
+
+def _run_multiuser(args: argparse.Namespace,
+                   store: Optional[ResultStore]) -> None:
+    spec = multiuser_spec(seed=args.seed)
+    sweep = multiuser_sweep(spec=spec, jobs=args.jobs, store=store,
+                            force=args.force)
+    _report_sweep(sweep, store)
+    for cell in sweep.cells:
+        v = cell.value
+        print(f"users={cell.params['users']} n={cell.params['n']} "
+              f"{cell.params['strategy']:<12} statuses={v['statuses']} "
+              f"overlaps={v['concurrent_overlap_count']} "
+              f"refusals={v['total_refusals']}")
+
+
 def _run_experiment(args: argparse.Namespace) -> int:
     if args.experiment == "table1":
         print(f"{'Site':<10}{'Cluster':<12}{'CPU':<20}"
@@ -108,26 +231,18 @@ def _run_experiment(args: argparse.Namespace) -> int:
         for site, rtt, hosts, cores in paper_site_legend(topo):
             print(f"  {site:<10} {rtt:>7.3f} ms  {hosts:>3} hosts  {cores:>4} cores")
         return 0
+    store = _store(args)
     if args.experiment in ("fig2", "fig3"):
-        strategy = "concentrate" if args.experiment == "fig2" else "spread"
-        series = run_coallocation_experiment(
-            seed=args.seed, strategies=(strategy,))[strategy]
-        print(format_site_table(series, value="hosts"))
-        print()
-        print(format_site_table(series, value="cores"))
-        if args.plot:
-            from repro.experiments.figures import ascii_plot
-            from repro.experiments.report import legend_order
-
-            sites = legend_order(
-                sorted({s for pt in series.points for s in pt.cores_by_site}))
-            print()
-            print(ascii_plot(
-                series.demands,
-                {site: series.cores_series(site) for site in sites},
-                title=f"{strategy}: allocated cores per site",
-                y_label="cores",
-            ))
+        _run_coallocation(args, args.experiment, store)
+        return 0
+    if args.experiment == "fig4":
+        _run_fig4(args, store)
+        return 0
+    if args.experiment == "scaling":
+        _run_scaling(args, store)
+        return 0
+    if args.experiment == "multiuser":
+        _run_multiuser(args, store)
         return 0
     if args.experiment == "ablations":
         from repro.experiments.ablations import (
@@ -136,38 +251,35 @@ def _run_experiment(args: argparse.Namespace) -> int:
         )
 
         print("Latency noise vs ranking quality (Kendall tau):")
-        for p in latency_noise_ablation(seed=args.seed):
+        for p in latency_noise_ablation(seed=args.seed, jobs=args.jobs,
+                                        store=store, force=args.force):
             print(f"  sigma={p.noise_sigma_ms:5.2f} ms  tau={p.tau:.4f}")
         print("\nReplication degree vs survival (5% host failures):")
-        for p in replication_ablation(seed=args.seed or 1):
+        for p in replication_ablation(seed=args.seed or 1, store=store,
+                                      force=args.force):
             print(f"  r={p.r}  P(survive)={p.survival:.4f}")
         return 0
-    # fig4
-    cluster = build_grid5000_cluster(seed=args.seed)
-    ep = run_application_experiment(EPBenchmark(args.nas_class),
-                                    cluster=cluster)
-    print(format_series_table(ep, title="EP"))
+    # --experiment all: the full campaign through the engine.
+    for experiment in ("fig2", "fig3"):
+        print(f"== {experiment} ==")
+        _run_coallocation(args, experiment, store)
+        print()
+    print("== fig4 ==")
+    _run_fig4(args, store)
     print()
-    isb = run_application_experiment(ISBenchmark(args.nas_class),
-                                     process_counts=IS_PROCESS_COUNTS,
-                                     cluster=cluster)
-    print(format_series_table(isb, title="IS"))
-    if args.plot:
-        from repro.experiments.figures import ascii_plot
-
-        for label, series in (("EP", ep), ("IS", isb)):
-            print()
-            print(ascii_plot(
-                series["spread"].ns,
-                {name: s.times for name, s in series.items()},
-                title=f"{label} class {args.nas_class} total time",
-                y_label="s",
-            ))
+    print("== scaling ==")
+    _run_scaling(args, store)
+    print()
+    print("== multiuser ==")
+    _run_multiuser(args, store)
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
     if args.experiment:
         return _run_experiment(args)
     return _run_single(args)

@@ -16,6 +16,8 @@ Example
 
 from __future__ import annotations
 
+import dataclasses
+from dataclasses import dataclass
 from typing import Callable, Dict, Generator, List, Optional, Sequence
 
 from repro.apps.base import AppEnv
@@ -26,14 +28,16 @@ from repro.middleware.jobs import JobRequest, JobResult
 from repro.middleware.mpd import MPD
 from repro.mpi.costmodel import CostParams
 from repro.net.latency import LatencyModel
-from repro.net.topology import Host, Topology
+from repro.net.topology import Cluster, Host, Site, Topology
 from repro.net.transport import Network
 from repro.overlay.churn import ChurnInjector, FailureEvent
 from repro.overlay.supernode import Supernode
 from repro.sim.core import Simulator
 from repro.sim.monitor import Monitor
 
-__all__ = ["P2PMPICluster", "build_grid5000_cluster", "DEFAULT_COST_PARAMS"]
+__all__ = ["P2PMPICluster", "build_grid5000_cluster", "build_small_cluster",
+           "ClusterSpec", "register_cluster_kind", "cluster_kinds",
+           "DEFAULT_COST_PARAMS"]
 
 #: Communication cost parameters calibrated for the 2008 Java/MPJ
 #: runtime (see DESIGN.md §5 and repro.mpi.costmodel).
@@ -234,3 +238,117 @@ def build_grid5000_cluster(
         cost_params=cost_params,
     )
     return cluster.boot() if boot else cluster
+
+
+def build_small_cluster(
+    seed: int = 0,
+    config: Optional[MiddlewareConfig] = None,
+    cost_params: CostParams = DEFAULT_COST_PARAMS,
+    boot: bool = True,
+) -> P2PMPICluster:
+    """A 3-site / 10-host / 28-core grid for fast engine runs and tests.
+
+    alpha (hub): 4 hosts x 4 cores, beta: 4 x 2 (10 ms),
+    gamma: 2 x 2 (20 ms) — the same shape the protocol tests use.
+    """
+    sites = [
+        Site("alpha", (Cluster("a1", "alpha", "X", 4, 4, 16),)),
+        Site("beta", (Cluster("b1", "beta", "X", 4, 4, 8),)),
+        Site("gamma", (Cluster("g1", "gamma", "X", 2, 2, 4),)),
+    ]
+    topology = Topology(
+        sites=sites,
+        site_rtt_ms={("alpha", "beta"): 10.0, ("alpha", "gamma"): 20.0,
+                     ("beta", "gamma"): 25.0},
+        hub="alpha",
+        lan_rtt_ms=0.1,
+    )
+    cluster = P2PMPICluster(
+        topology,
+        seed=seed,
+        config=config or MiddlewareConfig(noise_sigma_ms=0.05),
+        supernode_host="a1-1.alpha",
+        default_submitter="a1-1.alpha",
+        cost_params=cost_params,
+    )
+    return cluster.boot() if boot else cluster
+
+
+#: Named cluster recipes a :class:`ClusterSpec` can refer to.  Builders
+#: must be module-level callables so a spec stays picklable across
+#: ``ProcessPoolExecutor`` workers: ``builder(seed, config, boot)``.
+_CLUSTER_KINDS: Dict[str, Callable[..., P2PMPICluster]] = {
+    "grid5000": build_grid5000_cluster,
+    "small": build_small_cluster,
+}
+
+
+def register_cluster_kind(name: str,
+                          builder: Callable[..., P2PMPICluster]) -> None:
+    """Register a new named recipe.
+
+    Registration must happen at import time of a module the sweep
+    workers also import (e.g. the module defining the cell runner):
+    under ``spawn``/``forkserver`` start methods a worker re-imports
+    from scratch, so registrations done only in the parent process
+    would not exist there.
+    """
+    _CLUSTER_KINDS[name] = builder
+
+
+def cluster_kinds() -> List[str]:
+    return sorted(_CLUSTER_KINDS)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A picklable recipe for building a :class:`P2PMPICluster`.
+
+    The experiment engine ships one of these to every sweep cell —
+    possibly across process boundaries — so a cell can build its own
+    private cluster from ``(kind, config, per-cell seed)`` instead of
+    sharing a live (unpicklable) simulator.
+
+    Attributes
+    ----------
+    kind:
+        A name registered in :func:`register_cluster_kind`
+        (``grid5000`` and ``small`` are built in).
+    config:
+        Optional middleware tuning applied to every host.
+    boot:
+        Whether :meth:`build` returns a booted overlay (default).
+    """
+
+    kind: str = "grid5000"
+    config: Optional[MiddlewareConfig] = None
+    boot: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in _CLUSTER_KINDS:
+            raise ValueError(f"unknown cluster kind {self.kind!r} "
+                             f"(registered: {cluster_kinds()})")
+
+    def build(self, seed: int = 0) -> P2PMPICluster:
+        """Instantiate the recipe with ``seed`` as the master seed."""
+        builder = _CLUSTER_KINDS.get(self.kind)
+        if builder is None:
+            # Unpickling bypasses __post_init__, so a spec for a kind
+            # the worker process never registered lands here.
+            raise ValueError(
+                f"cluster kind {self.kind!r} is not registered in this "
+                f"process (registered: {cluster_kinds()}); register it "
+                f"at import time of the cell-runner module")
+        return builder(seed=seed, config=self.config, boot=self.boot)
+
+    def with_config(self, config: Optional[MiddlewareConfig]) -> "ClusterSpec":
+        return dataclasses.replace(self, config=config)
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Code-relevant identity for result-store content hashing."""
+        return {
+            "kind": self.kind,
+            "config": (None if self.config is None
+                       else dataclasses.asdict(self.config)),
+            "boot": self.boot,
+        }

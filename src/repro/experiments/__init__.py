@@ -1,5 +1,9 @@
 """Experiment drivers regenerating every table and figure of the paper.
 
+* :mod:`~repro.experiments.engine` — the unified sweep engine every
+  driver is built on: declarative :class:`ExperimentSpec` grids, a
+  :class:`SweepRunner` with serial / process-pool / shared-cluster
+  modes, and a content-hash-keyed JSONL :class:`ResultStore`.
 * :mod:`~repro.experiments.coallocation` — Figures 2 and 3 (hosts and
   cores per site vs. demanded processes, per strategy) plus the §5.1
   narrative checks.
@@ -12,14 +16,32 @@
   series format.
 """
 
+from repro.experiments.engine import (
+    Cell,
+    CellContext,
+    CellResult,
+    ExperimentSpec,
+    ResultStore,
+    SweepResult,
+    SweepRunner,
+    derive_cell_seed,
+    make_spec,
+    run_sweep,
+)
 from repro.experiments.coallocation import (
     CoallocationPoint,
     CoallocationSeries,
+    coallocation_spec,
+    coallocation_sweep,
     run_coallocation_experiment,
+    series_from_sweep,
 )
 from repro.experiments.applications import (
     AppTimePoint,
     AppTimeSeries,
+    app_series_from_sweep,
+    application_spec,
+    application_sweep,
     run_application_experiment,
 )
 from repro.experiments.ablations import (
@@ -35,15 +57,42 @@ from repro.experiments.report import (
     format_site_table,
     series_to_csv,
 )
-from repro.experiments.multiuser import MultiUserOutcome, run_multiuser_experiment
+from repro.experiments.multiuser import (
+    MultiUserOutcome,
+    multiuser_spec,
+    multiuser_sweep,
+    run_multiuser_experiment,
+)
 from repro.experiments.figures import ascii_plot
 from repro.experiments.scaling import (
     ScalingPoint,
     ScalingSeries,
     run_scaling_experiment,
+    scaling_spec,
+    scaling_sweep,
 )
 
 __all__ = [
+    "Cell",
+    "CellContext",
+    "CellResult",
+    "ExperimentSpec",
+    "ResultStore",
+    "SweepResult",
+    "SweepRunner",
+    "derive_cell_seed",
+    "make_spec",
+    "run_sweep",
+    "coallocation_spec",
+    "coallocation_sweep",
+    "series_from_sweep",
+    "application_spec",
+    "application_sweep",
+    "app_series_from_sweep",
+    "scaling_spec",
+    "scaling_sweep",
+    "multiuser_spec",
+    "multiuser_sweep",
     "CoallocationPoint",
     "CoallocationSeries",
     "run_coallocation_experiment",

@@ -23,7 +23,9 @@ import numpy as np
 from repro.alloc.base import ReservedHost, get_strategy
 from repro.alloc.ranks import build_plan
 from repro.apps.base import Application, AppEnv
-from repro.cluster import DEFAULT_COST_PARAMS, P2PMPICluster, build_grid5000_cluster
+from repro.cluster import DEFAULT_COST_PARAMS
+from repro.experiments.engine import (CellContext, derive_cell_seed,
+                                      make_spec, run_sweep)
 from repro.ft.replication import survival_probability
 from repro.grid5000.builder import build_topology
 from repro.middleware.config import MiddlewareConfig
@@ -33,7 +35,8 @@ from repro.net.topology import Topology
 
 __all__ = ["kendall_tau", "latency_noise_ablation", "smoothing_ablation",
            "overbooking_ablation", "replication_ablation",
-           "block_strategy_ablation"]
+           "block_strategy_ablation", "noise_cell", "smoothing_cell",
+           "overbooking_cell", "replication_cell", "block_cell"]
 
 
 def kendall_tau(a: Sequence[float], b: Sequence[float]) -> float:
@@ -80,18 +83,38 @@ def _ranking_tau(topology: Topology, noise_sigma_ms: float, samples: int,
     return kendall_tau(true_rtt, measured)
 
 
+def noise_cell(ctx: CellContext) -> dict:
+    """Engine cell: ranking tau at one noise level (no cluster needed)."""
+    tau = _ranking_tau(build_topology(), ctx.params["sigma_ms"],
+                       ctx.meta["samples"], None, ctx.seed)
+    return {"tau": tau}
+
+
 def latency_noise_ablation(
     sigmas_ms: Iterable[float] = (0.0, 0.35, 0.8, 1.2, 2.5, 5.0),
     samples: int = 3,
     seed: int = 0,
+    jobs: int = 1,
+    store=None,
+    force: bool = False,
 ) -> List[NoisePoint]:
     """Ranking quality vs. per-probe noise (paper's §5.1 effect)."""
-    topology = build_topology()
+    spec = make_spec("ablation-noise", {"sigma_ms": tuple(sigmas_ms)},
+                     noise_cell, master_seed=seed, fixed_seed=True,
+                     meta={"samples": samples})
+    sweep = run_sweep(spec, jobs=jobs, store=store, force=force)
     return [
-        NoisePoint(sigma, samples, None,
-                   _ranking_tau(topology, sigma, samples, None, seed))
-        for sigma in sigmas_ms
+        NoisePoint(cell.params["sigma_ms"], samples, None, cell.value["tau"])
+        for cell in sweep.cells
     ]
+
+
+def smoothing_cell(ctx: CellContext) -> dict:
+    """Engine cell: ranking tau for one (sample count, smoothing)."""
+    tau = _ranking_tau(build_topology(), ctx.meta["noise_sigma_ms"],
+                       ctx.params["samples"], ctx.params["ewma_alpha"],
+                       ctx.seed)
+    return {"tau": tau}
 
 
 def smoothing_ablation(
@@ -99,17 +122,20 @@ def smoothing_ablation(
     sample_counts: Iterable[int] = (1, 3, 10, 30),
     ewma_alpha: Optional[float] = 0.2,
     seed: int = 0,
+    jobs: int = 1,
 ) -> List[NoisePoint]:
     """More probes / EWMA vs. ranking quality (the future-work fix)."""
-    topology = build_topology()
-    out = []
-    for k in sample_counts:
-        out.append(NoisePoint(noise_sigma_ms, k, None,
-                              _ranking_tau(topology, noise_sigma_ms, k, None, seed)))
-        out.append(NoisePoint(noise_sigma_ms, k, ewma_alpha,
-                              _ranking_tau(topology, noise_sigma_ms, k,
-                                           ewma_alpha, seed)))
-    return out
+    spec = make_spec(
+        "ablation-smoothing",
+        {"samples": tuple(sample_counts), "ewma_alpha": (None, ewma_alpha)},
+        smoothing_cell, master_seed=seed, fixed_seed=True,
+        meta={"noise_sigma_ms": noise_sigma_ms})
+    sweep = run_sweep(spec, jobs=jobs)
+    return [
+        NoisePoint(noise_sigma_ms, cell.params["samples"],
+                   cell.params["ewma_alpha"], cell.value["tau"])
+        for cell in sweep.cells
+    ]
 
 
 @dataclass
@@ -121,34 +147,57 @@ class OverbookPoint:
     allocated: int
 
 
+def overbooking_cell(ctx: CellContext) -> dict:
+    """Engine cell: one overbooking factor against freshly-dead peers.
+
+    Builds its own cluster (the middleware config varies per cell), so
+    it bypasses ``ctx.cluster`` and derives from ``cluster_spec``.
+    """
+    factor = ctx.params["factor"]
+    config = MiddlewareConfig(overbook_factor=factor, overbook_extra=0,
+                              rs_timeout_s=1.0)
+    cluster = ctx.cluster_spec.with_config(config).build(seed=ctx.seed)
+    victims = [h for h in sorted(cluster.mpds)
+               if h.startswith(ctx.meta["victim_prefix"])
+               and h != cluster.default_submitter][:ctx.meta["kill_count"]]
+    cluster.kill_hosts(victims)
+    result = cluster.submit_and_run(
+        JobRequest(n=ctx.meta["n"], strategy="spread"))
+    return {
+        "killed_hosts": len(victims),
+        "status": result.status.value,
+        "dead_detected": len(result.dead_peers),
+        "allocated": (result.plan.total_processes if result.plan else 0),
+    }
+
+
 def overbooking_ablation(
     factors: Iterable[float] = (1.0, 1.1, 1.2, 1.5),
     n: int = 120,
     kill_count: int = 12,
     seed: int = 3,
+    jobs: int = 1,
 ) -> List[OverbookPoint]:
     """Book exactly vs. overbook while ``kill_count`` booked peers die.
 
     Hosts are killed *after boot, before submission*, so their silent
     RESERVE timeouts are what the overbooking margin must absorb.
     """
-    out = []
-    for factor in factors:
-        config = MiddlewareConfig(overbook_factor=factor, overbook_extra=0,
-                                  rs_timeout_s=1.0)
-        cluster = build_grid5000_cluster(seed=seed, config=config)
-        victims = [h for h in sorted(cluster.mpds) if h.startswith("grelon")
-                   and h != cluster.default_submitter][:kill_count]
-        cluster.kill_hosts(victims)
-        result = cluster.submit_and_run(JobRequest(n=n, strategy="spread"))
-        out.append(OverbookPoint(
-            overbook_factor=factor,
-            killed_hosts=len(victims),
-            status=result.status.value,
-            dead_detected=len(result.dead_peers),
-            allocated=(result.plan.total_processes if result.plan else 0),
-        ))
-    return out
+    spec = make_spec(
+        "ablation-overbooking", {"factor": tuple(factors)},
+        overbooking_cell, master_seed=seed, fixed_seed=True,
+        meta={"n": n, "kill_count": kill_count, "victim_prefix": "grelon"})
+    sweep = run_sweep(spec, jobs=jobs)
+    return [
+        OverbookPoint(
+            overbook_factor=cell.params["factor"],
+            killed_hosts=cell.value["killed_hosts"],
+            status=cell.value["status"],
+            dead_detected=cell.value["dead_detected"],
+            allocated=cell.value["allocated"],
+        )
+        for cell in sweep.cells
+    ]
 
 
 @dataclass
@@ -158,28 +207,47 @@ class ReplicationPoint:
     survival: float
 
 
+def replication_cell(ctx: CellContext) -> dict:
+    """Engine cell: survival at one replication degree.
+
+    Runs on the sweep's shared cluster (the legacy sequence of
+    submissions); the Monte-Carlo stream is derived per cell so the
+    estimate is independent of execution order.
+    """
+    r = ctx.params["r"]
+    result = ctx.cluster.submit_and_run(
+        JobRequest(n=ctx.meta["n"], r=r, strategy="spread"))
+    if result.status is not JobStatus.SUCCESS:
+        raise RuntimeError(result.summary())
+    rng = np.random.default_rng(
+        derive_cell_seed(ctx.seed, f"replication-survival:r={r}"))
+    survival = survival_probability(result.allocation,
+                                    ctx.meta["p_host_fail"], rng,
+                                    trials=ctx.meta["trials"])
+    return {"survival": survival}
+
+
 def replication_ablation(
     replication_degrees: Iterable[int] = (1, 2, 3),
     p_host_fail: float = 0.05,
     n: int = 60,
     seed: int = 1,
     trials: int = 4000,
+    store=None,
+    force: bool = False,
 ) -> List[ReplicationPoint]:
     """Survival probability vs. replication degree (§3.2 rationale)."""
-    cluster = build_grid5000_cluster(seed=seed)
-    out = []
-    rng = np.random.default_rng(seed)
-    for r in replication_degrees:
-        result = cluster.submit_and_run(JobRequest(n=n, r=r, strategy="spread"))
-        if result.status is not JobStatus.SUCCESS:
-            raise RuntimeError(result.summary())
-        out.append(ReplicationPoint(
-            r=r,
-            p_host_fail=p_host_fail,
-            survival=survival_probability(result.allocation, p_host_fail,
-                                          rng, trials=trials),
-        ))
-    return out
+    spec = make_spec(
+        "ablation-replication", {"r": tuple(replication_degrees)},
+        replication_cell, master_seed=seed, fixed_seed=True,
+        shared_cluster=True,
+        meta={"n": n, "p_host_fail": p_host_fail, "trials": trials})
+    sweep = run_sweep(spec, store=store, force=force)
+    return [
+        ReplicationPoint(r=cell.params["r"], p_host_fail=p_host_fail,
+                         survival=cell.value["survival"])
+        for cell in sweep.cells
+    ]
 
 
 @dataclass
@@ -188,6 +256,18 @@ class BlockPoint:
     app: str
     n: int
     time_s: float
+
+
+def block_cell(ctx: CellContext) -> dict:
+    """Engine cell: one block size of the mixed-strategy continuum."""
+    app: Application = ctx.meta["app"]
+    result = ctx.cluster.submit_and_run(JobRequest(
+        n=ctx.meta["n"], strategy="block",
+        strategy_kwargs={"block": ctx.params["block"]}, app=app,
+    ))
+    if result.status is not JobStatus.SUCCESS:
+        raise RuntimeError(result.summary())
+    return {"app": app.name, "time_s": result.timings.makespan_s}
 
 
 def block_strategy_ablation(
@@ -199,14 +279,13 @@ def block_strategy_ablation(
     """The mixed-strategy continuum: block=1 is spread, block>=max(P)
     behaves like concentrate; intermediate blocks trade contention for
     locality on the application models."""
-    cluster = build_grid5000_cluster(seed=seed)
-    out = []
-    for block in blocks:
-        result = cluster.submit_and_run(JobRequest(
-            n=n, strategy="block", strategy_kwargs={"block": block}, app=app,
-        ))
-        if result.status is not JobStatus.SUCCESS:
-            raise RuntimeError(result.summary())
-        out.append(BlockPoint(block=block, app=app.name, n=n,
-                              time_s=result.timings.makespan_s))
-    return out
+    spec = make_spec(
+        "ablation-block", {"block": tuple(blocks)},
+        block_cell, master_seed=seed, fixed_seed=True, shared_cluster=True,
+        meta={"app": app, "n": n})
+    sweep = run_sweep(spec)
+    return [
+        BlockPoint(block=cell.params["block"], app=cell.value["app"], n=n,
+                   time_s=cell.value["time_s"])
+        for cell in sweep.cells
+    ]

@@ -13,11 +13,16 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.apps.base import Application
 from repro.apps.ep import EPBenchmark
 from repro.apps.is_bench import ISBenchmark
-from repro.cluster import P2PMPICluster, build_grid5000_cluster
+from repro.cluster import ClusterSpec, P2PMPICluster
+from repro.experiments.engine import (CellContext, ExperimentSpec,
+                                      ResultStore, SweepResult, make_spec,
+                                      run_sweep)
 from repro.middleware.jobs import JobRequest, JobStatus
 
 __all__ = ["EP_PROCESS_COUNTS", "IS_PROCESS_COUNTS", "AppTimePoint",
-           "AppTimeSeries", "run_application_experiment"]
+           "AppTimeSeries", "application_cell", "application_spec",
+           "application_sweep", "app_series_from_sweep",
+           "run_application_experiment"]
 
 #: Paper x axes.
 EP_PROCESS_COUNTS: Tuple[int, ...] = (32, 64, 128, 256, 512)
@@ -68,17 +73,37 @@ class AppTimeSeries:
         return max(times) / min(times)
 
 
-def run_application_experiment(
+def application_cell(ctx: CellContext) -> Dict:
+    """Engine cell: one (strategy, n) run of the application model."""
+    app: Application = ctx.meta["app"]
+    strategy = ctx.params["strategy"]
+    n = ctx.params["n"]
+    result = ctx.cluster.submit_and_run(
+        JobRequest(n=n, strategy=strategy, app=app, tag=f"fig4-{app.name}")
+    )
+    if result.status not in (JobStatus.SUCCESS, JobStatus.DEGRADED):
+        raise RuntimeError(
+            f"{app.name} {strategy} n={n} failed: {result.summary()}"
+        )
+    return {
+        "app": app.name,
+        "time_s": result.timings.makespan_s,
+        "status": result.status.value,
+    }
+
+
+def application_spec(
     app: Optional[Application] = None,
     process_counts: Optional[Iterable[int]] = None,
     strategies: Sequence[str] = ("concentrate", "spread"),
     seed: int = 0,
-    cluster: Optional[P2PMPICluster] = None,
-) -> Dict[str, AppTimeSeries]:
-    """Run one application's Figure-4 sweep; series per strategy.
+    cluster_spec: Optional[ClusterSpec] = None,
+    name: Optional[str] = None,
+) -> ExperimentSpec:
+    """One Figure-4 panel as a declarative spec.
 
-    Defaults reproduce the EP panel; pass ``ISBenchmark()`` and
-    ``IS_PROCESS_COUNTS`` for the right panel.
+    The application model rides in ``spec.meta`` (pickled by value
+    into pool workers, canonicalised for the store hash).
     """
     app = app or EPBenchmark("B")
     if process_counts is None:
@@ -86,25 +111,63 @@ def run_application_experiment(
             IS_PROCESS_COUNTS if isinstance(app, ISBenchmark)
             else EP_PROCESS_COUNTS
         )
-    cluster = cluster or build_grid5000_cluster(seed=seed)
+    return make_spec(
+        name=name or f"fig4-{app.name}",
+        axes={"strategy": tuple(strategies), "n": tuple(process_counts)},
+        runner=application_cell,
+        cluster=cluster_spec or ClusterSpec(),
+        master_seed=seed,
+        meta={"app": app},
+    )
+
+
+def application_sweep(
+    spec: Optional[ExperimentSpec] = None,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
+    cluster: Optional[P2PMPICluster] = None,
+    **spec_kwargs,
+) -> SweepResult:
+    """Run the panel through the engine; see :class:`SweepRunner`."""
+    spec = spec or application_spec(**spec_kwargs)
+    return run_sweep(spec, jobs=jobs, store=store, force=force,
+                     cluster=cluster)
+
+
+def app_series_from_sweep(sweep: SweepResult) -> Dict[str, AppTimeSeries]:
+    """Assemble the legacy per-strategy series from engine cells."""
     out: Dict[str, AppTimeSeries] = {}
-    for strategy in strategies:
-        series = AppTimeSeries(app=app.name, strategy=strategy)
-        for n in process_counts:
-            result = cluster.submit_and_run(
-                JobRequest(n=n, strategy=strategy, app=app,
-                           tag=f"fig4-{app.name}")
-            )
-            if result.status not in (JobStatus.SUCCESS, JobStatus.DEGRADED):
-                raise RuntimeError(
-                    f"{app.name} {strategy} n={n} failed: {result.summary()}"
-                )
-            series.points.append(AppTimePoint(
-                app=app.name,
-                strategy=strategy,
-                n=n,
-                time_s=result.timings.makespan_s,
-                status=result.status.value,
-            ))
-        out[strategy] = series
+    for cell in sweep.cells:
+        strategy = cell.params["strategy"]
+        series = out.setdefault(
+            strategy, AppTimeSeries(app=cell.value["app"], strategy=strategy))
+        series.points.append(AppTimePoint(
+            app=cell.value["app"], strategy=strategy, n=cell.params["n"],
+            time_s=cell.value["time_s"], status=cell.value["status"],
+        ))
     return out
+
+
+def run_application_experiment(
+    app: Optional[Application] = None,
+    process_counts: Optional[Iterable[int]] = None,
+    strategies: Sequence[str] = ("concentrate", "spread"),
+    seed: int = 0,
+    cluster: Optional[P2PMPICluster] = None,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
+) -> Dict[str, AppTimeSeries]:
+    """Run one application's Figure-4 sweep; series per strategy.
+
+    Defaults reproduce the EP panel; pass ``ISBenchmark()`` and
+    ``IS_PROCESS_COUNTS`` for the right panel.  An explicit ``cluster``
+    replays the legacy shared-overlay behaviour; without one the cells
+    run independently (parallelisable, cacheable).
+    """
+    spec = application_spec(app=app, process_counts=process_counts,
+                            strategies=strategies, seed=seed)
+    sweep = application_sweep(spec=spec, jobs=jobs, store=store, force=force,
+                              cluster=cluster)
+    return app_series_from_sweep(sweep)

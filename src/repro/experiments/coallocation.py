@@ -11,12 +11,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.cluster import P2PMPICluster, build_grid5000_cluster
+from repro.cluster import ClusterSpec, P2PMPICluster
+from repro.experiments.engine import (CellContext, ExperimentSpec,
+                                      ResultStore, SweepResult, make_spec,
+                                      run_sweep)
 from repro.grid5000.sites import SITE_RTT_MS_FROM_NANCY
 from repro.middleware.jobs import JobRequest, JobStatus
 
 __all__ = ["PAPER_DEMANDS", "CoallocationPoint", "CoallocationSeries",
-           "run_coallocation_experiment"]
+           "coallocation_cell", "coallocation_spec", "coallocation_sweep",
+           "series_from_sweep", "run_coallocation_experiment"]
 
 #: The paper's x axis: 100..600 step 50.
 PAPER_DEMANDS: Tuple[int, ...] = tuple(range(100, 601, 50))
@@ -95,42 +99,97 @@ class CoallocationSeries:
         return pt.total_cores / hosts if hosts else 0.0
 
 
+def coallocation_cell(ctx: CellContext) -> Dict:
+    """Engine cell: one (strategy, n) submission through the stack."""
+    strategy = ctx.params["strategy"]
+    n = ctx.params["n"]
+    result = ctx.cluster.submit_and_run(
+        JobRequest(n=n, strategy=strategy, tag=f"fig-{strategy}")
+    )
+    if result.status not in (JobStatus.SUCCESS, JobStatus.DEGRADED):
+        raise RuntimeError(f"{strategy} n={n} failed: {result.summary()}")
+    plan = result.allocation
+    return {
+        "status": result.status.value,
+        "hosts_by_site": plan.hosts_by_site(),
+        "cores_by_site": plan.cores_by_site(),
+        "reservation_s": result.timings.reservation_s,
+        "total_hosts": len(plan.used_hosts()),
+        "total_cores": plan.total_processes,
+    }
+
+
+def coallocation_spec(
+    seed: int = 0,
+    demands: Iterable[int] = PAPER_DEMANDS,
+    strategies: Sequence[str] = ("concentrate", "spread"),
+    cluster_spec: Optional[ClusterSpec] = None,
+    name: str = "coallocation",
+) -> ExperimentSpec:
+    """The §5.1 sweep as a declarative spec (strategy-major order)."""
+    return make_spec(
+        name=name,
+        axes={"strategy": tuple(strategies), "n": tuple(demands)},
+        runner=coallocation_cell,
+        cluster=cluster_spec or ClusterSpec(),
+        master_seed=seed,
+    )
+
+
+def coallocation_sweep(
+    spec: Optional[ExperimentSpec] = None,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
+    cluster: Optional[P2PMPICluster] = None,
+    **spec_kwargs,
+) -> SweepResult:
+    """Run the sweep through the engine; see :class:`SweepRunner`."""
+    spec = spec or coallocation_spec(**spec_kwargs)
+    return run_sweep(spec, jobs=jobs, store=store, force=force,
+                     cluster=cluster)
+
+
+def series_from_sweep(sweep: SweepResult) -> Dict[str, CoallocationSeries]:
+    """Assemble the legacy per-strategy series from engine cells."""
+    out: Dict[str, CoallocationSeries] = {}
+    for cell in sweep.cells:
+        strategy = cell.params["strategy"]
+        n = cell.params["n"]
+        series = out.setdefault(strategy,
+                                CoallocationSeries(strategy=strategy))
+        series.demands.append(n)
+        series.points.append(CoallocationPoint(
+            strategy=strategy, n=n, status=cell.value["status"],
+            hosts_by_site=dict(cell.value["hosts_by_site"]),
+            cores_by_site=dict(cell.value["cores_by_site"]),
+            reservation_s=cell.value["reservation_s"],
+            total_hosts=cell.value["total_hosts"],
+            total_cores=cell.value["total_cores"],
+        ))
+    return out
+
+
 def run_coallocation_experiment(
     seed: int = 0,
     demands: Iterable[int] = PAPER_DEMANDS,
     strategies: Sequence[str] = ("concentrate", "spread"),
     cluster: Optional[P2PMPICluster] = None,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
 ) -> Dict[str, CoallocationSeries]:
     """Run the §5.1 sweep; returns one series per strategy.
 
-    A fresh latency-measurement round precedes every submission, so
-    points are statistically independent while sharing one booted
-    overlay (as consecutive ``p2pmpirun`` invocations on the real
-    testbed would).
+    With an explicit ``cluster`` the cells run serially against it in
+    grid order — consecutive ``p2pmpirun`` invocations sharing one
+    booted overlay, exactly as on the real testbed (and exactly the
+    pre-engine behaviour, bit for bit).  Without one, every cell
+    builds a private cluster from a seed derived per cell, which makes
+    the sweep parallelisable (``jobs``) and cacheable (``store``).
     """
-    cluster = cluster or build_grid5000_cluster(seed=seed)
-    out: Dict[str, CoallocationSeries] = {}
-    for strategy in strategies:
-        series = CoallocationSeries(strategy=strategy)
-        for n in demands:
-            result = cluster.submit_and_run(
-                JobRequest(n=n, strategy=strategy, tag=f"fig-{strategy}")
-            )
-            if result.status not in (JobStatus.SUCCESS, JobStatus.DEGRADED):
-                raise RuntimeError(
-                    f"{strategy} n={n} failed: {result.summary()}"
-                )
-            plan = result.allocation
-            series.demands.append(n)
-            series.points.append(CoallocationPoint(
-                strategy=strategy,
-                n=n,
-                status=result.status.value,
-                hosts_by_site=plan.hosts_by_site(),
-                cores_by_site=plan.cores_by_site(),
-                reservation_s=result.timings.reservation_s,
-                total_hosts=len(plan.used_hosts()),
-                total_cores=plan.total_processes,
-            ))
-        out[strategy] = series
-    return out
+    spec = coallocation_spec(seed=seed, demands=demands,
+                             strategies=strategies)
+    sweep = coallocation_sweep(spec=spec, jobs=jobs, store=store,
+                               force=force, cluster=cluster)
+    return series_from_sweep(sweep)

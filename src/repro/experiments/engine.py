@@ -1,0 +1,523 @@
+"""The unified experiment engine: declarative sweeps, parallel
+execution, and an on-disk result store.
+
+Every experiment in this repository is a *sweep*: a grid of cells
+spanned by named parameter axes (strategy x demand x application x
+replication ...), each cell producing a small JSON-able record.  The
+paper itself is one big sweep over Grid'5000, and the lesson of that
+platform's tooling is that campaigns need a reusable runner with
+persisted, replayable results — not one hand-rolled for-loop per
+figure.  This module provides exactly three pieces (see DESIGN.md §6):
+
+* :class:`ExperimentSpec` — the declarative description: named axes,
+  a module-level *cell runner*, a picklable
+  :class:`~repro.cluster.ClusterSpec`, and a master seed;
+* :class:`SweepRunner` — executes the cell grid serially, fanned out
+  over ``concurrent.futures.ProcessPoolExecutor`` workers, or inline
+  against a caller-supplied shared cluster (the legacy mode the paper
+  figures use);
+* :class:`ResultStore` — persists cell results as JSONL keyed by a
+  content hash of (spec, seed, code-relevant config), so re-running a
+  sweep skips already-computed cells and ``force=True`` invalidates.
+
+Determinism
+-----------
+In per-cell mode every cell builds its own cluster from
+``spec.cluster.build(cell.seed)`` where ``cell.seed`` is derived as a
+stable hash of ``(master_seed, cell_key)``.  Cells therefore share no
+state, which makes serial and parallel executions of the same spec
+*bit-identical* — the determinism test in
+``tests/experiments/test_engine.py`` compares the stored bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple)
+
+from repro.cluster import ClusterSpec, P2PMPICluster
+from repro.sim.rng import stable_hash64
+
+__all__ = ["Cell", "CellContext", "CellResult", "ExperimentSpec",
+           "ResultStore", "SweepResult", "SweepRunner", "derive_cell_seed",
+           "make_spec", "run_sweep"]
+
+#: Bump when the stored cell format changes; part of the content hash,
+#: so old store files are transparently recomputed rather than misread.
+SCHEMA_VERSION = 1
+
+
+def derive_cell_seed(master_seed: int, cell_key: str) -> int:
+    """Per-cell seed: stable hash of the master seed and the cell key.
+
+    Platform- and process-stable (SHA-256 based), so serial and
+    parallel runs — and runs on different machines — agree bit for bit.
+    """
+    return stable_hash64(f"cell:{master_seed}:{cell_key}") % (2 ** 32)
+
+
+def _canon(value: Any) -> Any:
+    """Canonical JSON-able form of spec metadata for content hashing.
+
+    Plain scalars and containers pass through; arbitrary objects (e.g.
+    an :class:`~repro.apps.base.Application` model carried in spec
+    meta) are flattened to class name + constructor-relevant state so
+    the hash is stable across processes (unlike ``repr`` addresses).
+    """
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _canon(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_canon(v) for v in value)
+    state = getattr(value, "__dict__", None)
+    if state is None:
+        slots = getattr(type(value), "__slots__", None)
+        if slots is not None:
+            state = {s: getattr(value, s) for s in slots if hasattr(value, s)}
+    cls = type(value)
+    return {"__class__": f"{cls.__module__}.{cls.__qualname__}",
+            "state": _canon(state) if state else None}
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One point of the sweep grid."""
+
+    index: int
+    key: str
+    params: Tuple[Tuple[str, Any], ...]
+    seed: int
+
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+
+@dataclass
+class CellContext:
+    """What a cell runner receives.
+
+    ``cluster`` is lazy: shared-cluster sweeps inject a live instance,
+    per-cell sweeps build a private one from ``cluster_spec`` and the
+    cell seed on first access.  Runners that build custom clusters
+    (e.g. the overbooking ablation varies the middleware config per
+    cell) use ``cluster_spec``/``seed`` directly and never touch it.
+    """
+
+    spec: "ExperimentSpec"
+    cell: Cell
+    _cluster: Optional[P2PMPICluster] = None
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        return self.cell.param_dict()
+
+    @property
+    def seed(self) -> int:
+        return self.cell.seed
+
+    @property
+    def meta(self) -> Dict[str, Any]:
+        return self.spec.meta
+
+    @property
+    def cluster_spec(self) -> ClusterSpec:
+        return self.spec.cluster
+
+    @property
+    def cluster(self) -> P2PMPICluster:
+        if self._cluster is None:
+            self._cluster = self.spec.cluster.build(seed=self.cell.seed)
+        return self._cluster
+
+
+#: A cell runner: module-level function (picklable by reference) taking
+#: a context and returning a JSON-serialisable mapping.
+CellRunner = Callable[[CellContext], Mapping]
+
+
+@dataclass
+class ExperimentSpec:
+    """Declarative sweep description: axes -> cell grid.
+
+    Attributes
+    ----------
+    name:
+        Campaign-unique name; prefixes the store file.
+    axes:
+        Ordered ``(axis_name, values)`` pairs.  Cells enumerate in
+        row-major order (first axis slowest-varying), which is also the
+        execution order of serial and shared-cluster runs.
+    runner:
+        The cell function.  Must be module level so it pickles by
+        reference into pool workers.
+    cluster:
+        Recipe each cell builds its private cluster from.
+    master_seed:
+        Seed every cell seed derives from.
+    meta:
+        Extra constants the runner reads (apps, sample counts...);
+        hashed into the store key via :func:`_canon`.
+    shared_cluster:
+        Cells mutate one shared cluster and must run serially in order
+        (the legacy figure mode).  Cached all-or-nothing, since
+        skipping a cell would change the state later cells observe.
+    fixed_seed:
+        Every cell uses ``master_seed`` itself instead of a derived
+        per-cell seed (legacy parity for the ablation drivers).
+    """
+
+    name: str
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...]
+    runner: CellRunner
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    master_seed: int = 0
+    meta: Dict[str, Any] = field(default_factory=dict)
+    shared_cluster: bool = False
+    fixed_seed: bool = False
+
+    # ------------------------------------------------------------------
+    # grid
+    # ------------------------------------------------------------------
+    @property
+    def axis_names(self) -> List[str]:
+        return [name for name, _ in self.axes]
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(len(values) for _, values in self.axes)
+
+    def cell_count(self) -> int:
+        total = 1
+        for n in self.shape:
+            total *= n
+        return total
+
+    @staticmethod
+    def cell_key(params: Sequence[Tuple[str, Any]]) -> str:
+        return ",".join(f"{k}={v!r}" for k, v in params)
+
+    def cells(self) -> List[Cell]:
+        """The full grid in row-major (declaration) order."""
+        grids: List[List[Tuple[str, Any]]] = [[]]
+        for axis, values in self.axes:
+            grids = [prefix + [(axis, v)] for prefix in grids for v in values]
+        out = []
+        for index, params in enumerate(grids):
+            key = self.cell_key(params)
+            seed = (self.master_seed if self.fixed_seed
+                    else derive_cell_seed(self.master_seed, key))
+            out.append(Cell(index=index, key=key, params=tuple(params),
+                            seed=seed))
+        return out
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Everything that defines the sweep's results.
+
+        The runner is identified by qualified name *and* a hash of its
+        source, so editing a cell runner's body invalidates cached
+        sweeps instead of silently replaying pre-fix results.
+        """
+        runner = self.runner
+        try:
+            src = inspect.getsource(runner)
+            runner_src = hashlib.sha256(src.encode("utf-8")).hexdigest()
+        except (OSError, TypeError):
+            runner_src = None
+        return {
+            "schema": SCHEMA_VERSION,
+            "name": self.name,
+            "axes": _canon([[name, list(values)]
+                            for name, values in self.axes]),
+            "runner": f"{runner.__module__}.{runner.__qualname__}",
+            "runner_src": runner_src,
+            "cluster": self.cluster.fingerprint(),
+            "master_seed": self.master_seed,
+            "meta": _canon(self.meta),
+            "shared_cluster": self.shared_cluster,
+            "fixed_seed": self.fixed_seed,
+        }
+
+    def content_hash(self) -> str:
+        """SHA-256 of the canonical spec JSON — the store key."""
+        blob = json.dumps(self.to_jsonable(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def make_spec(name: str, axes: Mapping[str, Iterable[Any]],
+              runner: CellRunner, **kwargs: Any) -> ExperimentSpec:
+    """Convenience constructor taking axes as an (ordered) mapping."""
+    frozen = tuple((axis, tuple(values)) for axis, values in axes.items())
+    return ExperimentSpec(name=name, axes=frozen, runner=runner, **kwargs)
+
+
+@dataclass
+class CellResult:
+    """One computed (or cache-recovered) cell."""
+
+    index: int
+    key: str
+    params: Dict[str, Any]
+    seed: int
+    value: Dict[str, Any]
+    cached: bool = False
+    elapsed_s: float = 0.0
+
+    def record(self) -> Dict[str, Any]:
+        """The persisted (timing-free, hence deterministic) form."""
+        return {"kind": "cell", "index": self.index, "key": self.key,
+                "params": self.params, "seed": self.seed,
+                "value": self.value}
+
+
+@dataclass
+class SweepResult:
+    """All cells of one sweep, in canonical grid order."""
+
+    spec: ExperimentSpec
+    cells: List[CellResult]
+    executed: int = 0
+    cached: int = 0
+    elapsed_s: float = 0.0
+
+    def values(self) -> List[Dict[str, Any]]:
+        return [c.value for c in self.cells]
+
+    def value(self, **params: Any) -> Dict[str, Any]:
+        """The value of the single cell matching all given params."""
+        matches = [c for c in self.cells
+                   if all(c.params.get(k) == v for k, v in params.items())]
+        if len(matches) != 1:
+            raise KeyError(f"{len(matches)} cells match {params!r}")
+        return matches[0].value
+
+    def select(self, **params: Any) -> List[CellResult]:
+        """All cells matching the given axis values, grid-ordered."""
+        return [c for c in self.cells
+                if all(c.params.get(k) == v for k, v in params.items())]
+
+    def summary(self) -> str:
+        return (f"sweep {self.spec.name}: {len(self.cells)} cells "
+                f"({self.executed} executed, {self.cached} cached) "
+                f"in {self.elapsed_s:.2f} s")
+
+
+class ResultStore:
+    """JSONL persistence for sweep results, keyed by spec content hash.
+
+    One file per (spec-name, hash): a header line describing the spec
+    followed by one line per cell in canonical grid order.  Files are
+    written atomically (tmp + rename) with sorted keys, so two runs of
+    the same spec — serial or parallel — produce byte-identical files.
+    """
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+
+    def path_for(self, spec: ExperimentSpec) -> Path:
+        return self.root / f"{spec.name}-{spec.content_hash()[:12]}.jsonl"
+
+    def load(self, spec: ExperimentSpec) -> Dict[str, CellResult]:
+        """Previously stored cells for this exact spec (``{}`` if none).
+
+        A header hash mismatch (stale schema, edited file) is treated
+        as a cache miss, never an error.
+        """
+        path = self.path_for(spec)
+        if not path.exists():
+            return {}
+        want = spec.content_hash()
+        out: Dict[str, CellResult] = {}
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                header = json.loads(fh.readline())
+                if (header.get("kind") != "sweep-header"
+                        or header.get("hash") != want):
+                    return {}
+                for line in fh:
+                    rec = json.loads(line)
+                    if rec.get("kind") != "cell":
+                        continue
+                    out[rec["key"]] = CellResult(
+                        index=rec["index"], key=rec["key"],
+                        params=rec["params"], seed=rec["seed"],
+                        value=rec["value"], cached=True)
+        except (OSError, ValueError, KeyError):
+            return {}
+        return out
+
+    def save(self, spec: ExperimentSpec, results: Sequence[CellResult]) -> Path:
+        """Persist a complete sweep atomically, in canonical order."""
+        path = self.path_for(spec)
+        self.root.mkdir(parents=True, exist_ok=True)
+        header = {"kind": "sweep-header", "hash": spec.content_hash(),
+                  "spec": spec.to_jsonable()}
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        with tmp.open("w", encoding="utf-8") as fh:
+            fh.write(json.dumps(header, sort_keys=True) + "\n")
+            for res in sorted(results, key=lambda r: r.index):
+                fh.write(json.dumps(res.record(), sort_keys=True) + "\n")
+        tmp.replace(path)
+        return path
+
+    def invalidate(self, spec: ExperimentSpec) -> bool:
+        """Drop the stored sweep (``--force``); True if a file existed."""
+        path = self.path_for(spec)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Headers of every stored sweep under the root."""
+        out = []
+        for path in sorted(self.root.glob("*.jsonl")):
+            try:
+                with path.open("r", encoding="utf-8") as fh:
+                    header = json.loads(fh.readline())
+            except (OSError, ValueError):
+                continue
+            if header.get("kind") == "sweep-header":
+                out.append({"path": str(path), "hash": header["hash"],
+                            "spec": header["spec"]})
+        return out
+
+
+def _execute_cell(spec: ExperimentSpec, cell: Cell) -> CellResult:
+    """Run one cell in the current process (also the pool entry point)."""
+    t0 = time.perf_counter()
+    ctx = CellContext(spec=spec, cell=cell)
+    value = dict(spec.runner(ctx))
+    return CellResult(index=cell.index, key=cell.key,
+                      params=cell.param_dict(), seed=cell.seed, value=value,
+                      elapsed_s=time.perf_counter() - t0)
+
+
+class SweepRunner:
+    """Executes an :class:`ExperimentSpec` and reconciles the store.
+
+    Parameters
+    ----------
+    spec:
+        What to run.
+    jobs:
+        Worker processes for per-cell sweeps (1 = in-process serial).
+        Ignored (forced serial) for shared-cluster sweeps.
+    store:
+        Optional :class:`ResultStore`; cached cells are skipped.
+    force:
+        Invalidate the stored sweep and recompute everything.
+    cluster:
+        Explicit live cluster to run every cell against, in grid
+        order.  This is the legacy figure mode: the caller owns the
+        cluster, execution is serial, and nothing is cached (a live
+        simulator's state is not replayable from a store file).
+    """
+
+    def __init__(self, spec: ExperimentSpec, *, jobs: int = 1,
+                 store: Optional[ResultStore] = None, force: bool = False,
+                 cluster: Optional[P2PMPICluster] = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if cluster is not None and (store is not None or force):
+            raise ValueError(
+                "store/force cannot be combined with an explicit cluster: "
+                "a live simulator's state is not replayable from a store")
+        self.spec = spec
+        self.jobs = jobs
+        self.store = store
+        self.force = force
+        self.cluster = cluster
+
+    # ------------------------------------------------------------------
+    def run(self) -> SweepResult:
+        t0 = time.perf_counter()
+        cells = self.spec.cells()
+        if self.cluster is not None:
+            results = self._run_inline(cells, self.cluster)
+            return SweepResult(self.spec, results, executed=len(results),
+                               elapsed_s=time.perf_counter() - t0)
+
+        cached = self._load_cache(cells)
+        todo = [c for c in cells if c.key not in cached]
+        if self.spec.shared_cluster:
+            computed = (self._run_shared(cells) if todo else [])
+            if computed:
+                cached = {}
+        elif self.jobs > 1 and len(todo) > 1:
+            computed = self._run_pool(todo)
+        else:
+            computed = [_execute_cell(self.spec, c) for c in todo]
+
+        by_key = dict(cached)
+        by_key.update({r.key: r for r in computed})
+        results = [by_key[c.key] for c in cells]
+        if self.store is not None and computed:
+            self.store.save(self.spec, results)
+        return SweepResult(self.spec, results, executed=len(computed),
+                           cached=len(cached),
+                           elapsed_s=time.perf_counter() - t0)
+
+    # ------------------------------------------------------------------
+    def _load_cache(self, cells: Sequence[Cell]) -> Dict[str, CellResult]:
+        if self.store is None:
+            return {}
+        if self.force:
+            self.store.invalidate(self.spec)
+            return {}
+        cached = self.store.load(self.spec)
+        keys = {c.key for c in cells}
+        if self.spec.shared_cluster:
+            # All-or-nothing: partially replaying a stateful sweep
+            # would change what later cells observe.
+            if set(cached) >= keys:
+                return cached
+            return {}
+        return {key: res for key, res in cached.items() if key in keys}
+
+    def _run_inline(self, cells: Sequence[Cell],
+                    cluster: P2PMPICluster) -> List[CellResult]:
+        out = []
+        for cell in cells:
+            t0 = time.perf_counter()
+            ctx = CellContext(spec=self.spec, cell=cell, _cluster=cluster)
+            value = dict(self.spec.runner(ctx))
+            out.append(CellResult(
+                index=cell.index, key=cell.key, params=cell.param_dict(),
+                seed=cell.seed, value=value,
+                elapsed_s=time.perf_counter() - t0))
+        return out
+
+    def _run_shared(self, cells: Sequence[Cell]) -> List[CellResult]:
+        cluster = self.spec.cluster.build(seed=self.spec.master_seed)
+        return self._run_inline(cells, cluster)
+
+    def _run_pool(self, todo: Sequence[Cell]) -> List[CellResult]:
+        workers = min(self.jobs, len(todo))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_execute_cell, self.spec, cell)
+                       for cell in todo]
+            return [f.result() for f in futures]
+
+
+def run_sweep(spec: ExperimentSpec, *, jobs: int = 1,
+              store: Optional[ResultStore] = None, force: bool = False,
+              cluster: Optional[P2PMPICluster] = None) -> SweepResult:
+    """One-call façade over :class:`SweepRunner` — the shared body of
+    every driver module's ``*_sweep`` entry point."""
+    return SweepRunner(spec, jobs=jobs, store=store, force=force,
+                       cluster=cluster).run()

@@ -13,10 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.cluster import P2PMPICluster
+from repro.cluster import ClusterSpec, P2PMPICluster
+from repro.experiments.engine import (CellContext, ExperimentSpec,
+                                      ResultStore, SweepResult, make_spec,
+                                      run_sweep)
 from repro.middleware.jobs import JobRequest, JobResult
 
-__all__ = ["MultiUserOutcome", "run_multiuser_experiment"]
+__all__ = ["MultiUserOutcome", "run_multiuser_experiment",
+           "multiuser_cell", "multiuser_spec", "multiuser_sweep"]
 
 
 @dataclass
@@ -109,3 +113,83 @@ def run_multiuser_experiment(
     for submitter, proc in procs.items():
         outcome.results[submitter] = proc.value
     return outcome
+
+
+def default_submitters(cluster: P2PMPICluster, users: int) -> List[str]:
+    """Deterministic contention setup: one submitter per site, round
+    robin over the site's hosts when ``users`` exceeds the site count."""
+    topology = cluster.topology
+    sites = list(topology.sites)
+    out: List[str] = []
+    round_ = 0
+    while len(out) < users:
+        for site in sites:
+            hosts = topology.hosts_in_site(site)
+            if round_ < len(hosts):
+                out.append(hosts[round_].name)
+            if len(out) == users:
+                break
+        round_ += 1
+        if round_ > max(len(topology.hosts_in_site(s)) for s in sites):
+            raise ValueError(f"cannot place {users} submitters")
+    return out
+
+
+def multiuser_cell(ctx: CellContext) -> Dict:
+    """Engine cell: one concurrent round of ``users`` submissions.
+
+    A whole round is one cell (the competing jobs must share a
+    simulator), so the sweep axes scan round-level parameters: user
+    count, per-job demand, strategy.
+    """
+    cluster = ctx.cluster
+    submitters = default_submitters(cluster, ctx.params["users"])
+    outcome = run_multiuser_experiment(
+        cluster, submitters=submitters,
+        n=ctx.params["n"], strategy=ctx.params["strategy"],
+        stagger_s=ctx.meta.get("stagger_s", 0.0),
+    )
+    total_cores = sum(
+        sum(res.plan.cores_by_site().values())
+        for res in outcome.results.values() if res.plan is not None
+    )
+    return {
+        "statuses": dict(sorted(outcome.statuses.items())),
+        "concurrent_overlap_count": len(outcome.concurrent_overlaps()),
+        "total_refusals": outcome.total_refusals(),
+        "max_attempts": outcome.max_attempts(),
+        "total_cores": total_cores,
+    }
+
+
+def multiuser_spec(
+    users: Sequence[int] = (2, 3),
+    demands: Sequence[int] = (50, 150),
+    strategies: Sequence[str] = ("spread",),
+    stagger_s: float = 0.0,
+    seed: int = 0,
+    cluster_spec: Optional[ClusterSpec] = None,
+    name: str = "multiuser",
+) -> ExperimentSpec:
+    """Contention rounds as a declarative spec."""
+    return make_spec(
+        name=name,
+        axes={"users": tuple(users), "n": tuple(demands),
+              "strategy": tuple(strategies)},
+        runner=multiuser_cell,
+        cluster=cluster_spec or ClusterSpec(),
+        master_seed=seed,
+        meta={"stagger_s": stagger_s},
+    )
+
+
+def multiuser_sweep(
+    spec: Optional[ExperimentSpec] = None,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
+    **spec_kwargs,
+) -> SweepResult:
+    """Run the contention sweep through the engine."""
+    spec = spec or multiuser_spec(**spec_kwargs)
+    return run_sweep(spec, jobs=jobs, store=store, force=force)

@@ -13,10 +13,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.cluster import P2PMPICluster, build_grid5000_cluster
+from repro.cluster import ClusterSpec, P2PMPICluster
+from repro.experiments.engine import (CellContext, ExperimentSpec,
+                                      ResultStore, SweepResult, make_spec,
+                                      run_sweep)
 from repro.middleware.jobs import JobRequest
 
-__all__ = ["ScalingPoint", "ScalingSeries", "run_scaling_experiment"]
+__all__ = ["ScalingPoint", "ScalingSeries", "scaling_cell", "scaling_spec",
+           "scaling_sweep", "scaling_series_from_sweep",
+           "run_scaling_experiment"]
 
 
 @dataclass
@@ -48,27 +53,82 @@ class ScalingSeries:
         return [p.launch_s for p in self.points]
 
 
+def scaling_cell(ctx: CellContext) -> Dict:
+    """Engine cell: timing milestones of one sized submission."""
+    strategy = ctx.meta["strategy"]
+    n = ctx.params["n"]
+    result = ctx.cluster.submit_and_run(
+        JobRequest(n=n, strategy=strategy, tag="scaling"))
+    if not result.ok:
+        raise RuntimeError(result.summary())
+    return {
+        "reservation_s": result.timings.reservation_s,
+        "launch_s": result.timings.launch_s,
+        "total_s": result.timings.total_s,
+        "booked_hosts": len(result.allocation.slist),
+        "attempts": result.attempts,
+    }
+
+
+def scaling_spec(
+    demands: Iterable[int] = (50, 100, 200, 400, 600),
+    strategy: str = "spread",
+    seed: int = 0,
+    cluster_spec: Optional[ClusterSpec] = None,
+    name: str = "scaling",
+) -> ExperimentSpec:
+    """The reservation-latency sweep as a declarative spec."""
+    return make_spec(
+        name=name,
+        axes={"n": tuple(demands)},
+        runner=scaling_cell,
+        cluster=cluster_spec or ClusterSpec(),
+        master_seed=seed,
+        meta={"strategy": strategy},
+    )
+
+
+def scaling_sweep(
+    spec: Optional[ExperimentSpec] = None,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
+    cluster: Optional[P2PMPICluster] = None,
+    **spec_kwargs,
+) -> SweepResult:
+    """Run the sweep through the engine; see :class:`SweepRunner`."""
+    spec = spec or scaling_spec(**spec_kwargs)
+    return run_sweep(spec, jobs=jobs, store=store, force=force,
+                     cluster=cluster)
+
+
+def scaling_series_from_sweep(sweep: SweepResult) -> ScalingSeries:
+    """Assemble the legacy series from engine cells."""
+    strategy = sweep.spec.meta["strategy"]
+    series = ScalingSeries(strategy=strategy)
+    for cell in sweep.cells:
+        series.points.append(ScalingPoint(
+            n=cell.params["n"], strategy=strategy,
+            reservation_s=cell.value["reservation_s"],
+            launch_s=cell.value["launch_s"],
+            total_s=cell.value["total_s"],
+            booked_hosts=cell.value["booked_hosts"],
+            attempts=cell.value["attempts"],
+        ))
+    return series
+
+
 def run_scaling_experiment(
     demands: Iterable[int] = (50, 100, 200, 400, 600),
     strategy: str = "spread",
     seed: int = 0,
     cluster: Optional[P2PMPICluster] = None,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
 ) -> ScalingSeries:
     """Measure co-allocation latency over a demand sweep."""
-    cluster = cluster or build_grid5000_cluster(seed=seed)
-    series = ScalingSeries(strategy=strategy)
-    for n in demands:
-        result = cluster.submit_and_run(
-            JobRequest(n=n, strategy=strategy, tag="scaling"))
-        if not result.ok:
-            raise RuntimeError(result.summary())
-        series.points.append(ScalingPoint(
-            n=n,
-            strategy=strategy,
-            reservation_s=result.timings.reservation_s,
-            launch_s=result.timings.launch_s,
-            total_s=result.timings.total_s,
-            booked_hosts=len(result.allocation.slist),
-            attempts=result.attempts,
-        ))
-    return series
+    spec = scaling_spec(demands=demands, strategy=strategy, seed=seed)
+    sweep = scaling_sweep(spec=spec, jobs=jobs, store=store, force=force,
+                          cluster=cluster)
+    return scaling_series_from_sweep(sweep)

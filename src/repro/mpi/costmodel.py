@@ -304,12 +304,14 @@ class CollectiveCostModel:
                         flows = min(layout.site_counts[si], layout.site_counts[sj])
                         bw = min(bw, layout.bw_bps[si, sj] / max(1, flows))
                     total += c * bytes_per_pair * 8.0 / bw
-                # Same-host partners: no wire, only overheads (already in
-                # `unit` diagonal via latency=LAN; subtract the LAN
-                # latency for the (colocated-1) same-host partners).
-                k = layout.colocated[i] - 1
-                if k > 0:
-                    total -= k * layout.oneway_s[si, si]
+            # Same-host partners: no wire, only overheads (already in
+            # `unit` diagonal via latency=LAN; subtract the LAN latency
+            # for the (colocated-1) same-host partners — also for
+            # zero-byte exchanges, else cost(0) exceeds cost(1)).
+            k = layout.colocated[i] - 1
+            if k > 0:
+                total -= k * layout.oneway_s[si, si]
+                if bytes_per_pair > 0:
                     total -= k * bytes_per_pair * 8.0 / (
                         layout.bw_bps[si, si]
                         / (layout.colocated[i] if pa.nic_share else 1)

@@ -1,0 +1,241 @@
+"""The unified experiment engine: spec grids, runner modes, store.
+
+The determinism contract proved here is the engine's reason to exist:
+per-cell sweeps are bit-identical between serial and process-pool
+execution, stored results are replayable, and caching is exact.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.experiments.coallocation import (
+    coallocation_cell,
+    coallocation_spec,
+    series_from_sweep,
+)
+from repro.experiments.engine import (
+    CellContext,
+    ExperimentSpec,
+    ResultStore,
+    SweepRunner,
+    derive_cell_seed,
+    make_spec,
+)
+
+SMALL = ClusterSpec(kind="small")
+
+
+def small_spec(seed: int = 5, demands=(4, 8),
+               strategies=("spread", "concentrate"), name="eng-test"):
+    return coallocation_spec(seed=seed, demands=demands,
+                             strategies=strategies, cluster_spec=SMALL,
+                             name=name)
+
+
+def probe_cell(ctx: CellContext) -> dict:
+    """Clusterless runner: echoes what the engine handed the cell."""
+    return {"params": ctx.params, "seed": ctx.seed,
+            "meta_x": ctx.meta.get("x")}
+
+
+class TestSpecGrid:
+    def test_cells_row_major_order(self):
+        spec = make_spec("t", {"a": (1, 2), "b": ("x", "y")}, probe_cell)
+        keys = [c.key for c in spec.cells()]
+        assert keys == ["a=1,b='x'", "a=1,b='y'", "a=2,b='x'", "a=2,b='y'"]
+        assert [c.index for c in spec.cells()] == [0, 1, 2, 3]
+
+    def test_shape_and_count(self):
+        spec = make_spec("t", {"a": (1, 2, 3), "b": (0,)}, probe_cell)
+        assert spec.shape == (3, 1)
+        assert spec.cell_count() == 3
+
+    def test_seeds_derived_per_cell(self):
+        spec = make_spec("t", {"a": (1, 2)}, probe_cell, master_seed=9)
+        seeds = [c.seed for c in spec.cells()]
+        assert len(set(seeds)) == 2
+        assert seeds[0] == derive_cell_seed(9, "a=1")
+        # Stable across enumerations and processes.
+        assert seeds == [c.seed for c in spec.cells()]
+
+    def test_fixed_seed_mode(self):
+        spec = make_spec("t", {"a": (1, 2)}, probe_cell, master_seed=9,
+                         fixed_seed=True)
+        assert [c.seed for c in spec.cells()] == [9, 9]
+
+    def test_content_hash_sensitivity(self):
+        base = small_spec()
+        assert base.content_hash() == small_spec().content_hash()
+        assert (small_spec(seed=6).content_hash()
+                != base.content_hash())
+        assert (small_spec(demands=(4, 8, 12)).content_hash()
+                != base.content_hash())
+        other_cluster = coallocation_spec(seed=5, demands=(4, 8),
+                                          name="eng-test")
+        assert other_cluster.content_hash() != base.content_hash()
+
+    def test_hash_stable_for_object_meta(self):
+        from repro.apps import EPBenchmark
+
+        a = make_spec("t", {"n": (1,)}, probe_cell,
+                      meta={"app": EPBenchmark("B")})
+        b = make_spec("t", {"n": (1,)}, probe_cell,
+                      meta={"app": EPBenchmark("B")})
+        assert a.content_hash() == b.content_hash()
+        c = make_spec("t", {"n": (1,)}, probe_cell,
+                      meta={"app": EPBenchmark("A")})
+        assert c.content_hash() != a.content_hash()
+
+
+class TestDeterminism:
+    def test_serial_and_parallel_stores_byte_identical(self, tmp_path):
+        spec = small_spec()
+        serial = ResultStore(tmp_path / "serial")
+        parallel = ResultStore(tmp_path / "parallel")
+        res_s = SweepRunner(spec, jobs=1, store=serial).run()
+        res_p = SweepRunner(spec, jobs=2, store=parallel).run()
+        assert res_s.executed == res_p.executed == spec.cell_count()
+        assert (serial.path_for(spec).read_bytes()
+                == parallel.path_for(spec).read_bytes())
+        assert res_s.values() == res_p.values()
+
+    def test_second_run_hits_cache(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(tmp_path)
+        first = SweepRunner(spec, store=store).run()
+        again = SweepRunner(spec, store=store).run()
+        assert first.executed == spec.cell_count() and first.cached == 0
+        assert again.executed == 0
+        assert again.cached == spec.cell_count()
+        assert again.values() == first.values()
+
+    def test_force_reexecutes(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(tmp_path)
+        SweepRunner(spec, store=store).run()
+        forced = SweepRunner(spec, store=store, force=True).run()
+        assert forced.executed == spec.cell_count()
+        assert forced.cached == 0
+
+    def test_changed_spec_misses_cache(self, tmp_path):
+        store = ResultStore(tmp_path)
+        SweepRunner(small_spec(), store=store).run()
+        other = SweepRunner(small_spec(seed=6), store=store).run()
+        assert other.executed == other.spec.cell_count()
+
+
+class TestStore:
+    def test_roundtrip(self, tmp_path):
+        spec = make_spec("t", {"a": (1, 2)}, probe_cell, meta={"x": 3})
+        store = ResultStore(tmp_path)
+        result = SweepRunner(spec, store=store).run()
+        loaded = store.load(spec)
+        assert set(loaded) == {c.key for c in spec.cells()}
+        assert all(res.cached for res in loaded.values())
+        assert loaded["a=1"].value == result.cells[0].value
+
+    def test_hash_mismatch_is_cache_miss(self, tmp_path):
+        spec = make_spec("t", {"a": (1,)}, probe_cell)
+        store = ResultStore(tmp_path)
+        SweepRunner(spec, store=store).run()
+        path = store.path_for(spec)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["hash"] = "0" * 64
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        assert store.load(spec) == {}
+
+    def test_invalidate(self, tmp_path):
+        spec = make_spec("t", {"a": (1,)}, probe_cell)
+        store = ResultStore(tmp_path)
+        SweepRunner(spec, store=store).run()
+        assert store.invalidate(spec) is True
+        assert store.invalidate(spec) is False
+        assert store.load(spec) == {}
+
+    def test_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        SweepRunner(make_spec("one", {"a": (1,)}, probe_cell),
+                    store=store).run()
+        SweepRunner(make_spec("two", {"a": (1,)}, probe_cell),
+                    store=store).run()
+        names = {e["spec"]["name"] for e in store.entries()}
+        assert names == {"one", "two"}
+
+
+class TestRunnerModes:
+    def test_meta_and_seed_reach_cells(self):
+        spec = make_spec("t", {"a": (1, 2)}, probe_cell, master_seed=4,
+                         meta={"x": 42})
+        result = SweepRunner(spec).run()
+        assert [c.value["meta_x"] for c in result.cells] == [42, 42]
+        assert [c.value["seed"] for c in result.cells] == \
+            [derive_cell_seed(4, "a=1"), derive_cell_seed(4, "a=2")]
+
+    def test_inline_cluster_replays_grid_order(self, small_cluster):
+        spec = small_spec()
+        result = SweepRunner(spec, cluster=small_cluster).run()
+        series = series_from_sweep(result)
+        assert set(series) == {"spread", "concentrate"}
+        assert series["spread"].demands == [4, 8]
+        # One process per host while hosts remain (spread invariant).
+        assert series["spread"].point(4).total_hosts == 4
+
+    def test_shared_cluster_cache_is_all_or_nothing(self, tmp_path):
+        spec = small_spec()
+        spec.shared_cluster = True
+        store = ResultStore(tmp_path)
+        first = SweepRunner(spec, store=store).run()
+        assert first.executed == spec.cell_count()
+        again = SweepRunner(spec, store=store).run()
+        assert again.executed == 0
+        assert again.cached == spec.cell_count()
+        # Drop one cell line: the partial file must not be replayed.
+        path = store.path_for(spec)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        third = SweepRunner(spec, store=store).run()
+        assert third.executed == spec.cell_count()
+
+    def test_cell_failure_propagates(self, tmp_path):
+        spec = small_spec(demands=(4, 2000))  # 2000 is infeasible
+        with pytest.raises(RuntimeError):
+            SweepRunner(spec, store=ResultStore(tmp_path)).run()
+        with pytest.raises(RuntimeError):
+            SweepRunner(spec, jobs=2).run()
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner(small_spec(), jobs=0)
+
+    def test_inline_cluster_rejects_store_and_force(self, small_cluster,
+                                                    tmp_path):
+        with pytest.raises(ValueError):
+            SweepRunner(small_spec(), cluster=small_cluster,
+                        store=ResultStore(tmp_path))
+        with pytest.raises(ValueError):
+            SweepRunner(small_spec(), cluster=small_cluster, force=True)
+
+    def test_hash_covers_runner_source(self):
+        blob = small_spec().to_jsonable()
+        assert len(blob["runner_src"]) == 64
+        assert blob["runner"].endswith("coallocation_cell")
+
+    def test_result_selectors(self):
+        spec = make_spec("t", {"a": (1, 2), "b": (3,)}, probe_cell)
+        result = SweepRunner(spec).run()
+        assert result.value(a=1, b=3)["params"] == {"a": 1, "b": 3}
+        assert len(result.select(b=3)) == 2
+        with pytest.raises(KeyError):
+            result.value(a=99)
+        with pytest.raises(KeyError):
+            result.value(b=3)  # ambiguous
+
+    def test_summary_mentions_counts(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(tmp_path)
+        SweepRunner(spec, store=store).run()
+        text = SweepRunner(spec, store=store).run().summary()
+        assert "0 executed" in text and "4 cached" in text

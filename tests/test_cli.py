@@ -1,8 +1,13 @@
 """CLI surface."""
 
+import functools
+
 import pytest
 
+import repro.cli as cli
 from repro.cli import build_parser, main, make_app
+from repro.cluster import ClusterSpec
+from repro.experiments.coallocation import coallocation_spec
 
 
 class TestParser:
@@ -47,3 +52,44 @@ class TestMain:
         assert main(["--experiment", "table1"]) == 0
         out = capsys.readouterr().out
         assert "grelon" in out and "sol" in out and "17.167" in out
+
+
+class TestEngineFlags:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["--experiment", "fig2"])
+        assert args.jobs == 1 and args.out is None and not args.force
+
+    def test_campaign_choice(self):
+        args = build_parser().parse_args(
+            ["--experiment", "all", "--jobs", "4", "--out", "/tmp/r",
+             "--force"])
+        assert args.experiment == "all"
+        assert (args.jobs, args.out, args.force) == (4, "/tmp/r", True)
+
+    @pytest.fixture
+    def fast_fig2(self, monkeypatch):
+        """Shrink fig2 to a 2-cell sweep on the small testbed."""
+        monkeypatch.setattr(cli, "coallocation_spec", functools.partial(
+            coallocation_spec, demands=(4, 8),
+            cluster_spec=ClusterSpec(kind="small")))
+
+    def test_fig2_runs_stores_and_caches(self, fast_fig2, tmp_path, capsys):
+        argv = ["--experiment", "fig2", "--jobs", "2",
+                "--out", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "[engine] sweep fig2: 2 cells (2 executed, 0 cached)" in first
+        assert "concentrate:cores" in first
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "(0 executed, 2 cached)" in second
+
+        assert main(argv + ["--force"]) == 0
+        third = capsys.readouterr().out
+        assert "(2 executed, 0 cached)" in third
+
+    def test_fig2_without_store(self, fast_fig2, capsys):
+        assert main(["--experiment", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "[engine] sweep fig2" in out and ".jsonl" not in out
