@@ -4,13 +4,34 @@ Every benchmark prints the regenerated paper table/series to stdout
 (run with ``pytest benchmarks/ --benchmark-only -s`` to see them) and
 asserts the paper's qualitative claims, so a passing benchmark run *is*
 a successful reproduction.
+
+Fast mode
+---------
+``REPRO_BENCH_FAST=1`` (what CI sets) turns the run into a correctness
+pass: pytest-benchmark timing is force-disabled (every benchmark body
+executes exactly once, all reproduction assertions still fire) and
+wall-clock *ratio* assertions are skipped via :func:`fast_mode` —
+shared CI runners make timing comparisons meaningless, but a silently
+rotting benchmark file still fails loudly here.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.cluster import build_grid5000_cluster
+
+
+def fast_mode() -> bool:
+    """True when REPRO_BENCH_FAST asks for the timing-free CI pass."""
+    return os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+
+def pytest_configure(config) -> None:
+    if fast_mode() and hasattr(config.option, "benchmark_disable"):
+        config.option.benchmark_disable = True
 
 
 @pytest.fixture(scope="session")

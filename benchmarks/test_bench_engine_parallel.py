@@ -19,7 +19,7 @@ from repro.experiments.applications import application_spec, application_sweep
 from repro.experiments.coallocation import coallocation_spec, coallocation_sweep
 from repro.experiments.engine import ResultStore
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, fast_mode
 
 SEED = 42
 
@@ -71,7 +71,9 @@ def test_bench_engine_parallel(tmp_path, benchmark):
     # The replay came entirely from the store, much faster than a run.
     assert all(s.executed == 0 for s in replay)
     assert sum(s.cached for s in replay) == 38
-    assert replay_s < serial_s / 10
-    # Fan-out only wins wall-clock when there is hardware to fan onto.
-    if (os.cpu_count() or 1) >= 4:
-        assert parallel_s < serial_s
+    # Wall-clock ratios are meaningless on shared CI runners.
+    if not fast_mode():
+        assert replay_s < serial_s / 10
+        # Fan-out only wins wall-clock when there is hardware to fan onto.
+        if (os.cpu_count() or 1) >= 4:
+            assert parallel_s < serial_s

@@ -10,8 +10,6 @@ Shape criteria (from §5.2):
 * absolute times sit in the paper's 1-10 s band.
 """
 
-import pytest
-
 from repro.apps import EPBenchmark
 from repro.experiments.applications import (
     EP_PROCESS_COUNTS,

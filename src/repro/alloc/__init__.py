@@ -14,6 +14,12 @@ Implements §4.3 of the paper:
   replica separation (criterion (b) of §4.3).
 * :mod:`~repro.alloc.mixed` — the "mixed strategies" the conclusion
   lists as future work (parameterised block allocation).
+* :mod:`~repro.alloc.commaware` + :mod:`~repro.alloc.bandwidth_spread`
+  / :mod:`~repro.alloc.diameter_concentrate` /
+  :mod:`~repro.alloc.topo_block` — the communication-aware family in
+  the spirit of Bender et al.: placements scored by pairwise bandwidth
+  and latency between the *selected* hosts, not just their distance to
+  the submitter.
 """
 
 from repro.alloc.base import (
@@ -36,6 +42,10 @@ from repro.alloc.adaptive import (
     SiteAffineStrategy,
     choose_strategy_for_app,
 )
+from repro.alloc.commaware import CommAwareStrategy, dominant_group_size
+from repro.alloc.bandwidth_spread import BandwidthSpreadStrategy
+from repro.alloc.diameter_concentrate import DiameterConcentrateStrategy
+from repro.alloc.topo_block import TopoBlockStrategy
 from repro.alloc.ranks import assign_ranks, build_plan
 
 __all__ = [
@@ -58,6 +68,11 @@ __all__ = [
     "AutoStrategy",
     "SiteAffineStrategy",
     "choose_strategy_for_app",
+    "CommAwareStrategy",
+    "dominant_group_size",
+    "BandwidthSpreadStrategy",
+    "DiameterConcentrateStrategy",
+    "TopoBlockStrategy",
     "assign_ranks",
     "build_plan",
 ]

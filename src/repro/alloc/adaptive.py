@@ -19,7 +19,7 @@ platform characteristics".  Two answers:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.alloc.base import (
     AllocationError,

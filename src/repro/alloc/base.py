@@ -15,7 +15,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Type
+from typing import Dict, List, Sequence, Tuple, Type
 
 from repro.net.topology import Host
 
@@ -194,10 +194,25 @@ class Strategy(ABC):
 
     Subclasses implement :meth:`distribute` returning the ``u_i`` list;
     rank assignment is shared (:func:`repro.alloc.ranks.assign_ranks`).
+
+    Communication-aware strategies additionally override
+    :meth:`distribute_over` (which sees the actual hosts, not just the
+    capacity vector) and set :attr:`needs_topology` so the middleware
+    binds its :class:`~repro.net.topology.Topology` before planning.
+    The published paper strategies never look past capacities, so their
+    behaviour is untouched by this hook.
     """
 
     #: Registry key; subclasses must override.
     name: str = ""
+
+    #: True when placement quality depends on the inter-host network;
+    #: the middleware then calls :meth:`bind_topology` before planning.
+    needs_topology: bool = False
+
+    #: The bound network view (set by :meth:`bind_topology`); the
+    #: middleware checks it so an already-bound strategy is not rebound.
+    topology = None
 
     @abstractmethod
     def distribute(self, capacities: Sequence[int], n: int, r: int) -> List[int]:
@@ -206,6 +221,21 @@ class Strategy(ABC):
         ``capacities`` is the ``c_i`` vector for ``slist`` (latency
         order).  Implementations may assume feasibility was checked.
         """
+
+    def distribute_over(self, slist: Sequence["ReservedHost"],
+                        capacities: Sequence[int], n: int, r: int) -> List[int]:
+        """Like :meth:`distribute` but with the hosts in view.
+
+        ``build_plan`` always calls this entry point; the default
+        ignores ``slist`` and delegates, so capacity-only strategies
+        need not care.
+        """
+        return self.distribute(capacities, n, r)
+
+    def bind_topology(self, topology) -> None:
+        """Attach the network view (stored; capacity-only strategies
+        simply never read it)."""
+        self.topology = topology
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"

@@ -86,7 +86,7 @@ def build_plan(
     slist = list(slist)
     check_feasible(slist, n, r)
     caps = capacity_vector(slist, n)
-    usage = strategy.distribute(caps, n, r)
+    usage = strategy.distribute_over(slist, caps, n, r)
     if len(usage) != len(slist):
         raise AllocationError(
             f"{strategy.name}: returned {len(usage)} usages for {len(slist)} hosts"

@@ -25,7 +25,7 @@ import sys
 from typing import List, Optional
 
 from repro.apps import CGLikeBenchmark, EPBenchmark, HostnameApp, ISBenchmark
-from repro.cluster import build_grid5000_cluster
+from repro.cluster import ClusterSpec, build_grid5000_cluster
 from repro.experiments.applications import (
     app_series_from_sweep,
     application_spec,
@@ -35,6 +35,10 @@ from repro.experiments.coallocation import (
     coallocation_spec,
     coallocation_sweep,
     series_from_sweep,
+)
+from repro.experiments.commaware import (
+    commaware_report,
+    run_commaware_campaign,
 )
 from repro.experiments.engine import ResultStore, SweepResult
 from repro.experiments.multiuser import multiuser_spec, multiuser_sweep
@@ -76,19 +80,34 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("-r", type=int, default=1,
                         help="replication degree (default 1)")
     parser.add_argument("-a", "--alloc", default="spread",
-                        help="allocation strategy: spread | concentrate | block")
+                        help="allocation strategy: spread | concentrate | "
+                             "block | bandwidth_spread | "
+                             "diameter_concentrate | topo_block")
     parser.add_argument("--block", type=int, default=2,
                         help="block size when -a block")
+    parser.add_argument("--group", type=int, default=None,
+                        help="collective-group block unit when -a "
+                             "topo_block (default: derived from n)")
     parser.add_argument("--class", dest="nas_class", default="B",
                         help="NAS class for ep/is/cg (default B)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--experiment",
                         choices=("fig2", "fig3", "fig4", "table1",
                                  "ablations", "scaling", "multiuser",
-                                 "all"),
+                                 "coallocation", "commaware", "all"),
                         help="regenerate a paper figure/table, run the "
-                             "ablation studies, or run the whole campaign "
-                             "('all') instead of running a job")
+                             "ablation studies, the combined §5.1 sweep "
+                             "('coallocation'), the communication-aware "
+                             "scenario pack ('commaware'), or the whole "
+                             "campaign ('all') instead of running a job")
+    parser.add_argument("--cluster", default="grid5000",
+                        choices=("grid5000", "small"),
+                        help="testbed for coallocation/commaware sweeps "
+                             "(default grid5000; 'small' is the 10-host "
+                             "CI/smoke grid)")
+    parser.add_argument("--demands", default=None, metavar="N,N,...",
+                        help="comma-separated demand grid overriding the "
+                             "paper's 100..600 for coallocation/commaware")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for sweep cells (default 1)")
     parser.add_argument("--out", default=None, metavar="DIR",
@@ -109,7 +128,11 @@ def _run_single(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     cluster = build_grid5000_cluster(seed=args.seed)
-    kwargs = {"block": args.block} if args.alloc == "block" else {}
+    kwargs = {}
+    if args.alloc == "block":
+        kwargs["block"] = args.block
+    elif args.alloc == "topo_block" and args.group is not None:
+        kwargs["group"] = args.group
     request = JobRequest(n=args.n, r=args.r, strategy=args.alloc,
                          strategy_kwargs=kwargs,
                          app=make_app(args.prog, args.nas_class))
@@ -138,7 +161,7 @@ def _run_coallocation(args: argparse.Namespace, experiment: str,
                       store: Optional[ResultStore]) -> None:
     strategy = "concentrate" if experiment == "fig2" else "spread"
     spec = coallocation_spec(seed=args.seed, strategies=(strategy,),
-                             name=experiment)
+                             name=experiment, **_grid_overrides(args))
     sweep = coallocation_sweep(spec=spec, jobs=args.jobs, store=store,
                                force=args.force)
     _report_sweep(sweep, store)
@@ -159,6 +182,61 @@ def _run_coallocation(args: argparse.Namespace, experiment: str,
             title=f"{strategy}: allocated cores per site",
             y_label="cores",
         ))
+
+
+def _grid_overrides(args: argparse.Namespace) -> dict:
+    """Only the sweep-shape kwargs the user explicitly set, so the
+    figure drivers keep their spec functions' own defaults otherwise."""
+    overrides = {}
+    if args.demands is not None:
+        try:
+            demands = tuple(int(part)
+                            for part in args.demands.split(",") if part)
+        except ValueError:
+            raise SystemExit(f"error: bad --demands {args.demands!r}")
+        if not demands:
+            raise SystemExit("error: --demands needs at least one value")
+        overrides["demands"] = demands
+    if args.cluster == "small":
+        overrides["cluster_spec"] = ClusterSpec(kind="small")
+        if args.demands is None:
+            # The paper's 100..600 grid is infeasible on the 28-core
+            # smoke testbed; default to a grid that fits it.
+            overrides["demands"] = (4, 8, 16)
+    return overrides
+
+
+def _run_combined_coallocation(args: argparse.Namespace,
+                               store: Optional[ResultStore]) -> None:
+    """The §5.1 sweep with both published strategies in one grid."""
+    spec = coallocation_spec(seed=args.seed,
+                             strategies=("concentrate", "spread"),
+                             name="coallocation", **_grid_overrides(args))
+    sweep = coallocation_sweep(spec=spec, jobs=args.jobs, store=store,
+                               force=args.force)
+    _report_sweep(sweep, store)
+    for strategy, series in sorted(series_from_sweep(sweep).items()):
+        print(format_site_table(series, value="hosts"))
+        print()
+        print(format_site_table(series, value="cores"))
+        print()
+
+
+def _run_commaware(args: argparse.Namespace,
+                   store: Optional[ResultStore]) -> None:
+    """The communication-aware pack.  Output is deterministic byte for
+    byte (no timings), so ``--jobs 1`` and ``--jobs 2`` runs diff clean.
+    """
+    small = args.cluster == "small"
+    campaign = run_commaware_campaign(
+        seed=args.seed,
+        # The fig4/latratio panels assume the full testbed's demand
+        # range; on the smoke grid only the alloc comparison makes sense.
+        with_apps=not small,
+        with_latratio=not small,
+        jobs=args.jobs, store=store, force=args.force,
+        **_grid_overrides(args))
+    print(commaware_report(campaign))
 
 
 def _run_fig4(args: argparse.Namespace,
@@ -234,6 +312,12 @@ def _run_experiment(args: argparse.Namespace) -> int:
     store = _store(args)
     if args.experiment in ("fig2", "fig3"):
         _run_coallocation(args, args.experiment, store)
+        return 0
+    if args.experiment == "coallocation":
+        _run_combined_coallocation(args, store)
+        return 0
+    if args.experiment == "commaware":
+        _run_commaware(args, store)
         return 0
     if args.experiment == "fig4":
         _run_fig4(args, store)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Callable, Dict, Generator, List, Optional, Sequence
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.apps.base import AppEnv
 from repro.apps.machine import MachineModel
@@ -35,9 +35,9 @@ from repro.overlay.supernode import Supernode
 from repro.sim.core import Simulator
 from repro.sim.monitor import Monitor
 
-__all__ = ["P2PMPICluster", "build_grid5000_cluster", "build_small_cluster",
-           "ClusterSpec", "register_cluster_kind", "cluster_kinds",
-           "DEFAULT_COST_PARAMS"]
+__all__ = ["P2PMPICluster", "build_grid5000_cluster", "build_latratio_cluster",
+           "build_small_cluster", "ClusterSpec", "register_cluster_kind",
+           "cluster_kinds", "DEFAULT_COST_PARAMS"]
 
 #: Communication cost parameters calibrated for the 2008 Java/MPJ
 #: runtime (see DESIGN.md §5 and repro.mpi.costmodel).
@@ -240,6 +240,40 @@ def build_grid5000_cluster(
     return cluster.boot() if boot else cluster
 
 
+def build_latratio_cluster(
+    seed: int = 0,
+    config: Optional[MiddlewareConfig] = None,
+    cost_params: CostParams = DEFAULT_COST_PARAMS,
+    boot: bool = True,
+    latency_ratio: float = 121.6,
+) -> P2PMPICluster:
+    """The paper's testbed with a tunable intra/inter-site latency ratio.
+
+    ``latency_ratio`` is the ratio of the reference WAN RTT (nancy-lyon,
+    the nearest remote site) to the LAN RTT; the paper's own setting is
+    10.576 / 0.087 ≈ 121.6.  Smaller ratios flatten the grid towards
+    one big LAN (site locality stops mattering); larger ones deepen the
+    site hierarchy.  WAN RTTs stay at the measured values — only the
+    LAN leg moves — so the allocation-relevant site *ranking* is
+    preserved across the whole axis.
+    """
+    if latency_ratio <= 0:
+        raise ValueError("latency_ratio must be > 0")
+    from repro.grid5000.sites import SITE_RTT_MS_FROM_NANCY
+
+    lan_rtt_ms = SITE_RTT_MS_FROM_NANCY["lyon"] / latency_ratio
+    topology = build_topology(lan_rtt_ms=lan_rtt_ms)
+    cluster = P2PMPICluster(
+        topology,
+        seed=seed,
+        config=config,
+        supernode_host="grelon-1.nancy",
+        default_submitter="grelon-1.nancy",
+        cost_params=cost_params,
+    )
+    return cluster.boot() if boot else cluster
+
+
 def build_small_cluster(
     seed: int = 0,
     config: Optional[MiddlewareConfig] = None,
@@ -279,6 +313,7 @@ def build_small_cluster(
 #: ``ProcessPoolExecutor`` workers: ``builder(seed, config, boot)``.
 _CLUSTER_KINDS: Dict[str, Callable[..., P2PMPICluster]] = {
     "grid5000": build_grid5000_cluster,
+    "grid5000-latratio": build_latratio_cluster,
     "small": build_small_cluster,
 }
 
@@ -313,21 +348,29 @@ class ClusterSpec:
     ----------
     kind:
         A name registered in :func:`register_cluster_kind`
-        (``grid5000`` and ``small`` are built in).
+        (``grid5000``, ``grid5000-latratio`` and ``small`` are built
+        in).
     config:
         Optional middleware tuning applied to every host.
     boot:
         Whether :meth:`build` returns a booted overlay (default).
+    params:
+        Extra keyword arguments for the builder, as a sorted tuple of
+        ``(name, value)`` pairs so the spec stays hashable/picklable —
+        e.g. ``(("latency_ratio", 10.0),)`` for ``grid5000-latratio``.
     """
 
     kind: str = "grid5000"
     config: Optional[MiddlewareConfig] = None
     boot: bool = True
+    params: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in _CLUSTER_KINDS:
             raise ValueError(f"unknown cluster kind {self.kind!r} "
                              f"(registered: {cluster_kinds()})")
+        if tuple(sorted(self.params)) != tuple(self.params):
+            raise ValueError("params must be sorted (name, value) pairs")
 
     def build(self, seed: int = 0) -> P2PMPICluster:
         """Instantiate the recipe with ``seed`` as the master seed."""
@@ -339,10 +382,17 @@ class ClusterSpec:
                 f"cluster kind {self.kind!r} is not registered in this "
                 f"process (registered: {cluster_kinds()}); register it "
                 f"at import time of the cell-runner module")
-        return builder(seed=seed, config=self.config, boot=self.boot)
+        return builder(seed=seed, config=self.config, boot=self.boot,
+                       **dict(self.params))
 
     def with_config(self, config: Optional[MiddlewareConfig]) -> "ClusterSpec":
         return dataclasses.replace(self, config=config)
+
+    def with_params(self, **params: object) -> "ClusterSpec":
+        """A copy with extra builder arguments merged in (and sorted)."""
+        merged = dict(self.params)
+        merged.update(params)
+        return dataclasses.replace(self, params=tuple(sorted(merged.items())))
 
     def fingerprint(self) -> Dict[str, object]:
         """Code-relevant identity for result-store content hashing."""
@@ -351,4 +401,5 @@ class ClusterSpec:
             "config": (None if self.config is None
                        else dataclasses.asdict(self.config)),
             "boot": self.boot,
+            "params": [list(pair) for pair in self.params],
         }

@@ -52,7 +52,18 @@ from repro.experiments.ablations import (
     smoothing_ablation,
     block_strategy_ablation,
 )
+from repro.experiments.commaware import (
+    ALL_STRATEGIES,
+    COMMAWARE_STRATEGIES,
+    CommawareCampaign,
+    commaware_alloc_spec,
+    commaware_app_spec,
+    commaware_report,
+    latratio_spec,
+    run_commaware_campaign,
+)
 from repro.experiments.report import (
+    format_metric_comparison,
     format_series_table,
     format_site_table,
     series_to_csv,
@@ -105,6 +116,15 @@ __all__ = [
     "overbooking_ablation",
     "replication_ablation",
     "block_strategy_ablation",
+    "ALL_STRATEGIES",
+    "COMMAWARE_STRATEGIES",
+    "CommawareCampaign",
+    "commaware_alloc_spec",
+    "commaware_app_spec",
+    "commaware_report",
+    "latratio_spec",
+    "run_commaware_campaign",
+    "format_metric_comparison",
     "format_series_table",
     "format_site_table",
     "series_to_csv",

@@ -16,14 +16,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.alloc.base import ReservedHost, get_strategy
-from repro.alloc.ranks import build_plan
-from repro.apps.base import Application, AppEnv
-from repro.cluster import DEFAULT_COST_PARAMS
+from repro.apps.base import Application
 from repro.experiments.engine import (CellContext, derive_cell_seed,
                                       make_spec, run_sweep)
 from repro.ft.replication import survival_probability

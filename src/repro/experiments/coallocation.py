@@ -15,7 +15,6 @@ from repro.cluster import ClusterSpec, P2PMPICluster
 from repro.experiments.engine import (CellContext, ExperimentSpec,
                                       ResultStore, SweepResult, make_spec,
                                       run_sweep)
-from repro.grid5000.sites import SITE_RTT_MS_FROM_NANCY
 from repro.middleware.jobs import JobRequest, JobStatus
 
 __all__ = ["PAPER_DEMANDS", "CoallocationPoint", "CoallocationSeries",

@@ -37,7 +37,7 @@ import inspect
 import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
@@ -323,6 +323,13 @@ class ResultStore:
     followed by one line per cell in canonical grid order.  Files are
     written atomically (tmp + rename) with sorted keys, so two runs of
     the same spec — serial or parallel — produce byte-identical files.
+
+    Alongside the canonical file the runner checkpoints completed cells
+    into a ``.partial`` sibling (same header, cells in completion
+    order) every few cells, so a killed campaign resumes from the last
+    checkpoint instead of recomputing the sweep.  The partial file is
+    promoted into the canonical one — and removed — when the sweep
+    completes.
     """
 
     def __init__(self, root: os.PathLike) -> None:
@@ -331,13 +338,29 @@ class ResultStore:
     def path_for(self, spec: ExperimentSpec) -> Path:
         return self.root / f"{spec.name}-{spec.content_hash()[:12]}.jsonl"
 
+    def partial_path_for(self, spec: ExperimentSpec) -> Path:
+        return self.path_for(spec).with_suffix(".jsonl.partial")
+
     def load(self, spec: ExperimentSpec) -> Dict[str, CellResult]:
         """Previously stored cells for this exact spec (``{}`` if none).
 
         A header hash mismatch (stale schema, edited file) is treated
         as a cache miss, never an error.
         """
-        path = self.path_for(spec)
+        return self._read_cells(self.path_for(spec), spec)
+
+    def load_partial(self, spec: ExperimentSpec) -> Dict[str, CellResult]:
+        """Checkpointed cells of an interrupted run (``{}`` if none).
+
+        A torn line (the process died mid-write) only drops that cell;
+        every fully-written checkpoint line survives — including lines
+        a later resumed run appended after the tear
+        (:meth:`append_partial` seals torn tails with a newline).
+        """
+        return self._read_cells(self.partial_path_for(spec), spec)
+
+    def _read_cells(self, path: Path,
+                    spec: ExperimentSpec) -> Dict[str, CellResult]:
         if not path.exists():
             return {}
         want = spec.content_hash()
@@ -349,7 +372,10 @@ class ResultStore:
                         or header.get("hash") != want):
                     return {}
                 for line in fh:
-                    rec = json.loads(line)
+                    try:
+                        rec = json.loads(line)
+                    except ValueError:
+                        continue  # torn line of a killed writer
                     if rec.get("kind") != "cell":
                         continue
                     out[rec["key"]] = CellResult(
@@ -360,8 +386,47 @@ class ResultStore:
             return {}
         return out
 
+    def append_partial(self, spec: ExperimentSpec,
+                       results: Sequence[CellResult]) -> Path:
+        """Checkpoint completed cells (appends; header on first write).
+
+        If the file ends mid-line (a previous writer died), a newline
+        seals the torn fragment into its own — skippable — line first,
+        so new records never merge into it.
+        """
+        path = self.partial_path_for(spec)
+        self.root.mkdir(parents=True, exist_ok=True)
+        fresh = not path.exists()
+        if not fresh:
+            with path.open("rb") as fh:
+                fh.seek(0, os.SEEK_END)
+                if fh.tell() > 0:
+                    fh.seek(-1, os.SEEK_END)
+                    torn = fh.read(1) != b"\n"
+                else:
+                    fresh = True
+                    torn = False
+            if torn:
+                with path.open("a", encoding="utf-8") as fh:
+                    fh.write("\n")
+        with path.open("a", encoding="utf-8") as fh:
+            if fresh:
+                header = {"kind": "sweep-header",
+                          "hash": spec.content_hash(),
+                          "spec": spec.to_jsonable()}
+                fh.write(json.dumps(header, sort_keys=True) + "\n")
+            for res in results:
+                fh.write(json.dumps(res.record(), sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        return path
+
     def save(self, spec: ExperimentSpec, results: Sequence[CellResult]) -> Path:
-        """Persist a complete sweep atomically, in canonical order."""
+        """Persist a complete sweep atomically, in canonical order.
+
+        Promotion point: any ``.partial`` checkpoint is superseded by
+        the canonical file and removed.
+        """
         path = self.path_for(spec)
         self.root.mkdir(parents=True, exist_ok=True)
         header = {"kind": "sweep-header", "hash": spec.content_hash(),
@@ -372,10 +437,20 @@ class ResultStore:
             for res in sorted(results, key=lambda r: r.index):
                 fh.write(json.dumps(res.record(), sort_keys=True) + "\n")
         tmp.replace(path)
+        self.clear_partial(spec)
         return path
+
+    def clear_partial(self, spec: ExperimentSpec) -> bool:
+        """Drop the checkpoint file; True if one existed."""
+        partial = self.partial_path_for(spec)
+        if partial.exists():
+            partial.unlink()
+            return True
+        return False
 
     def invalidate(self, spec: ExperimentSpec) -> bool:
         """Drop the stored sweep (``--force``); True if a file existed."""
+        self.clear_partial(spec)
         path = self.path_for(spec)
         if path.exists():
             path.unlink()
@@ -426,13 +501,22 @@ class SweepRunner:
         order.  This is the legacy figure mode: the caller owns the
         cluster, execution is serial, and nothing is cached (a live
         simulator's state is not replayable from a store file).
+    checkpoint_every:
+        Flush completed cells to the store's ``.partial`` file every
+        this many cells (per-cell sweeps with a store only), so a
+        killed campaign resumes from the checkpoint.  The canonical
+        file at sweep end stays byte-identical regardless of the
+        checkpoint cadence.
     """
 
     def __init__(self, spec: ExperimentSpec, *, jobs: int = 1,
                  store: Optional[ResultStore] = None, force: bool = False,
-                 cluster: Optional[P2PMPICluster] = None) -> None:
+                 cluster: Optional[P2PMPICluster] = None,
+                 checkpoint_every: int = 8) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         if cluster is not None and (store is not None or force):
             raise ValueError(
                 "store/force cannot be combined with an explicit cluster: "
@@ -442,6 +526,8 @@ class SweepRunner:
         self.store = store
         self.force = force
         self.cluster = cluster
+        self.checkpoint_every = checkpoint_every
+        self._pending_checkpoint: List[CellResult] = []
 
     # ------------------------------------------------------------------
     def run(self) -> SweepResult:
@@ -452,7 +538,7 @@ class SweepRunner:
             return SweepResult(self.spec, results, executed=len(results),
                                elapsed_s=time.perf_counter() - t0)
 
-        cached = self._load_cache(cells)
+        cached, resumed = self._load_cache(cells)
         todo = [c for c in cells if c.key not in cached]
         if self.spec.shared_cluster:
             computed = (self._run_shared(cells) if todo else [])
@@ -461,33 +547,55 @@ class SweepRunner:
         elif self.jobs > 1 and len(todo) > 1:
             computed = self._run_pool(todo)
         else:
-            computed = [_execute_cell(self.spec, c) for c in todo]
+            computed = self._run_serial(todo)
 
         by_key = dict(cached)
         by_key.update({r.key: r for r in computed})
         results = [by_key[c.key] for c in cells]
-        if self.store is not None and computed:
+        if self.store is not None and (computed or resumed):
+            # `resumed` promotes a checkpoint-only sweep to canonical
+            # even when this invocation had nothing left to execute.
             self.store.save(self.spec, results)
         return SweepResult(self.spec, results, executed=len(computed),
                            cached=len(cached),
                            elapsed_s=time.perf_counter() - t0)
 
     # ------------------------------------------------------------------
-    def _load_cache(self, cells: Sequence[Cell]) -> Dict[str, CellResult]:
+    def _load_cache(self,
+                    cells: Sequence[Cell]) -> Tuple[Dict[str, CellResult], bool]:
+        """Stored cells usable for this run, plus a resumed-from-partial
+        flag (which forces canonical promotion at the end)."""
         if self.store is None:
-            return {}
+            return {}, False
         if self.force:
             self.store.invalidate(self.spec)
-            return {}
+            return {}, False
         cached = self.store.load(self.spec)
         keys = {c.key for c in cells}
         if self.spec.shared_cluster:
             # All-or-nothing: partially replaying a stateful sweep
-            # would change what later cells observe.
+            # would change what later cells observe.  Checkpoints are
+            # never written for shared sweeps, so none are read.
             if set(cached) >= keys:
-                return cached
-            return {}
-        return {key: res for key, res in cached.items() if key in keys}
+                return cached, False
+            return {}, False
+        partial = {key: res
+                   for key, res in self.store.load_partial(self.spec).items()
+                   if key in keys and key not in cached}
+        cached = {key: res for key, res in cached.items() if key in keys}
+        cached.update(partial)
+        return cached, bool(partial)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def _checkpoint(self, result: CellResult) -> None:
+        if self.store is None or self.spec.shared_cluster:
+            return
+        self._pending_checkpoint.append(result)
+        if len(self._pending_checkpoint) >= self.checkpoint_every:
+            self.store.append_partial(self.spec, self._pending_checkpoint)
+            self._pending_checkpoint.clear()
 
     def _run_inline(self, cells: Sequence[Cell],
                     cluster: P2PMPICluster) -> List[CellResult]:
@@ -506,18 +614,46 @@ class SweepRunner:
         cluster = self.spec.cluster.build(seed=self.spec.master_seed)
         return self._run_inline(cells, cluster)
 
+    def _run_serial(self, todo: Sequence[Cell]) -> List[CellResult]:
+        out: List[CellResult] = []
+        try:
+            for cell in todo:
+                result = _execute_cell(self.spec, cell)
+                out.append(result)
+                self._checkpoint(result)
+        finally:
+            self._flush_checkpoint()
+        return out
+
     def _run_pool(self, todo: Sequence[Cell]) -> List[CellResult]:
         workers = min(self.jobs, len(todo))
+        out: List[CellResult] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(_execute_cell, self.spec, cell)
                        for cell in todo]
-            return [f.result() for f in futures]
+            try:
+                # Checkpoint in completion order: a death mid-sweep
+                # keeps every finished cell, not just a prefix.
+                for future in as_completed(futures):
+                    result = future.result()
+                    out.append(result)
+                    self._checkpoint(result)
+            finally:
+                self._flush_checkpoint()
+        return out
+
+    def _flush_checkpoint(self) -> None:
+        if self._pending_checkpoint and self.store is not None:
+            self.store.append_partial(self.spec, self._pending_checkpoint)
+            self._pending_checkpoint.clear()
 
 
 def run_sweep(spec: ExperimentSpec, *, jobs: int = 1,
               store: Optional[ResultStore] = None, force: bool = False,
-              cluster: Optional[P2PMPICluster] = None) -> SweepResult:
+              cluster: Optional[P2PMPICluster] = None,
+              checkpoint_every: int = 8) -> SweepResult:
     """One-call façade over :class:`SweepRunner` — the shared body of
     every driver module's ``*_sweep`` entry point."""
     return SweepRunner(spec, jobs=jobs, store=store, force=force,
-                       cluster=cluster).run()
+                       cluster=cluster,
+                       checkpoint_every=checkpoint_every).run()

@@ -8,7 +8,7 @@ paper's gnuplot panels.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 __all__ = ["ascii_plot"]
 

@@ -8,14 +8,14 @@ legend.
 from __future__ import annotations
 
 import io
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.experiments.applications import AppTimeSeries
 from repro.experiments.coallocation import CoallocationSeries
 from repro.grid5000.sites import SITE_RTT_MS_FROM_NANCY
 
 __all__ = ["legend_order", "format_site_table", "format_series_table",
-           "series_to_csv"]
+           "format_metric_comparison", "series_to_csv"]
 
 
 def legend_order(sites: Sequence[str]) -> List[str]:
@@ -58,6 +58,34 @@ def format_series_table(series_by_strategy: Dict[str, AppTimeSeries],
             row.append(f"{series_by_strategy[s].time_at(n):.2f}")
         rows.append(row)
     return _align(rows)
+
+
+def format_metric_comparison(
+    title: str,
+    columns: Sequence,
+    rows: "OrderedRows",
+    fmt: str = "g",
+    missing: str = "-",
+) -> str:
+    """Strategy-comparison panel: one row per strategy, one column per
+    sweep point (the commaware pack's report shape).
+
+    ``rows`` maps row label -> values aligned with ``columns``; a
+    ``None`` value renders as ``missing``.  Row order is preserved as
+    given — callers pass strategies in campaign order so the paper's
+    strategies stay on top.
+    """
+    table = [[title] + [str(c) for c in columns]]
+    for label, values in rows.items():
+        if len(values) != len(columns):
+            raise ValueError(f"row {label!r} length mismatch")
+        table.append([label] + [missing if v is None else format(v, fmt)
+                                for v in values])
+    return _align(table)
+
+
+#: ``format_metric_comparison`` row container: any ordered mapping.
+OrderedRows = Dict[str, Sequence]
 
 
 def series_to_csv(series: CoallocationSeries) -> str:

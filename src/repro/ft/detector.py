@@ -8,7 +8,7 @@ experiments can observe detection latency directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Generator, List, Set
 
 from repro.net.transport import Message, Network
@@ -80,7 +80,7 @@ class HeartbeatDetector:
 
     def service(self) -> Generator:
         """Receive heartbeats and sweep for timeouts."""
-        sweep = self.sim.process(self._sweeper())
+        self.sim.process(self._sweeper())
         while True:
             msg: Message = yield self.network.receive(self.host_name, HEARTBEAT_PORT)
             state = self.states.get(msg.src)

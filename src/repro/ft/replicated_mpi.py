@@ -25,7 +25,7 @@ still completes with correct collective results
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Generator, List, Tuple
 
 from repro.alloc.base import AllocationPlan
 from repro.mpi.datatypes import Op, SUM

@@ -7,7 +7,6 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.grid5000.resources import CLUSTERS
 from repro.grid5000.sites import (
-    SITE_ORDER,
     SITE_RTT_MS_FROM_NANCY,
     site_rtt_matrix,
     wan_bandwidth_bps,

@@ -9,7 +9,7 @@ core count and use the defaults otherwise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Optional
 
 __all__ = ["OwnerPrefs", "MiddlewareConfig"]

@@ -9,7 +9,6 @@ side of Figure 1 (steps 1-6 plus completion tracking);
 
 from __future__ import annotations
 
-import math
 from itertools import count
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
@@ -349,6 +348,10 @@ class MPD:
             )
         try:
             strategy = get_strategy(request.strategy, **strategy_kwargs)
+            if strategy.needs_topology and strategy.topology is None:
+                # Communication-aware strategies score host pairs; the
+                # MPD shares its own network view with them.
+                strategy.bind_topology(self.topology)
             plan = build_plan(strategy, slist, request.n, request.r)
         except (InfeasibleAllocation, KeyError) as exc:
             for reserved in slist:

@@ -10,7 +10,7 @@ after a TTL so overbooked keys cannot starve the host.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, List
 
 from repro.middleware.gatekeeper import Gatekeeper
 from repro.net.transport import Message, Network

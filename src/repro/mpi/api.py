@@ -16,9 +16,8 @@ Example
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional
 
-from repro.mpi.datatypes import Op, SUM
 from repro.net.topology import Host
 from repro.net.transport import Message, Network
 from repro.sim.core import Simulator

@@ -17,7 +17,7 @@ binds the functions onto :class:`repro.mpi.api.Comm`.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional, Sequence
+from typing import Any, Generator, List, Optional, Sequence
 
 from repro.mpi.api import Comm
 from repro.mpi.datatypes import Op, SUM

@@ -21,7 +21,6 @@ main calibration knobs for absolute IS/EP times (see DESIGN.md §5).
 
 from __future__ import annotations
 
-import math
 from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple

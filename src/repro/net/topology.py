@@ -12,8 +12,8 @@ application-model experiments (Figure 4), never allocation decisions
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -260,11 +260,76 @@ class Topology:
         # A WAN flow still traverses both LANs.
         return min(self.lan_bw_bps, wan)
 
+    def backbone_bandwidth_bps(self, a: Host, b: Host) -> float:
+        """Site-level link capacity of the a<->b path, without the NIC
+        clamp of :meth:`bandwidth_bps`.
+
+        This is the *shared* capacity all flows between the two sites
+        divide among themselves — the quantity communication-aware
+        placement scores care about (a 1 Gb/s NIC bottleneck is private
+        per pair; a 1 Gb/s bordeaux backbone is not).
+        """
+        if a.name == b.name:
+            return float("inf")
+        if a.site == b.site:
+            return self.lan_bw_bps
+        return self._bw.get(self._key(a.site, b.site), self.default_wan_bw_bps)
+
     def link_key(self, a: Host, b: Host) -> Tuple[str, str]:
         """Canonical contention-domain key for the a<->b path."""
         if a.site == b.site:
             return (a.site, a.site)
         return self._key(a.site, b.site)
+
+    # -- pairwise placement metrics --------------------------------------
+    # Communication-aware allocation strategies (repro.alloc.commaware)
+    # score candidate host sets by their worst link.  RTT and bandwidth
+    # depend only on the site pair, so both metrics reduce a host set
+    # to one representative per site plus a same-site flag and run in
+    # O(|distinct site pairs|), not O(|hosts|^2) — a 600-process
+    # grid5000 allocation spans hundreds of hosts but only 6 sites.
+
+    def site_representatives(self, hosts: Sequence[Host]
+                             ) -> Tuple[List[Host], bool]:
+        """One distinct host per site, plus whether any site holds two.
+
+        The reduction both placement metrics (and the commaware
+        experiment pack's contended-bandwidth score) are computed on.
+        """
+        per_site: Dict[str, Host] = {}
+        names = set()
+        same_site_pair = False
+        for host in hosts:
+            if host.name in names:
+                continue
+            names.add(host.name)
+            if host.site in per_site:
+                same_site_pair = True
+            else:
+                per_site[host.site] = host
+        return list(per_site.values()), same_site_pair
+
+    def latency_diameter_ms(self, hosts: Sequence[Host]) -> float:
+        """Largest pairwise base RTT among ``hosts`` (0 for < 2 hosts)."""
+        reps, same_site_pair = self.site_representatives(hosts)
+        diameter = self.lan_rtt_ms if same_site_pair else 0.0
+        for i, a in enumerate(reps):
+            for b in reps[i + 1:]:
+                diameter = max(diameter, self.base_rtt_ms(a, b))
+        return diameter
+
+    def min_bandwidth_bps(self, hosts: Sequence[Host]) -> float:
+        """Smallest pairwise bottleneck bandwidth among ``hosts``.
+
+        Returns ``inf`` for fewer than two distinct hosts — an empty
+        minimum means no link can constrain the placement.
+        """
+        reps, same_site_pair = self.site_representatives(hosts)
+        narrowest = self.lan_bw_bps if same_site_pair else float("inf")
+        for i, a in enumerate(reps):
+            for b in reps[i + 1:]:
+                narrowest = min(narrowest, self.bandwidth_bps(a, b))
+        return narrowest
 
     def summary(self) -> str:
         lines = [f"{len(self.sites)} sites, {self.n_hosts} hosts, {self.n_cores} cores"]

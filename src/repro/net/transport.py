@@ -11,7 +11,7 @@ the reservation protocol's timeouts are what detect it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import count
 from typing import Any, Dict, Optional
 

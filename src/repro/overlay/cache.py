@@ -8,7 +8,7 @@ latency (§4.2 step 2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 from repro.net.latency import LatencyEstimate

@@ -4,12 +4,12 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.cluster import P2PMPICluster
-from repro.middleware.jobs import JobResult, JobStatus
+from repro.middleware.jobs import JobResult
 from repro.sim.resources import Resource
 from repro.workloads.generator import TimedJob
 
@@ -97,7 +97,6 @@ def replay_stream(cluster: P2PMPICluster,
         stats.outcomes.append((job, result))
         return result
 
-    start = sim.now
     for job in jobs:
         procs.append(sim.process(one_job(job)))
     if procs:

@@ -1,0 +1,300 @@
+"""The communication-aware strategy family (Bender et al. spirit).
+
+Covers the three ISSUE-mandated properties:
+
+* ``diameter_concentrate`` relaxes its bound *only* when §4.2
+  feasibility would fail, and records the bound it actually used;
+* ``bandwidth_spread`` is deterministic under equal-bandwidth ties
+  (lowest slist index wins);
+* every registered strategy satisfies the §4.2/§4.3 capacity
+  invariants on randomized clusters (plan.validate() cross-check).
+"""
+
+import pytest
+
+from repro.alloc import (
+    BandwidthSpreadStrategy,
+    ConcentrateStrategy,
+    DiameterConcentrateStrategy,
+    ReservedHost,
+    SpreadStrategy,
+    TopoBlockStrategy,
+    available_strategies,
+    build_plan,
+    dominant_group_size,
+    get_strategy,
+)
+from repro.alloc.commaware import WAN_CONTENTION_FACTOR, contended_pair_bw_bps
+from repro.net.topology import Cluster, Site, Topology
+
+
+def make_topology(lan_bw=1.0e9, bordeaux_bw=1.0e9, wan_bw=10.0e9):
+    """Paper-shaped 4-site topology: near/far/slow-link sites."""
+    sites = [
+        Site("nancy", (Cluster("n1", "nancy", "X", 4, 4, 16),)),
+        Site("lyon", (Cluster("l1", "lyon", "X", 4, 4, 16),)),
+        Site("rennes", (Cluster("r1", "rennes", "X", 4, 4, 16),)),
+        Site("bordeaux", (Cluster("b1", "bordeaux", "X", 4, 4, 16),)),
+    ]
+    return Topology(
+        sites=sites,
+        site_rtt_ms={("lyon", "nancy"): 10.0, ("nancy", "rennes"): 12.0,
+                     ("bordeaux", "nancy"): 13.0, ("lyon", "rennes"): 14.0,
+                     ("bordeaux", "lyon"): 16.0, ("bordeaux", "rennes"): 18.0},
+        site_bw_bps={("bordeaux", "nancy"): bordeaux_bw,
+                     ("bordeaux", "lyon"): bordeaux_bw,
+                     ("bordeaux", "rennes"): bordeaux_bw},
+        lan_rtt_ms=0.1,
+        lan_bw_bps=lan_bw,
+        default_wan_bw_bps=wan_bw,
+    )
+
+
+def slist_for(topology, sites=("nancy", "lyon", "rennes", "bordeaux"),
+              per_site=4, p_limit=4):
+    """Reserved hosts in latency order (nancy first), like the MPD."""
+    rtt = {"nancy": 0.1, "lyon": 10.0, "rennes": 12.0, "bordeaux": 13.0}
+    out = []
+    for site in sites:
+        for host in topology.hosts_in_site(site)[:per_site]:
+            out.append(ReservedHost(host=host, p_limit=p_limit,
+                                    latency_ms=rtt[site]))
+    return out
+
+
+@pytest.fixture
+def topology():
+    return make_topology()
+
+
+class TestPairwiseMetrics:
+    def test_latency_diameter(self, topology):
+        hosts = [topology.hosts_in_site("nancy")[0],
+                 topology.hosts_in_site("lyon")[0],
+                 topology.hosts_in_site("rennes")[0]]
+        assert topology.latency_diameter_ms(hosts) == 14.0
+        assert topology.latency_diameter_ms(hosts[:1]) == 0.0
+        same_site = topology.hosts_in_site("nancy")[:2]
+        assert topology.latency_diameter_ms(same_site) == 0.1
+
+    def test_min_bandwidth(self, topology):
+        nancy = topology.hosts_in_site("nancy")[0]
+        bordeaux = topology.hosts_in_site("bordeaux")[0]
+        assert topology.min_bandwidth_bps([nancy, bordeaux]) == 1.0e9
+        assert topology.min_bandwidth_bps([nancy]) == float("inf")
+
+    def test_backbone_ignores_nic_clamp(self, topology):
+        nancy = topology.hosts_in_site("nancy")[0]
+        lyon = topology.hosts_in_site("lyon")[0]
+        # Bottleneck is NIC-clamped to the LAN rate; backbone is not.
+        assert topology.bandwidth_bps(nancy, lyon) == 1.0e9
+        assert topology.backbone_bandwidth_bps(nancy, lyon) == 10.0e9
+
+    def test_contended_score_ranks_lan_fastwan_slowwan(self, topology):
+        nancy = topology.hosts_in_site("nancy")
+        lyon = topology.hosts_in_site("lyon")[0]
+        bordeaux = topology.hosts_in_site("bordeaux")[0]
+        lan = contended_pair_bw_bps(topology, nancy[0], nancy[1])
+        fast = contended_pair_bw_bps(topology, nancy[0], lyon)
+        slow = contended_pair_bw_bps(topology, nancy[0], bordeaux)
+        assert lan > fast > slow
+        assert fast == 10.0e9 / WAN_CONTENTION_FACTOR
+
+    def test_site_representatives_dedupe(self, topology):
+        host = topology.hosts_in_site("nancy")[0]
+        other = topology.hosts_in_site("nancy")[1]
+        reps, same_site_pair = topology.site_representatives([host, host])
+        assert reps == [host] and not same_site_pair
+        reps, same_site_pair = topology.site_representatives([host, other])
+        assert reps == [host] and same_site_pair
+
+
+class TestBandwidthSpread:
+    def test_avoids_slow_backbone_site(self, topology):
+        """16 procs fit on nancy+lyon+rennes; bordeaux must stay idle
+        even though it is closer (latency) than rennes."""
+        strategy = BandwidthSpreadStrategy(topology=topology)
+        slist = slist_for(topology)
+        plan = build_plan(strategy, slist, n=16, r=2)
+        assert plan.cores_by_site().get("bordeaux", 0) == 0
+        assert plan.total_processes == 32
+
+    def test_spreads_round_robin_over_selection(self, topology):
+        """Selection stops at sufficient capacity (2 hosts for n=6);
+        the round-robin then balances within the selection."""
+        strategy = BandwidthSpreadStrategy(topology=topology)
+        slist = slist_for(topology, sites=("nancy",), per_site=4)
+        u = strategy.distribute_over(slist, [4, 4, 4, 4], n=6, r=1)
+        assert u == [3, 3, 0, 0]
+
+    def test_deterministic_under_equal_bandwidth_ties(self, topology):
+        """All-LAN candidates tie on bandwidth: selection must follow
+        slist order, run after run."""
+        strategy = BandwidthSpreadStrategy(topology=topology)
+        slist = slist_for(topology, sites=("nancy",), per_site=4)
+        runs = [strategy.distribute_over(slist, [2, 2, 2, 2], n=5, r=1)
+                for _ in range(5)]
+        assert all(u == runs[0] for u in runs)
+        # Lowest slist indices are selected on a tie; the remainder
+        # lands on the earliest of them.
+        assert runs[0] == [2, 2, 1, 0]
+
+    def test_needs_more_hosts_than_capacity_minimum_for_replicas(
+            self, topology):
+        """r forces the selection past the capacity stop rule."""
+        strategy = BandwidthSpreadStrategy(topology=topology)
+        slist = slist_for(topology, sites=("nancy",), per_site=4, p_limit=4)
+        plan = build_plan(strategy, slist, n=2, r=3)
+        assert len(plan.used_hosts()) >= 3
+
+    def test_fallback_without_slist_is_spread(self):
+        caps = [4, 2, 4, 1]
+        assert (BandwidthSpreadStrategy().distribute(caps, 7, 1)
+                == SpreadStrategy().distribute(caps, 7, 1))
+
+
+class TestDiameterConcentrate:
+    def test_respects_bound_when_feasible(self, topology):
+        """Demand fits nancy+lyon (diameter 10); rennes adds nothing."""
+        strategy = DiameterConcentrateStrategy(diameter_ms=10.0,
+                                               topology=topology)
+        slist = slist_for(topology)
+        plan = build_plan(strategy, slist, n=24, r=1)
+        assert set(plan.cores_by_site()) == {"nancy", "lyon"}
+        assert strategy.effective_diameter_ms == 10.0
+
+    def test_relaxes_only_on_feasibility_failure(self, topology):
+        """n=40 > nancy+lyon capacity (32): the bound must move up to
+        the next distinct pairwise RTT that admits enough capacity —
+        and no further."""
+        strategy = DiameterConcentrateStrategy(diameter_ms=10.0,
+                                               topology=topology)
+        slist = slist_for(topology)
+        plan = build_plan(strategy, slist, n=40, r=1)
+        assert plan.total_processes == 40
+        assert strategy.effective_diameter_ms > 10.0
+        # nancy/lyon/rennes (diameter 14) suffice; bordeaux stays out.
+        assert plan.cores_by_site().get("bordeaux", 0) == 0
+        assert strategy.effective_diameter_ms == 14.0
+
+    def test_zero_bound_packs_single_site(self, topology):
+        strategy = DiameterConcentrateStrategy(diameter_ms=0.2,
+                                               topology=topology)
+        slist = slist_for(topology)
+        plan = build_plan(strategy, slist, n=16, r=1)
+        assert set(plan.cores_by_site()) == {"nancy"}
+        assert strategy.effective_diameter_ms == 0.2
+
+    def test_matches_concentrate_when_bound_unbinding(self, topology):
+        strategy = DiameterConcentrateStrategy(diameter_ms=1e9,
+                                               topology=topology)
+        slist = slist_for(topology)
+        caps = [r.capacity(40) for r in slist]
+        assert (strategy.distribute_over(slist, caps, 40, 1)
+                == ConcentrateStrategy().distribute(caps, 40, 1))
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            DiameterConcentrateStrategy(diameter_ms=-1.0)
+
+    def test_fallback_without_slist_is_concentrate(self):
+        caps = [4, 2, 4, 1]
+        assert (DiameterConcentrateStrategy().distribute(caps, 7, 1)
+                == ConcentrateStrategy().distribute(caps, 7, 1))
+
+
+class TestTopoBlock:
+    def test_dominant_group_size(self):
+        assert dominant_group_size(1) == 1
+        assert dominant_group_size(4) == 2
+        assert dominant_group_size(16) == 4
+        assert dominant_group_size(100) == 8
+        assert dominant_group_size(512) == 16
+        with pytest.raises(ValueError):
+            dominant_group_size(0)
+
+    def test_whole_blocks_per_cluster(self, topology):
+        """With g=4, every cluster's load is a multiple of 4 (plus at
+        most one remainder tail)."""
+        strategy = TopoBlockStrategy(group=4, topology=topology)
+        slist = slist_for(topology)
+        plan = build_plan(strategy, slist, n=26, r=1)
+        by_cluster = {}
+        for reserved, used in zip(plan.slist, plan.usage):
+            key = (reserved.host.site, reserved.host.cluster)
+            by_cluster[key] = by_cluster.get(key, 0) + used
+        tails = [load % 4 for load in by_cluster.values() if load]
+        assert tails.count(0) >= len(tails) - 1
+
+    def test_group_derived_from_n(self, topology):
+        strategy = TopoBlockStrategy(topology=topology)
+        assert strategy.group_size(100) == 8
+        assert TopoBlockStrategy(group=2).group_size(100) == 2
+
+    def test_invalid_group(self):
+        with pytest.raises(ValueError):
+            TopoBlockStrategy(group=0)
+
+    def test_latency_order_preserved(self, topology):
+        """First cluster in latency order fills first."""
+        strategy = TopoBlockStrategy(group=4, topology=topology)
+        slist = slist_for(topology)
+        plan = build_plan(strategy, slist, n=16, r=1)
+        assert plan.cores_by_site() == {"nancy": 16}
+
+
+class TestRegistryAndMiddlewareContract:
+    def test_family_registered(self):
+        assert {"bandwidth_spread", "diameter_concentrate",
+                "topo_block"} <= set(available_strategies())
+
+    def test_needs_topology_flag(self):
+        for name in ("bandwidth_spread", "diameter_concentrate",
+                     "topo_block"):
+            strategy = get_strategy(name)
+            assert strategy.needs_topology
+            assert strategy.topology is None
+        assert not get_strategy("spread").needs_topology
+
+    def test_bind_topology(self, topology):
+        strategy = get_strategy("bandwidth_spread")
+        strategy.bind_topology(topology)
+        assert strategy.topology is topology
+
+
+class TestCapacityInvariantsRandomized:
+    """Every registered strategy, randomized clusters, §4.2 invariants.
+
+    ``build_plan`` runs ``plan.validate()`` (n*r placements, no replica
+    collision, u_i <= c_i); we assert it passes for every strategy the
+    registry knows, over randomized capacity vectors and topologies.
+    """
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_all_strategies_validate_on_random_clusters(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        sites = ["nancy", "lyon", "rennes", "bordeaux"]
+        topology = make_topology()
+        slist = []
+        for site in sites:
+            hosts = topology.hosts_in_site(site)
+            for host in hosts[:rng.randint(1, 4)]:
+                slist.append(ReservedHost(
+                    host=host, p_limit=rng.randint(1, 6),
+                    latency_ms=rng.uniform(0.1, 20.0)))
+        rng.shuffle(slist)
+        n = rng.randint(2, 12)
+        r = rng.randint(1, 2)
+        if sum(res.capacity(n) for res in slist) < n * r or len(slist) < r:
+            pytest.skip("infeasible draw")
+        for name in available_strategies():
+            kwargs = {}
+            if name == "site-affine":
+                kwargs = {"local_hosts": rng.randint(0, len(slist))}
+            strategy = get_strategy(name, **kwargs)
+            strategy.bind_topology(topology)
+            plan = build_plan(strategy, slist, n=n, r=r)  # validates
+            assert plan.total_processes == n * r
+            assert sum(plan.usage) == n * r

@@ -23,7 +23,6 @@ from repro.alloc import (
     ConcentrateStrategy,
     ReservedHost,
     SpreadStrategy,
-    assign_ranks,
     build_plan,
     capacities as capacity_vector,
     is_feasible,

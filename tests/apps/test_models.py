@@ -11,7 +11,6 @@ from repro.apps import (
     ISBenchmark,
 )
 from repro.mpi.costmodel import CostParams
-from repro.net.topology import Host
 from tests.conftest import make_small_topology
 
 

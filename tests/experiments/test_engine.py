@@ -17,7 +17,6 @@ from repro.experiments.coallocation import (
 )
 from repro.experiments.engine import (
     CellContext,
-    ExperimentSpec,
     ResultStore,
     SweepRunner,
     derive_cell_seed,
@@ -163,6 +162,124 @@ class TestStore:
                     store=store).run()
         names = {e["spec"]["name"] for e in store.entries()}
         assert names == {"one", "two"}
+
+
+class TestCheckpointResume:
+    """Incremental store writes: .partial flush, resume, promotion."""
+
+    def test_partial_written_and_promoted(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(tmp_path)
+        result = SweepRunner(spec, store=store, checkpoint_every=1).run()
+        # Completion promotes the checkpoint into the canonical file.
+        assert store.path_for(spec).exists()
+        assert not store.partial_path_for(spec).exists()
+        assert result.executed == spec.cell_count()
+
+    def test_resume_from_partial_executes_only_missing(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(tmp_path)
+        full = SweepRunner(spec, store=store).run()
+        # Simulate a kill after 3 of 4 cells: only a partial remains.
+        store.path_for(spec).unlink()
+        store.append_partial(spec, full.cells[:3])
+        resumed = SweepRunner(spec, store=store).run()
+        assert resumed.executed == 1
+        assert resumed.cached == 3
+        assert resumed.values() == full.values()
+        # The resume promoted the sweep: canonical back, partial gone.
+        assert store.path_for(spec).exists()
+        assert not store.partial_path_for(spec).exists()
+
+    def test_resume_only_partial_no_recompute_promotes(self, tmp_path):
+        """A checkpoint covering every cell promotes without executing."""
+        spec = small_spec()
+        store = ResultStore(tmp_path)
+        full = SweepRunner(spec, store=store).run()
+        canonical = store.path_for(spec).read_bytes()
+        store.path_for(spec).unlink()
+        store.append_partial(spec, full.cells)
+        resumed = SweepRunner(spec, store=store).run()
+        assert resumed.executed == 0 and resumed.cached == spec.cell_count()
+        assert store.path_for(spec).read_bytes() == canonical
+        assert not store.partial_path_for(spec).exists()
+
+    def test_canonical_file_independent_of_checkpoint_cadence(self, tmp_path):
+        spec = small_spec()
+        one = ResultStore(tmp_path / "one")
+        many = ResultStore(tmp_path / "many")
+        SweepRunner(spec, store=one, checkpoint_every=1).run()
+        SweepRunner(spec, store=many, checkpoint_every=100).run()
+        assert (one.path_for(spec).read_bytes()
+                == many.path_for(spec).read_bytes())
+
+    def test_parallel_run_checkpoints(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(tmp_path)
+        SweepRunner(spec, jobs=2, store=store, checkpoint_every=1).run()
+        assert store.path_for(spec).exists()
+        assert not store.partial_path_for(spec).exists()
+
+    def test_torn_tail_dropped(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(tmp_path)
+        full = SweepRunner(spec, store=store).run()
+        store.path_for(spec).unlink()
+        store.append_partial(spec, full.cells)
+        partial = store.partial_path_for(spec)
+        partial.write_bytes(partial.read_bytes()[:-20])
+        loaded = store.load_partial(spec)
+        assert len(loaded) == spec.cell_count() - 1
+
+    def test_append_after_torn_tail_preserves_new_records(self, tmp_path):
+        """A resumed run appending after a mid-write kill must not merge
+        its first record into the torn fragment."""
+        spec = small_spec()
+        store = ResultStore(tmp_path)
+        full = SweepRunner(spec, store=store).run()
+        store.path_for(spec).unlink()
+        store.append_partial(spec, full.cells[:2])
+        partial = store.partial_path_for(spec)
+        partial.write_bytes(partial.read_bytes()[:-15])  # tear 2nd cell
+        store.append_partial(spec, full.cells[2:])
+        loaded = store.load_partial(spec)
+        # Only the torn cell is lost; the post-tear appends all survive.
+        assert len(loaded) == spec.cell_count() - 1
+        assert full.cells[2].key in loaded and full.cells[3].key in loaded
+
+    def test_stale_partial_is_cache_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        old = small_spec(seed=5)
+        full = SweepRunner(old, store=store).run()
+        store.path_for(old).unlink()
+        store.append_partial(old, full.cells)
+        renamed = store.partial_path_for(old).rename(
+            store.partial_path_for(small_spec(seed=6)))
+        assert renamed.exists()
+        assert SweepRunner(small_spec(seed=6), store=store).run().cached == 0
+
+    def test_failure_flushes_completed_cells(self, tmp_path):
+        # Demand 2000 is infeasible on the small testbed: the sweep
+        # raises, but the first (feasible) cells must reach the partial.
+        spec = small_spec(demands=(4, 2000))
+        store = ResultStore(tmp_path)
+        with pytest.raises(RuntimeError):
+            SweepRunner(spec, store=store, checkpoint_every=1).run()
+        assert not store.path_for(spec).exists()
+        flushed = store.load_partial(spec)
+        assert {key.split(",")[1] for key in flushed} == {"n=4"}
+
+    def test_invalidate_clears_partial(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(tmp_path)
+        full = SweepRunner(spec, store=store).run()
+        store.append_partial(spec, full.cells[:1])
+        assert store.invalidate(spec) is True
+        assert not store.partial_path_for(spec).exists()
+
+    def test_bad_checkpoint_every_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner(small_spec(), checkpoint_every=0)
 
 
 class TestRunnerModes:

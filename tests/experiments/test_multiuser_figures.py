@@ -4,7 +4,7 @@ import pytest
 
 from repro.experiments.figures import ascii_plot
 from repro.experiments.multiuser import run_multiuser_experiment
-from repro.middleware.jobs import JobRequest, JobStatus
+from repro.middleware.jobs import JobRequest
 
 
 class TestMultiUser:

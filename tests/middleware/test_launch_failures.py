@@ -22,7 +22,6 @@ class TestStartRefused:
     def test_forged_key_refused_and_job_fails(self):
         """A remote RS that lost the key (expiry) refuses the START."""
         cluster = make_cluster(reservation_ttl_s=60.0)
-        mpd = cluster.mpd()
 
         # Sabotage: after booking, wipe one target RS's reservations so
         # its key check fails at START time.
@@ -61,7 +60,6 @@ class TestStartRefused:
         """A host that dies between RESERVE_OK and START stays silent;
         the start deadline fires and the job aborts."""
         cluster = make_cluster(start_timeout_s=1.0, rs_timeout_s=1.0)
-        mpd = cluster.mpd()
         # Kill a host right after booking: patch the gatekeeper hook to
         # crash the host when its reservation is held.
         victim_name = "b1-1.beta"

@@ -1,7 +1,5 @@
 """Booking retries (§3.2 "dynamically tries during a limited time")."""
 
-import pytest
-
 from repro.cluster import P2PMPICluster
 from repro.middleware.config import MiddlewareConfig
 from repro.middleware.jobs import JobRequest, JobStatus

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.mpi import MPIWorld, MPIProcessFailure
-from repro.mpi.api import ANY_SOURCE, ANY_TAG
+from repro.mpi.api import ANY_SOURCE
 from repro.net.transport import Network
 from repro.sim import Simulator
 from tests.conftest import make_small_topology

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.net.topology import Cluster, Host, Site, Topology
-from tests.conftest import make_small_topology
+from repro.net.topology import Cluster, Site, Topology
 
 
 class TestCluster:

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.net.latency import LatencyModel
 from repro.net.transport import Network
 from repro.sim import Simulator
 from tests.conftest import make_small_topology

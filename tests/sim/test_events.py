@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import AllOf, AnyOf, Event, Simulator, SimulationError
+from repro.sim import AnyOf, Simulator, SimulationError
 from repro.sim.events import Timeout
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Interrupt, Simulator, SimulationError
+from repro.sim import Interrupt, SimulationError
 
 
 class TestLifecycle:

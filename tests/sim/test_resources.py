@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import FilterStore, PriorityStore, Resource, Simulator, Store
+from repro.sim import FilterStore, PriorityStore, Resource, Store
 from repro.sim.core import SimulationError
 
 
@@ -92,7 +92,7 @@ class TestFilterStore:
         got = []
 
         def get_tag(sim, box, tag):
-            msg = yield box.get(lambda m: m["tag"] == tag)
+            yield box.get(lambda m: m["tag"] == tag)
             got.append((tag, sim.now))
 
         def producer(sim, box):

@@ -93,3 +93,41 @@ class TestEngineFlags:
         assert main(["--experiment", "fig2"]) == 0
         out = capsys.readouterr().out
         assert "[engine] sweep fig2" in out and ".jsonl" not in out
+
+
+class TestGridOverrides:
+    def test_coallocation_small_grid(self, tmp_path, capsys):
+        argv = ["--experiment", "coallocation", "--cluster", "small",
+                "--demands", "4,8", "--jobs", "2", "--out", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "coallocation: 4 cells (4 executed" in out
+        assert "concentrate:hosts" in out and "spread:hosts" in out
+        stored = list(tmp_path.glob("coallocation-*.jsonl"))
+        assert len(stored) == 1 and stored[0].stat().st_size > 0
+
+    def test_bad_demands_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--experiment", "coallocation", "--demands", "4,x"])
+
+    def test_commaware_small_report(self, capsys):
+        argv = ["--experiment", "commaware", "--cluster", "small",
+                "--demands", "4,8"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        # All six strategies, and only deterministic report text (the
+        # acceptance criterion diffs --jobs 1 against --jobs 2 runs).
+        for strategy in ("concentrate", "spread", "block",
+                         "bandwidth_spread", "diameter_concentrate",
+                         "topo_block"):
+            assert strategy in out
+        assert " s " not in out.splitlines()[0]
+
+    def test_commaware_byte_identical_across_jobs(self, capsys):
+        argv = ["--experiment", "commaware", "--cluster", "small",
+                "--demands", "4,8"]
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel

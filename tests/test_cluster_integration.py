@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import P2PMPICluster, build_grid5000_cluster
+from repro.cluster import P2PMPICluster
 from repro.middleware.config import MiddlewareConfig
 from repro.middleware.jobs import JobRequest, JobStatus
 from tests.conftest import make_small_topology
@@ -76,10 +76,7 @@ class TestFailuresMidRun:
             yield cluster.sim.timeout(kill_after_s)
             chosen = victims
             if chosen is None:
-                # Kill one host actually used by the job.
-                result_plan = None
-                for job in mpd.results.values():
-                    result_plan = job.plan
+                # Kill a host the beta-site jobs land on.
                 chosen = [sorted(h.name for h in cluster.topology.all_hosts()
                                  if h.site == "beta")[0]]
             for name in chosen:

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.middleware.jobs import JobStatus
 from repro.workloads import (
     JobMix,
     WorkloadSpec,
