@@ -40,6 +40,11 @@ from repro.experiments.commaware import (
     commaware_report,
     run_commaware_campaign,
 )
+from repro.experiments.churnload import (
+    churnload_report,
+    churnload_spec,
+    churnload_sweep,
+)
 from repro.experiments.engine import ResultStore, SweepResult
 from repro.experiments.multiuser import multiuser_spec, multiuser_sweep
 from repro.experiments.report import format_series_table, format_site_table
@@ -94,12 +99,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--experiment",
                         choices=("fig2", "fig3", "fig4", "table1",
                                  "ablations", "scaling", "multiuser",
-                                 "coallocation", "commaware", "all"),
+                                 "coallocation", "commaware", "churnload",
+                                 "all"),
                         help="regenerate a paper figure/table, run the "
                              "ablation studies, the combined §5.1 sweep "
                              "('coallocation'), the communication-aware "
-                             "scenario pack ('commaware'), or the whole "
-                             "campaign ('all') instead of running a job")
+                             "scenario pack ('commaware'), the sustained-"
+                             "load availability campaign ('churnload'), "
+                             "or the whole campaign ('all') instead of "
+                             "running a job")
     parser.add_argument("--cluster", default="grid5000",
                         choices=("grid5000", "small"),
                         help="testbed for coallocation/commaware sweeps "
@@ -108,6 +116,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--demands", default=None, metavar="N,N,...",
                         help="comma-separated demand grid overriding the "
                              "paper's 100..600 for coallocation/commaware")
+    parser.add_argument("--users", type=int, default=2,
+                        help="competing submitters per churnload round "
+                             "(default 2)")
+    parser.add_argument("--failures", default=None, metavar="F,F,...",
+                        help="comma-separated per-host failure-rate grid "
+                             "(crashes/s) overriding the churnload "
+                             "default 0,0.002,0.006")
+    parser.add_argument("--horizon", type=float, default=240.0,
+                        help="churnload round horizon in simulated "
+                             "seconds (default 240)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for sweep cells (default 1)")
     parser.add_argument("--out", default=None, metavar="DIR",
@@ -239,6 +257,43 @@ def _run_commaware(args: argparse.Namespace,
     print(commaware_report(campaign))
 
 
+def _run_churnload(args: argparse.Namespace,
+                   store: Optional[ResultStore]) -> None:
+    """The sustained-load availability campaign.  Output is the
+    deterministic ledger report only (no engine timings), so
+    ``--jobs 1`` and ``--jobs 2`` runs diff clean byte for byte.
+    """
+    small = args.cluster == "small"
+    if args.horizon <= 0:
+        raise SystemExit("error: --horizon must be > 0")
+    if args.users < 1:
+        raise SystemExit("error: --users must be >= 1")
+    overrides = {}
+    if args.failures is not None:
+        try:
+            overrides["failures"] = tuple(
+                float(part) for part in args.failures.split(",") if part)
+        except ValueError:
+            raise SystemExit(f"error: bad --failures {args.failures!r}")
+        if not overrides["failures"]:
+            raise SystemExit("error: --failures needs at least one value")
+        if any(rate < 0 for rate in overrides["failures"]):
+            raise SystemExit("error: --failures rates must be >= 0")
+    spec = churnload_spec(
+        seed=args.seed,
+        users=args.users,
+        horizon_s=args.horizon,
+        # The 28-core smoke grid saturates around n*r=8; the full
+        # testbed gets a demand that actually straddles sites.
+        n=4 if small else 16,
+        cluster_spec=ClusterSpec(kind="small" if small else "grid5000"),
+        **overrides,
+    )
+    sweep = churnload_sweep(spec=spec, jobs=args.jobs, store=store,
+                            force=args.force)
+    print(churnload_report(sweep))
+
+
 def _run_fig4(args: argparse.Namespace,
               store: Optional[ResultStore]) -> None:
     panels = {}
@@ -318,6 +373,9 @@ def _run_experiment(args: argparse.Namespace) -> int:
         return 0
     if args.experiment == "commaware":
         _run_commaware(args, store)
+        return 0
+    if args.experiment == "churnload":
+        _run_churnload(args, store)
         return 0
     if args.experiment == "fig4":
         _run_fig4(args, store)

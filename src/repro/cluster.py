@@ -149,13 +149,19 @@ class P2PMPICluster:
         return mpd.gatekeeper.busy_processes if mpd is not None else 0
 
     def _on_host_change(self, host_name: str, down: bool) -> None:
+        mpd = self.mpds.get(host_name)
+        if mpd is None:
+            return
         if down:
-            mpd = self.mpds.get(host_name)
-            if mpd is not None:
-                mpd.on_host_down()
+            mpd.on_host_down()
             # The supernode is NOT told: it learns through missing
             # alive signals (staleness) or a submitter's REPORT_DEAD —
             # the paper's step-5 timeout path must do the detecting.
+        else:
+            # Revival: the host re-registers like a restarted mpiboot;
+            # the supernode learns of the comeback through that message,
+            # never through this (out-of-band) hook.
+            mpd.on_host_up()
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -52,6 +52,14 @@ from repro.experiments.ablations import (
     smoothing_ablation,
     block_strategy_ablation,
 )
+from repro.experiments.churnload import (
+    CHURNLOAD_STRATEGIES,
+    FixedWorkApp,
+    churnload_report,
+    churnload_spec,
+    churnload_sweep,
+    run_churnload_round,
+)
 from repro.experiments.commaware import (
     ALL_STRATEGIES,
     COMMAWARE_STRATEGIES,
@@ -117,6 +125,12 @@ __all__ = [
     "replication_ablation",
     "block_strategy_ablation",
     "ALL_STRATEGIES",
+    "CHURNLOAD_STRATEGIES",
+    "FixedWorkApp",
+    "churnload_report",
+    "churnload_spec",
+    "churnload_sweep",
+    "run_churnload_round",
     "COMMAWARE_STRATEGIES",
     "CommawareCampaign",
     "commaware_alloc_spec",

@@ -112,11 +112,39 @@ class MPD:
         return self
 
     def on_host_down(self) -> None:
-        """Failure hook: interrupt everything running locally."""
+        """Failure hook: interrupt everything running locally.
+
+        A crash also loses the middleware's volatile state: reservations
+        the RS was holding (booked but not yet started) are gone when
+        the node reboots, so the gatekeeper's ``J`` slots they pinned
+        are released immediately rather than leaking until TTL expiry.
+        Running applications clean their own slots up when their
+        processes take the interrupt.
+        """
         for procs in self._job_procs.values():
             for proc in procs:
                 if proc.is_alive:
                     proc.interrupt("host down")
+        for key in [k for k, r in self.rs.reservations.items()
+                    if not r.consumed]:
+            self.rs.cancel(key)
+
+    def on_host_up(self) -> None:
+        """Revival hook: rejoin the overlay with a fresh registration.
+
+        The supernode dropped this host (missed alive signals or a
+        submitter's REPORT_DEAD), so future bookings would never see it
+        again without a re-register — exactly what a restarted
+        ``mpiboot`` does, including the periodic ping loop (which, like
+        the alive loop, died with the host).
+        """
+        def restart() -> Generator:
+            yield from self.peer.rejoin()
+            if self.config.ping_period_s is not None:
+                self.sim.process(
+                    self.peer.periodic_ping(self.config.ping_period_s))
+
+        self.sim.process(restart())
 
     # ------------------------------------------------------------------
     # remote side: steps 7-8

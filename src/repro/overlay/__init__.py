@@ -16,7 +16,12 @@ from repro.overlay.messages import (
 from repro.overlay.supernode import Supernode, PeerRecord
 from repro.overlay.cache import CacheEntry, PeerCache
 from repro.overlay.peer import PeerDaemon
-from repro.overlay.churn import ChurnInjector, FailureEvent
+from repro.overlay.churn import (
+    ChurnInjector,
+    FailureEvent,
+    JobSurvival,
+    SurvivalLedger,
+)
 
 __all__ = [
     "MPD_PORT",
@@ -30,4 +35,6 @@ __all__ = [
     "PeerDaemon",
     "ChurnInjector",
     "FailureEvent",
+    "JobSurvival",
+    "SurvivalLedger",
 ]

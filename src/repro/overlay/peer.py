@@ -73,10 +73,35 @@ class PeerDaemon:
         self.ping = PingService(network, latency_model, host)
         self.joined = False
         self._procs: List = []
+        #: Bumped on every (re-)join; stale alive loops notice and exit.
+        self._alive_generation = 0
 
     # -- lifecycle ---------------------------------------------------------
     def boot(self) -> Generator:
         """Join the overlay: register and seed the cache (``mpiboot``)."""
+        yield from self._register()
+        # Background services.
+        self._procs.append(self.sim.process(self.ping.responder()))
+        self._alive_generation += 1
+        self._procs.append(
+            self.sim.process(self._alive_loop(self._alive_generation)))
+        return len(self.cache)
+
+    def rejoin(self) -> Generator:
+        """Re-join after a revival: a crashed host lost its supernode
+        registration (missed alive signals, REPORT_DEAD), so it must
+        register again and restart the alive loop.  The ping responder
+        and service loops survived the outage (they only ever block on
+        receives, and a down host receives nothing), so only the
+        membership half is redone.
+        """
+        yield from self._register()
+        self._alive_generation += 1
+        self._procs.append(
+            self.sim.process(self._alive_loop(self._alive_generation)))
+        return len(self.cache)
+
+    def _register(self) -> Generator:
         reply_port = Ports.supernode_reply(self.host.name)
         self.network.send(
             self.host.name, self.supernode_host, port=SUPERNODE_PORT,
@@ -86,14 +111,12 @@ class PeerDaemon:
         msg = yield self.network.receive(self.host.name, reply_port, "REGISTER_ACK")
         self._merge_names(msg.payload["peers"])
         self.joined = True
-        # Background services.
-        self._procs.append(self.sim.process(self.ping.responder()))
-        self._procs.append(self.sim.process(self._alive_loop()))
-        return len(self.cache)
 
-    def _alive_loop(self) -> Generator:
+    def _alive_loop(self, generation: int) -> Generator:
         while True:
             yield self.sim.timeout(self.alive_period_s)
+            if generation != self._alive_generation:
+                return  # superseded by a rejoin's fresh loop
             if self.network.is_down(self.host.name):
                 return
             self.network.send(
@@ -145,12 +168,16 @@ class PeerDaemon:
 
         Each round draws one probe per live cached peer and folds it
         into the cache (EWMA-smoothed when ``ewma_alpha`` is set).
-        Runs until the local host dies.
+        Runs until the local host dies or a rejoin supersedes it (the
+        restarted ``mpiboot`` spawns a fresh loop).
         """
         if period_s <= 0:
             raise ValueError("period_s must be positive")
+        generation = self._alive_generation
         while True:
             yield self.sim.timeout(period_s)
+            if generation != self._alive_generation:
+                return  # superseded by a rejoin's fresh loop
             if self.network.is_down(self.host.name):
                 return
             now = self.sim.now

@@ -131,6 +131,91 @@ class TestFailures:
         assert results[0] == [6, 6]
 
 
+class TestMidCollectiveFailover:
+    """§3.2 under fire: a host dies *during* a collective — messages
+    already in flight, the reduction half-gathered — and the job must
+    still complete through the surviving replica, while the overlay's
+    failure detector notices the death within its timeout.  The older
+    tests only ever killed hosts before any communication started.
+    """
+
+    PERIOD_S = 0.5
+    TIMEOUT_S = 1.8
+
+    def _late_rank2_allreduce(self, comm):
+        # Ranks 0/1/3 enter the collective at t=0 (their contributions
+        # are on the wire immediately); rank 2 joins late, so a crash
+        # at t=1 lands squarely mid-collective.
+        if comm.rank == 2:
+            yield comm.sim.timeout(2.0)
+        total = yield from comm.allreduce(comm.rank + 1, op=SUM,
+                                          size_bytes=8)
+        return total
+
+    def test_completes_and_detector_fires_within_timeout(self):
+        from repro.ft.detector import HeartbeatDetector
+
+        sim, topo, net, world = build_world(n=4, r=2)
+        victim = world.host_of(2, 0)
+        monitor_host = "a1-1.alpha"
+        net.register(monitor_host)
+
+        detector = HeartbeatDetector(
+            sim, net, monitor_host, peers=[victim.name],
+            period_s=self.PERIOD_S, timeout_s=self.TIMEOUT_S)
+        sim.process(detector.service())
+        sim.process(detector.emitter(victim.name))
+
+        crash_at = 1.0
+
+        def killer():
+            yield sim.timeout(crash_at)
+            net.set_down(victim.name)
+            for (rank, replica), placed in world._hosts.items():
+                if placed.name == victim.name:
+                    world.kill_copy(rank, replica)
+
+        sim.process(killer())
+        results = world.run(self._late_rank2_allreduce)
+
+        # The collective still converged on every rank via surviving
+        # replicas; rank 2 finished on its replica 1 only.
+        expected = 4 * 5 // 2
+        for rank in range(4):
+            assert expected in results[rank]
+        assert len(results[2]) == 1
+
+        # The job outlives the detection latency here (it finished
+        # ~1 s after the crash); drive the detector loops through one
+        # full timeout window before reading the verdict.
+        sim.run(until=crash_at + self.TIMEOUT_S + 2 * self.PERIOD_S)
+
+        # The heartbeat detector suspected the victim, and did so
+        # within its timeout plus one sweep period of the crash.
+        suspected = [(t, peer) for t, peer in detector.suspicions
+                     if peer == victim.name]
+        assert suspected, "detector never suspected the crashed host"
+        detected_at = suspected[0][0]
+        assert crash_at < detected_at
+        assert detected_at - crash_at <= self.TIMEOUT_S + self.PERIOD_S
+
+    def test_unreplicated_mid_collective_death_kills_job(self):
+        sim, topo, net, world = build_world(n=4, r=1)
+
+        def killer():
+            yield sim.timeout(1.0)
+            victim = world.host_of(2, 0)
+            net.set_down(victim.name)
+            for (rank, replica), placed in world._hosts.items():
+                if placed.name == victim.name:
+                    world.kill_copy(rank, replica)
+
+        world.spawn(self._late_rank2_allreduce)
+        sim.process(killer())
+        with pytest.raises(RuntimeError):
+            world.run(self._late_rank2_allreduce)
+
+
 class TestDeduplication:
     def test_duplicate_copies_are_dropped(self):
         """Two sender replicas multicast the same logical messages;

@@ -119,6 +119,23 @@ class TestFailurePaths:
         assert small_cluster.mpd().results[res.job_id] is res
 
 
+class TestCrashStateLoss:
+    def test_crash_releases_held_reservations(self, small_cluster):
+        """A crash loses volatile middleware state: reservations the RS
+        held (booked, not yet started) must not pin ``J`` slots or
+        survive into the host's next life."""
+        victim = small_cluster.mpds["b1-2.beta"]
+        victim.rs.handle_reserve(type("M", (), {
+            "src": "a1-1.alpha",
+            "payload": {"key": "k-held", "submitter": "a1-1.alpha",
+                        "job_id": "j1", "reply_port": "rp"}})())
+        assert victim.gatekeeper.held == {"k-held"}
+        small_cluster.network.set_down("b1-2.beta")
+        small_cluster._on_host_change("b1-2.beta", True)
+        assert victim.gatekeeper.held == set()
+        assert not victim.rs.reservations
+
+
 class TestGatekeeperIntegration:
     def test_busy_host_refuses_and_job_routes_around(self, small_cluster):
         """Occupy one alpha host with a fake app; concentrate must skip it."""

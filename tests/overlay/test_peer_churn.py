@@ -132,17 +132,17 @@ class TestChurn:
         assert changes == [("b1-1.beta", True)]
         assert sim.now == 5.0
 
-    def test_poisson_schedule_deterministic(self):
+    def test_first_failure_schedule_deterministic(self):
         rng1 = np.random.default_rng(9)
         rng2 = np.random.default_rng(9)
         hosts = [f"h{i}" for i in range(20)]
-        s1 = ChurnInjector.poisson_schedule(hosts, 0.01, 100.0, rng1)
-        s2 = ChurnInjector.poisson_schedule(hosts, 0.01, 100.0, rng2)
+        s1 = ChurnInjector.first_failure_schedule(hosts, 0.01, 100.0, rng1)
+        s2 = ChurnInjector.first_failure_schedule(hosts, 0.01, 100.0, rng2)
         assert s1 == s2
 
-    def test_poisson_revival(self):
+    def test_first_failure_revival(self):
         rng = np.random.default_rng(9)
-        events = ChurnInjector.poisson_schedule(
+        events = ChurnInjector.first_failure_schedule(
             ["h1", "h2", "h3"], rate_per_host_s=1.0, horizon_s=100.0,
             rng=rng, revive_after_s=1.0)
         crashes = [e for e in events if e.down]
@@ -160,3 +160,141 @@ class TestChurn:
         proc = injector.start(bad)
         with pytest.raises(ValueError):
             sim.run_until_complete(proc)
+
+
+class TestPoissonDeprecation:
+    """Pins both behaviours of the renamed one-shot schedule.
+
+    ``poisson_schedule`` never was a Poisson *process*: each host draws
+    one exponential and fails at most once, so a "rate" sweep over it
+    is secretly a sweep of P(fail before horizon).  The name is kept as
+    a warning alias of ``first_failure_schedule``; the honest rate axis
+    lives in ``sustained_schedule``.
+    """
+
+    def test_alias_warns_and_matches_new_name(self):
+        hosts = [f"h{i}" for i in range(10)]
+        with pytest.warns(DeprecationWarning, match="one failure per host"):
+            old = ChurnInjector.poisson_schedule(
+                hosts, 0.05, 60.0, np.random.default_rng(3))
+        new = ChurnInjector.first_failure_schedule(
+            hosts, 0.05, 60.0, np.random.default_rng(3))
+        assert old == new
+
+    def test_one_shot_caps_at_one_failure_per_host(self):
+        # Even at an absurd rate, the one-shot mode never crashes a
+        # host twice — the property that made the old name a lie.
+        events = ChurnInjector.first_failure_schedule(
+            ["a", "b"], rate_per_host_s=100.0, horizon_s=1000.0,
+            rng=np.random.default_rng(0))
+        crashes = [e.host_name for e in events if e.down]
+        assert sorted(crashes) == ["a", "b"]
+
+    def test_sustained_mode_fails_hosts_repeatedly(self):
+        events = ChurnInjector.sustained_schedule(
+            ["a", "b"], rate_per_host_s=0.2, horizon_s=1000.0,
+            rng=np.random.default_rng(0), downtime_s=1.0)
+        crashes = [e.host_name for e in events if e.down]
+        assert crashes.count("a") > 1 and crashes.count("b") > 1
+
+
+# -- property-based schedule tests (seeded grid) --------------------------
+#
+# A deterministic grid of seeds/parameters rather than Hypothesis: the
+# CI toolchain is numpy+pytest only, and a fixed grid keeps failures
+# trivially reproducible.  Each property below must hold for every
+# schedule the injector can emit.
+
+SEED_GRID = [(seed, rate, horizon, downtime)
+             for seed in (0, 1, 7, 42, 1234)
+             for rate, horizon in ((0.01, 50.0), (0.1, 200.0), (2.0, 10.0))
+             for downtime in (None, 0.5, 25.0)]
+
+
+def _hosts(k=12):
+    return [f"h{i:02d}" for i in range(k)]
+
+
+class TestScheduleProperties:
+    @pytest.mark.parametrize("seed,rate,horizon,downtime", SEED_GRID)
+    def test_sustained_sorted_bounded_deterministic(self, seed, rate,
+                                                    horizon, downtime):
+        rng = np.random.default_rng(seed)
+        events = ChurnInjector.sustained_schedule(
+            _hosts(), rate, horizon, rng, downtime_s=downtime)
+        # Sorted by (time, host), strictly inside the horizon.
+        assert events == sorted(events,
+                                key=lambda e: (e.time, e.host_name))
+        assert all(0.0 < e.time < horizon for e in events)
+        # Bit-identical replay for the same seed.
+        again = ChurnInjector.sustained_schedule(
+            _hosts(), rate, horizon, np.random.default_rng(seed),
+            downtime_s=downtime)
+        assert events == again
+
+    @pytest.mark.parametrize("seed,rate,horizon,downtime", SEED_GRID)
+    def test_sustained_per_host_alternation(self, seed, rate, horizon,
+                                            downtime):
+        """Per host: crash, revive, crash, ... — a revive never precedes
+        its crash and always lands exactly ``downtime`` after it."""
+        rng = np.random.default_rng(seed)
+        events = ChurnInjector.sustained_schedule(
+            _hosts(), rate, horizon, rng, downtime_s=downtime)
+        for host in _hosts():
+            mine = [e for e in events if e.host_name == host]
+            last_crash = None
+            for i, event in enumerate(mine):
+                assert event.down == (i % 2 == 0)  # alternation
+                if event.down:
+                    last_crash = event.time
+                else:
+                    assert last_crash is not None
+                    assert event.time == pytest.approx(
+                        last_crash + downtime)
+            if downtime is None:
+                assert len(mine) <= 1  # permanent death: one crash max
+
+    @pytest.mark.parametrize("seed,rate,horizon,revive",
+                             [(s, r, h, rv)
+                              for s in (0, 3, 99)
+                              for r, h in ((0.02, 80.0), (0.5, 40.0))
+                              for rv in (None, 2.0)])
+    def test_first_failure_sorted_bounded_one_shot(self, seed, rate,
+                                                   horizon, revive):
+        rng = np.random.default_rng(seed)
+        events = ChurnInjector.first_failure_schedule(
+            _hosts(), rate, horizon, rng, revive_after_s=revive)
+        assert events == sorted(events,
+                                key=lambda e: (e.time, e.host_name))
+        assert all(0.0 < e.time < horizon for e in events)
+        for host in _hosts():
+            mine = [e for e in events if e.host_name == host]
+            assert sum(1 for e in mine if e.down) <= 1
+            revivals = [e for e in mine if not e.down]
+            if revivals:
+                crash = next(e for e in mine if e.down)
+                assert revivals[0].time == pytest.approx(crash.time + revive)
+
+    @pytest.mark.parametrize("seed", [0, 5, 17, 88])
+    def test_kill_at_idempotent_under_resorting(self, seed):
+        rng = np.random.default_rng(seed)
+        pairs = [(float(t), f"h{int(h)}")
+                 for t, h in zip(rng.uniform(0, 50, size=30),
+                                 rng.integers(0, 6, size=30))]
+        schedule = ChurnInjector.kill_at(pairs)
+        shuffled = list(pairs)
+        rng.shuffle(shuffled)
+        assert ChurnInjector.kill_at(shuffled) == schedule
+        # Re-feeding the emitted order changes nothing either.
+        assert ChurnInjector.kill_at(
+            [(e.time, e.host_name) for e in schedule]) == schedule
+
+    def test_sustained_rejects_bad_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            ChurnInjector.sustained_schedule(_hosts(), 0.0, 10.0, rng)
+        with pytest.raises(ValueError):
+            ChurnInjector.sustained_schedule(_hosts(), 0.1, 0.0, rng)
+        with pytest.raises(ValueError):
+            ChurnInjector.sustained_schedule(_hosts(), 0.1, 10.0, rng,
+                                             downtime_s=0.0)

@@ -131,3 +131,46 @@ class TestGridOverrides:
         assert main(argv + ["--jobs", "2"]) == 0
         parallel = capsys.readouterr().out
         assert serial == parallel
+
+
+class TestChurnload:
+    SMOKE = ["--experiment", "churnload", "--cluster", "small",
+             "--users", "2", "--horizon", "120", "--failures", "0.006"]
+
+    def test_parser_flags(self):
+        args = build_parser().parse_args(
+            ["--experiment", "churnload", "--users", "3",
+             "--horizon", "90", "--failures", "0,0.01"])
+        assert args.experiment == "churnload"
+        assert (args.users, args.horizon, args.failures) == (3, 90.0, "0,0.01")
+
+    def test_bad_failures_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--experiment", "churnload", "--failures", "0.1,x"])
+        with pytest.raises(SystemExit):
+            main(["--experiment", "churnload", "--failures", "-0.1"])
+
+    def test_bad_horizon_and_users_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--experiment", "churnload", "--horizon", "0"])
+        with pytest.raises(SystemExit):
+            main(["--experiment", "churnload", "--users", "0"])
+
+    def test_smoke_report_byte_identical_across_jobs(self, capsys):
+        assert main(self.SMOKE + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(self.SMOKE + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+        assert "== churn under load:" in serial
+        for strategy in ("spread", "concentrate", "bandwidth_spread"):
+            assert strategy in serial
+
+    def test_smoke_stores_and_caches(self, tmp_path, capsys):
+        argv = self.SMOKE + ["--jobs", "2", "--out", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        stored = list(tmp_path.glob("churnload-*.jsonl"))
+        assert len(stored) == 1 and stored[0].stat().st_size > 0
+        assert main(argv) == 0  # cache replay renders identical text
+        assert capsys.readouterr().out == first
