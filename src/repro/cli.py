@@ -13,16 +13,31 @@ and adds experiment subcommands::
     p2pmpirun --experiment all    # the whole campaign
 
 Sweeps run on the experiment engine: ``--jobs N`` fans cells out over
-worker processes, ``--out DIR`` persists results to a
+worker processes (``--jobs 0`` auto-sizes from the CPU count),
+``--out DIR`` persists results to a
 :class:`~repro.experiments.engine.ResultStore` (re-invocations skip
 cached cells), and ``--force`` invalidates the stored sweep first.
+
+Campaigns distribute with two more pieces (DESIGN.md §9)::
+
+    p2pmpirun --experiment commaware --shard 2/3 --out store   # one slice
+    p2pmpirun merge host1/*.partial host2/*.partial --out all  # reassemble
+    p2pmpirun aggregate all                                    # roll up
+
+``--shard K/N`` runs the K-th of N deterministic slices of every sweep
+grid (results land in the store's ``.partial`` file); ``merge``
+combines shard/checkpoint stores from any number of machines into the
+canonical file an unsharded run would have written, refusing on
+conflicts; ``aggregate`` renders a cross-experiment summary of a store
+directory.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.apps import CGLikeBenchmark, EPBenchmark, HostnameApp, ISBenchmark
 from repro.cluster import ClusterSpec, build_grid5000_cluster
@@ -45,7 +60,18 @@ from repro.experiments.churnload import (
     churnload_spec,
     churnload_sweep,
 )
-from repro.experiments.engine import ResultStore, SweepResult
+from repro.experiments.aggregate import (
+    MergeConflictError,
+    StoreMerger,
+    render_aggregate,
+    scan_store_root,
+)
+from repro.experiments.engine import (
+    ResultStore,
+    SweepResult,
+    parse_shard,
+    resolve_jobs,
+)
 from repro.experiments.multiuser import multiuser_spec, multiuser_sweep
 from repro.experiments.report import format_series_table, format_site_table
 from repro.experiments.scaling import (
@@ -57,9 +83,16 @@ from repro.grid5000.builder import build_topology, paper_site_legend
 from repro.grid5000.resources import CLUSTERS
 from repro.middleware.jobs import JobRequest
 
-__all__ = ["main", "build_parser", "make_app"]
+__all__ = ["main", "build_parser", "build_merge_parser",
+           "build_aggregate_parser", "make_app"]
 
 PROGRAMS = ("hostname", "ep", "is", "cg")
+
+#: Experiments whose sweeps partition with ``--shard`` (everything
+#: engine-backed; table1 prints a static table and the ablation
+#: drivers are a handful of cells each).
+SHARDABLE_EXPERIMENTS = ("fig2", "fig3", "fig4", "scaling", "multiuser",
+                         "coallocation", "commaware", "churnload", "all")
 
 
 def make_app(name: str, nas_class: str = "B"):
@@ -75,10 +108,22 @@ def make_app(name: str, nas_class: str = "B"):
     raise ValueError(f"unknown program {name!r} (choose from {PROGRAMS})")
 
 
+def _shard_arg(text: str) -> Tuple[int, int]:
+    try:
+        return parse_shard(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="p2pmpirun",
         description="Run a job on the simulated P2P-MPI Grid'5000 testbed.",
+        epilog="Store tools: 'p2pmpirun merge <STORE...> --out DIR' "
+               "combines shard/checkpoint stores of one sweep into the "
+               "canonical file (refusing on conflicts); 'p2pmpirun "
+               "aggregate DIR' renders the campaign-level summary of a "
+               "store directory.  See 'p2pmpirun merge --help'.",
     )
     parser.add_argument("-n", type=int, default=None,
                         help="number of MPI processes (mandatory for runs)")
@@ -127,7 +172,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="churnload round horizon in simulated "
                              "seconds (default 240)")
     parser.add_argument("--jobs", type=int, default=1,
-                        help="worker processes for sweep cells (default 1)")
+                        help="worker processes for sweep cells (default 1; "
+                             "0 auto-sizes from the CPU count)")
+    parser.add_argument("--shard", type=_shard_arg, default=None,
+                        metavar="K/N",
+                        help="run only the K-th of N deterministic slices "
+                             "of each sweep grid (1-based; requires --out). "
+                             "Disjoint shards of one spec share a store "
+                             "key and seed schedule; their .partial "
+                             "outputs reassemble byte-for-byte with "
+                             "'p2pmpirun merge'")
     parser.add_argument("--out", default=None, metavar="DIR",
                         help="persist sweep results under DIR; cached "
                              "cells are skipped on re-invocation")
@@ -171,7 +225,16 @@ def _store(args: argparse.Namespace) -> Optional[ResultStore]:
 def _report_sweep(sweep: SweepResult, store: Optional[ResultStore]) -> None:
     line = f"[engine] {sweep.summary()}"
     if store is not None:
-        line += f" -> {store.path_for(sweep.spec)}"
+        # Sharded runs persist to the .partial checkpoint (the merge
+        # input); only complete sweeps own the canonical file.  A shard
+        # served entirely from cache checkpoints nothing — pointing a
+        # later `merge` at a nonexistent path would only confuse.
+        path = (store.partial_path_for(sweep.spec) if sweep.shard
+                else store.path_for(sweep.spec))
+        if sweep.shard and not path.exists():
+            line += " (all cells cached; no checkpoint written)"
+        else:
+            line += f" -> {path}"
     print(line)
 
 
@@ -181,8 +244,10 @@ def _run_coallocation(args: argparse.Namespace, experiment: str,
     spec = coallocation_spec(seed=args.seed, strategies=(strategy,),
                              name=experiment, **_grid_overrides(args))
     sweep = coallocation_sweep(spec=spec, jobs=args.jobs, store=store,
-                               force=args.force)
+                               force=args.force, shard=args.shard)
     _report_sweep(sweep, store)
+    if args.shard:
+        return  # a shard's slice cannot fill the report tables
     series = series_from_sweep(sweep)[strategy]
     print(format_site_table(series, value="hosts"))
     print()
@@ -231,8 +296,10 @@ def _run_combined_coallocation(args: argparse.Namespace,
                              strategies=("concentrate", "spread"),
                              name="coallocation", **_grid_overrides(args))
     sweep = coallocation_sweep(spec=spec, jobs=args.jobs, store=store,
-                               force=args.force)
+                               force=args.force, shard=args.shard)
     _report_sweep(sweep, store)
+    if args.shard:
+        return
     for strategy, series in sorted(series_from_sweep(sweep).items()):
         print(format_site_table(series, value="hosts"))
         print()
@@ -252,8 +319,12 @@ def _run_commaware(args: argparse.Namespace,
         # range; on the smoke grid only the alloc comparison makes sense.
         with_apps=not small,
         with_latratio=not small,
-        jobs=args.jobs, store=store, force=args.force,
+        jobs=args.jobs, store=store, force=args.force, shard=args.shard,
         **_grid_overrides(args))
+    if args.shard:
+        for sweep in campaign.sweeps():
+            _report_sweep(sweep, store)
+        return
     print(commaware_report(campaign))
 
 
@@ -290,7 +361,10 @@ def _run_churnload(args: argparse.Namespace,
         **overrides,
     )
     sweep = churnload_sweep(spec=spec, jobs=args.jobs, store=store,
-                            force=args.force)
+                            force=args.force, shard=args.shard)
+    if args.shard:
+        _report_sweep(sweep, store)
+        return
     print(churnload_report(sweep))
 
 
@@ -300,9 +374,11 @@ def _run_fig4(args: argparse.Namespace,
     for app in (EPBenchmark(args.nas_class), ISBenchmark(args.nas_class)):
         spec = application_spec(app, seed=args.seed)
         sweep = application_sweep(spec=spec, jobs=args.jobs, store=store,
-                                  force=args.force)
+                                  force=args.force, shard=args.shard)
         _report_sweep(sweep, store)
         panels[app.name] = app_series_from_sweep(sweep)
+    if args.shard:
+        return
     for label, series in panels.items():
         print()
         print(format_series_table(series, title=label.upper()))
@@ -328,8 +404,10 @@ def _run_scaling(args: argparse.Namespace,
         strategy = "spread"
     spec = scaling_spec(seed=args.seed, strategy=strategy)
     sweep = scaling_sweep(spec=spec, jobs=args.jobs, store=store,
-                          force=args.force)
+                          force=args.force, shard=args.shard)
     _report_sweep(sweep, store)
+    if args.shard:
+        return
     series = scaling_series_from_sweep(sweep)
     print(f"strategy: {series.strategy}")
     for p in series.points:
@@ -342,8 +420,10 @@ def _run_multiuser(args: argparse.Namespace,
                    store: Optional[ResultStore]) -> None:
     spec = multiuser_spec(seed=args.seed)
     sweep = multiuser_sweep(spec=spec, jobs=args.jobs, store=store,
-                            force=args.force)
+                            force=args.force, shard=args.shard)
     _report_sweep(sweep, store)
+    if args.shard:
+        return
     for cell in sweep.cells:
         v = cell.value
         print(f"users={cell.params['users']} n={cell.params['n']} "
@@ -417,11 +497,114 @@ def _run_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# store tools: merge + aggregate verbs
+# ----------------------------------------------------------------------
+def build_merge_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="p2pmpirun merge",
+        description="Combine shard/checkpoint JSONL stores of ONE sweep "
+                    "into a single canonical store.  Inputs may mix "
+                    "canonical .jsonl files and .jsonl.partial shard or "
+                    "checkpoint files produced on any machine; the merge "
+                    "refuses on header-hash mismatch or divergent cell "
+                    "values, tolerates torn tails and identical "
+                    "duplicates, and — when the union covers the full "
+                    "grid — writes a file byte-identical to what one "
+                    "unsharded run would have saved.")
+    parser.add_argument("stores", nargs="+", metavar="STORE",
+                        help="store files to merge (.jsonl and/or "
+                             ".jsonl.partial of one spec)")
+    parser.add_argument("--out", required=True, metavar="DIR",
+                        help="store directory receiving the merged file "
+                             "(canonical when complete, .partial when "
+                             "cells are still missing)")
+    parser.add_argument("--require-complete", action="store_true",
+                        help="exit non-zero unless the merged cells cover "
+                             "the full sweep grid")
+    return parser
+
+
+def build_aggregate_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="p2pmpirun aggregate",
+        description="Render the campaign-level summary of a store "
+                    "directory: every sweep (canonical or pending "
+                    ".partial) with completeness, axis shapes and "
+                    "numeric-metric rollups.")
+    parser.add_argument("root", metavar="DIR",
+                        help="store directory (the --out of runs/merges)")
+    return parser
+
+
+def _run_merge(argv: List[str]) -> int:
+    args = build_merge_parser().parse_args(argv)
+    try:
+        merged = StoreMerger().merge(args.stores)
+        # write() can conflict too: it absorbs same-sweep files already
+        # at the destination and refuses on divergence.
+        path = merged.write(args.out)
+    except MergeConflictError as exc:
+        print(f"error: merge conflict: {exc}", file=sys.stderr)
+        return 1
+    print(f"[merge] {merged.summary()} -> {path}")
+    if args.require_complete and not merged.complete:
+        print(f"error: merged store is incomplete "
+              f"({len(merged.missing_indices)} cell(s) missing)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_aggregate(argv: List[str]) -> int:
+    args = build_aggregate_parser().parse_args(argv)
+    if not os.path.isdir(args.root):
+        # A typo'd path must not pass as an empty-but-clean campaign.
+        print(f"error: {args.root} is not a directory", file=sys.stderr)
+        return 2
+    sweeps, conflicts = scan_store_root(args.root)
+    print(render_aggregate(sweeps, conflicts))
+    if conflicts:
+        print(f"error: {len(conflicts)} sweep(s) have conflicting store "
+              "files; see the CONFLICT sections above", file=sys.stderr)
+        return 1
+    return 0
+
+
+#: Store-tool verbs dispatched before the main parser (``p2pmpirun
+#: merge ...`` / ``p2pmpirun aggregate ...``).
+TOOL_VERBS = {"merge": _run_merge, "aggregate": _run_aggregate}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in TOOL_VERBS:
+        try:
+            return TOOL_VERBS[argv[0]](argv[1:])
+        except BrokenPipeError:
+            # The stdout reader (head, grep -q) went away mid-report;
+            # park stdout on devnull so the interpreter's exit flush
+            # does not raise again, and exit like a SIGPIPE'd tool.
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return 141
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.jobs < 1:
-        parser.error("--jobs must be >= 1")
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0 (0 = auto-size from CPU count)")
+    args.jobs = resolve_jobs(args.jobs)
+    if args.shard:
+        if args.experiment is None:
+            parser.error("--shard only applies to --experiment sweeps")
+        if args.experiment not in SHARDABLE_EXPERIMENTS:
+            parser.error(f"--experiment {args.experiment} does not shard "
+                         f"(shardable: {', '.join(SHARDABLE_EXPERIMENTS)})")
+        if not args.out:
+            parser.error("--shard requires --out: a shard's cells persist "
+                         "to the store's .partial file for the merge step")
+        if args.force:
+            parser.error("--force cannot be combined with --shard: it "
+                         "would invalidate cells other shards checkpointed "
+                         "into the same store")
     if args.experiment:
         return _run_experiment(args)
     return _run_single(args)

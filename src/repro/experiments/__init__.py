@@ -14,6 +14,9 @@
   churn, replication survival.
 * :mod:`~repro.experiments.report` — ASCII/CSV emitters in the paper's
   series format.
+* :mod:`~repro.experiments.aggregate` — distributed result
+  aggregation: merge shard/checkpoint stores into one canonical file
+  and roll a store directory into a campaign-level summary.
 """
 
 from repro.experiments.engine import (
@@ -26,7 +29,20 @@ from repro.experiments.engine import (
     SweepRunner,
     derive_cell_seed,
     make_spec,
+    parse_shard,
+    resolve_jobs,
     run_sweep,
+)
+from repro.experiments.aggregate import (
+    CellConflict,
+    MergeConflictError,
+    MergedStore,
+    StoreMerger,
+    SweepConflict,
+    aggregate_report,
+    read_store_file,
+    render_aggregate,
+    scan_store_root,
 )
 from repro.experiments.coallocation import (
     CoallocationPoint,
@@ -101,7 +117,18 @@ __all__ = [
     "SweepRunner",
     "derive_cell_seed",
     "make_spec",
+    "parse_shard",
+    "resolve_jobs",
     "run_sweep",
+    "CellConflict",
+    "MergeConflictError",
+    "MergedStore",
+    "StoreMerger",
+    "SweepConflict",
+    "aggregate_report",
+    "read_store_file",
+    "render_aggregate",
+    "scan_store_root",
     "coallocation_spec",
     "coallocation_sweep",
     "series_from_sweep",

@@ -127,12 +127,13 @@ def application_sweep(
     store: Optional[ResultStore] = None,
     force: bool = False,
     cluster: Optional[P2PMPICluster] = None,
+    shard: Optional[Tuple[int, int]] = None,
     **spec_kwargs,
 ) -> SweepResult:
     """Run the panel through the engine; see :class:`SweepRunner`."""
     spec = spec or application_spec(**spec_kwargs)
     return run_sweep(spec, jobs=jobs, store=store, force=force,
-                     cluster=cluster)
+                     cluster=cluster, shard=shard)
 
 
 def app_series_from_sweep(sweep: SweepResult) -> Dict[str, AppTimeSeries]:

@@ -208,11 +208,12 @@ def churnload_sweep(
     jobs: int = 1,
     store: Optional[ResultStore] = None,
     force: bool = False,
+    shard: Optional[Tuple[int, int]] = None,
     **spec_kwargs,
 ) -> SweepResult:
     """Run the availability sweep through the engine."""
     spec = spec or churnload_spec(**spec_kwargs)
-    return run_sweep(spec, jobs=jobs, store=store, force=force)
+    return run_sweep(spec, jobs=jobs, store=store, force=force, shard=shard)
 
 
 # ----------------------------------------------------------------------

@@ -141,12 +141,13 @@ def coallocation_sweep(
     store: Optional[ResultStore] = None,
     force: bool = False,
     cluster: Optional[P2PMPICluster] = None,
+    shard: Optional[Tuple[int, int]] = None,
     **spec_kwargs,
 ) -> SweepResult:
     """Run the sweep through the engine; see :class:`SweepRunner`."""
     spec = spec or coallocation_spec(**spec_kwargs)
     return run_sweep(spec, jobs=jobs, store=store, force=force,
-                     cluster=cluster)
+                     cluster=cluster, shard=shard)
 
 
 def series_from_sweep(sweep: SweepResult) -> Dict[str, CoallocationSeries]:

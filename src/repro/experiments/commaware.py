@@ -198,6 +198,13 @@ class CommawareCampaign:
     strategies: Tuple[str, ...]
     demands: Tuple[int, ...]
 
+    def sweeps(self) -> List[SweepResult]:
+        """Every sweep the campaign ran, in execution order."""
+        out = [self.alloc] + [self.apps[k] for k in sorted(self.apps)]
+        if self.latratio is not None:
+            out.append(self.latratio)
+        return out
+
 
 def run_commaware_campaign(
     seed: int = 0,
@@ -209,12 +216,15 @@ def run_commaware_campaign(
     jobs: int = 1,
     store: Optional[ResultStore] = None,
     force: bool = False,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> CommawareCampaign:
     """Run the whole pack through the engine.
 
     ``cluster_spec`` reshapes the alloc/app grids (tests use the small
     testbed); the latency-ratio sweep always runs on the
     ``grid5000-latratio`` kind since the ratio *is* its subject.
+    ``shard`` slices every sweep's grid the same way (CLI ``--shard``);
+    sharded sweeps persist to ``.partial`` files for a later merge.
     """
     demands = tuple(demands)
     strategies = tuple(strategies)
@@ -222,19 +232,19 @@ def run_commaware_campaign(
         commaware_alloc_spec(seed=seed, demands=demands,
                              strategies=strategies,
                              cluster_spec=cluster_spec),
-        jobs=jobs, store=store, force=force)
+        jobs=jobs, store=store, force=force, shard=shard)
     apps: Dict[str, SweepResult] = {}
     if with_apps:
         for app in (EPBenchmark("B"), ISBenchmark("B")):
             apps[app.name] = run_sweep(
                 commaware_app_spec(app, seed=seed, strategies=strategies,
                                    cluster_spec=cluster_spec),
-                jobs=jobs, store=store, force=force)
+                jobs=jobs, store=store, force=force, shard=shard)
     latratio = None
     if with_latratio:
         latratio = run_sweep(
             latratio_spec(seed=seed, strategies=strategies),
-            jobs=jobs, store=store, force=force)
+            jobs=jobs, store=store, force=force, shard=shard)
     return CommawareCampaign(alloc=alloc, apps=apps, latratio=latratio,
                              strategies=strategies, demands=demands)
 

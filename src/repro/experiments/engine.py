@@ -48,7 +48,8 @@ from repro.sim.rng import stable_hash64
 
 __all__ = ["Cell", "CellContext", "CellResult", "ExperimentSpec",
            "ResultStore", "SweepResult", "SweepRunner", "derive_cell_seed",
-           "make_spec", "run_sweep"]
+           "encode_store_line", "make_spec", "parse_shard", "resolve_jobs",
+           "run_sweep", "store_basename", "validate_shard"]
 
 #: Bump when the stored cell format changes; part of the content hash,
 #: so old store files are transparently recomputed rather than misread.
@@ -62,6 +63,63 @@ def derive_cell_seed(master_seed: int, cell_key: str) -> int:
     parallel runs — and runs on different machines — agree bit for bit.
     """
     return stable_hash64(f"cell:{master_seed}:{cell_key}") % (2 ** 32)
+
+
+def encode_store_line(record: Mapping) -> str:
+    """The one store-line encoding (sorted keys, default separators).
+
+    Every writer — :meth:`ResultStore.save`,
+    :meth:`ResultStore.append_partial`, and the merge layer in
+    :mod:`repro.experiments.aggregate` — must use this, or the
+    byte-identity contract between unsharded runs and merged shards
+    breaks.
+    """
+    return json.dumps(record, sort_keys=True)
+
+
+def store_basename(name: str, content_hash: str) -> str:
+    """Canonical store file name for a (spec name, content hash)."""
+    return f"{name}-{content_hash[:12]}.jsonl"
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Worker count for a ``--jobs`` value; ``0`` auto-sizes the pool.
+
+    The auto size is ``os.cpu_count()`` (1 if the platform cannot
+    tell), matching the ROADMAP "adaptive jobs" direction: campaign
+    scripts say ``--jobs 0`` and get whatever the machine has.
+    """
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0 (0 = auto-size from CPU count)")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def validate_shard(shard: Tuple[int, int]) -> Tuple[int, int]:
+    """Check a ``(index, count)`` shard designator; returns it intact."""
+    try:
+        index, count = (int(shard[0]), int(shard[1]))
+    except (TypeError, ValueError, IndexError):
+        raise ValueError(f"shard must be an (index, count) pair, got {shard!r}")
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    if not 1 <= index <= count:
+        raise ValueError(
+            f"shard index must be in 1..{count}, got {index}")
+    return index, count
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse a ``K/N`` shard designator (1-based), e.g. ``2/3``."""
+    head, sep, tail = text.partition("/")
+    if not sep:
+        raise ValueError(f"shard must look like K/N, got {text!r}")
+    try:
+        shard = (int(head), int(tail))
+    except ValueError:
+        raise ValueError(f"shard must look like K/N, got {text!r}")
+    return validate_shard(shard)
 
 
 def _canon(value: Any) -> Any:
@@ -221,6 +279,22 @@ class ExperimentSpec:
                             seed=seed))
         return out
 
+    def shard_cells(self, shard: Tuple[int, int]) -> List[Cell]:
+        """Deterministic partition of the grid: shard ``(k, n)`` keeps
+        the cells whose index is ``k-1 (mod n)``.
+
+        Round-robin over the canonical grid order, so shards are
+        disjoint, their union is the full grid, and the expensive tail
+        of a sorted axis (fig4's largest ``n`` cells) interleaves
+        across shards instead of landing on the last one.  Sharding is
+        *not* part of the content hash: every shard of a spec shares
+        one store key and one per-cell seed schedule, which is what
+        lets :mod:`repro.experiments.aggregate` reassemble shard
+        outputs into the unsharded canonical file byte for byte.
+        """
+        index, count = validate_shard(shard)
+        return [c for c in self.cells() if c.index % count == index - 1]
+
     # ------------------------------------------------------------------
     # identity
     # ------------------------------------------------------------------
@@ -293,6 +367,8 @@ class SweepResult:
     executed: int = 0
     cached: int = 0
     elapsed_s: float = 0.0
+    #: ``(index, count)`` when this run covered one shard of the grid.
+    shard: Optional[Tuple[int, int]] = None
 
     def values(self) -> List[Dict[str, Any]]:
         return [c.value for c in self.cells]
@@ -311,7 +387,9 @@ class SweepResult:
                 if all(c.params.get(k) == v for k, v in params.items())]
 
     def summary(self) -> str:
-        return (f"sweep {self.spec.name}: {len(self.cells)} cells "
+        shard = (f" [shard {self.shard[0]}/{self.shard[1]}]"
+                 if self.shard else "")
+        return (f"sweep {self.spec.name}{shard}: {len(self.cells)} cells "
                 f"({self.executed} executed, {self.cached} cached) "
                 f"in {self.elapsed_s:.2f} s")
 
@@ -336,7 +414,7 @@ class ResultStore:
         self.root = Path(root)
 
     def path_for(self, spec: ExperimentSpec) -> Path:
-        return self.root / f"{spec.name}-{spec.content_hash()[:12]}.jsonl"
+        return self.root / store_basename(spec.name, spec.content_hash())
 
     def partial_path_for(self, spec: ExperimentSpec) -> Path:
         return self.path_for(spec).with_suffix(".jsonl.partial")
@@ -414,9 +492,9 @@ class ResultStore:
                 header = {"kind": "sweep-header",
                           "hash": spec.content_hash(),
                           "spec": spec.to_jsonable()}
-                fh.write(json.dumps(header, sort_keys=True) + "\n")
+                fh.write(encode_store_line(header) + "\n")
             for res in results:
-                fh.write(json.dumps(res.record(), sort_keys=True) + "\n")
+                fh.write(encode_store_line(res.record()) + "\n")
             fh.flush()
             os.fsync(fh.fileno())
         return path
@@ -433,9 +511,9 @@ class ResultStore:
                   "spec": spec.to_jsonable()}
         tmp = path.with_suffix(f".{os.getpid()}.tmp")
         with tmp.open("w", encoding="utf-8") as fh:
-            fh.write(json.dumps(header, sort_keys=True) + "\n")
+            fh.write(encode_store_line(header) + "\n")
             for res in sorted(results, key=lambda r: r.index):
-                fh.write(json.dumps(res.record(), sort_keys=True) + "\n")
+                fh.write(encode_store_line(res.record()) + "\n")
         tmp.replace(path)
         self.clear_partial(spec)
         return path
@@ -507,12 +585,22 @@ class SweepRunner:
         killed campaign resumes from the checkpoint.  The canonical
         file at sweep end stays byte-identical regardless of the
         checkpoint cadence.
+    shard:
+        ``(index, count)`` 1-based shard designator (the CLI's
+        ``--shard K/N``): run only this shard's slice of the grid (see
+        :meth:`ExperimentSpec.shard_cells`).  A sharded run never
+        writes the canonical file — its computed cells all land in the
+        store's ``.partial`` checkpoint, the merge input
+        :mod:`repro.experiments.aggregate` reassembles campaigns from.
+        Incompatible with shared-cluster specs (a stateful sweep
+        cannot be partitioned) and with an explicit ``cluster``.
     """
 
     def __init__(self, spec: ExperimentSpec, *, jobs: int = 1,
                  store: Optional[ResultStore] = None, force: bool = False,
                  cluster: Optional[P2PMPICluster] = None,
-                 checkpoint_every: int = 8) -> None:
+                 checkpoint_every: int = 8,
+                 shard: Optional[Tuple[int, int]] = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if checkpoint_every < 1:
@@ -521,23 +609,44 @@ class SweepRunner:
             raise ValueError(
                 "store/force cannot be combined with an explicit cluster: "
                 "a live simulator's state is not replayable from a store")
+        if shard is not None:
+            shard = validate_shard(shard)
+            if spec.shared_cluster:
+                raise ValueError(
+                    "shard cannot partition a shared-cluster sweep: later "
+                    "cells observe the state earlier cells left behind")
+            if cluster is not None:
+                raise ValueError(
+                    "shard cannot be combined with an explicit cluster")
+            if force:
+                # invalidate() unlinks the whole store — including the
+                # .partial file other shards of this spec accumulated
+                # into.  There is no per-shard invalidation; recompute
+                # by deleting the store files or re-running unsharded.
+                raise ValueError(
+                    "force cannot be combined with shard: invalidation "
+                    "would destroy cells other shards checkpointed into "
+                    "the same store")
         self.spec = spec
         self.jobs = jobs
         self.store = store
         self.force = force
         self.cluster = cluster
         self.checkpoint_every = checkpoint_every
+        self.shard = shard
         self._pending_checkpoint: List[CellResult] = []
 
     # ------------------------------------------------------------------
     def run(self) -> SweepResult:
         t0 = time.perf_counter()
-        cells = self.spec.cells()
         if self.cluster is not None:
+            cells = self.spec.cells()
             results = self._run_inline(cells, self.cluster)
             return SweepResult(self.spec, results, executed=len(results),
                                elapsed_s=time.perf_counter() - t0)
 
+        cells = (self.spec.shard_cells(self.shard) if self.shard
+                 else self.spec.cells())
         cached, resumed = self._load_cache(cells)
         todo = [c for c in cells if c.key not in cached]
         if self.spec.shared_cluster:
@@ -552,13 +661,18 @@ class SweepRunner:
         by_key = dict(cached)
         by_key.update({r.key: r for r in computed})
         results = [by_key[c.key] for c in cells]
-        if self.store is not None and (computed or resumed):
+        if (self.store is not None and self.shard is None
+                and (computed or resumed)):
             # `resumed` promotes a checkpoint-only sweep to canonical
             # even when this invocation had nothing left to execute.
+            # Sharded runs never promote: their slice is complete but
+            # the sweep is not — computed cells stay in the .partial
+            # checkpoint for the merge step.
             self.store.save(self.spec, results)
         return SweepResult(self.spec, results, executed=len(computed),
                            cached=len(cached),
-                           elapsed_s=time.perf_counter() - t0)
+                           elapsed_s=time.perf_counter() - t0,
+                           shard=self.shard)
 
     # ------------------------------------------------------------------
     def _load_cache(self,
@@ -651,9 +765,10 @@ class SweepRunner:
 def run_sweep(spec: ExperimentSpec, *, jobs: int = 1,
               store: Optional[ResultStore] = None, force: bool = False,
               cluster: Optional[P2PMPICluster] = None,
-              checkpoint_every: int = 8) -> SweepResult:
+              checkpoint_every: int = 8,
+              shard: Optional[Tuple[int, int]] = None) -> SweepResult:
     """One-call façade over :class:`SweepRunner` — the shared body of
     every driver module's ``*_sweep`` entry point."""
     return SweepRunner(spec, jobs=jobs, store=store, force=force,
-                       cluster=cluster,
-                       checkpoint_every=checkpoint_every).run()
+                       cluster=cluster, checkpoint_every=checkpoint_every,
+                       shard=shard).run()

@@ -188,8 +188,9 @@ def multiuser_sweep(
     jobs: int = 1,
     store: Optional[ResultStore] = None,
     force: bool = False,
+    shard: Optional[Tuple[int, int]] = None,
     **spec_kwargs,
 ) -> SweepResult:
     """Run the contention sweep through the engine."""
     spec = spec or multiuser_spec(**spec_kwargs)
-    return run_sweep(spec, jobs=jobs, store=store, force=force)
+    return run_sweep(spec, jobs=jobs, store=store, force=force, shard=shard)

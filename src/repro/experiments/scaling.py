@@ -11,7 +11,7 @@ driver measures the simulated booking/launch milestones of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.cluster import ClusterSpec, P2PMPICluster
 from repro.experiments.engine import (CellContext, ExperimentSpec,
@@ -94,12 +94,13 @@ def scaling_sweep(
     store: Optional[ResultStore] = None,
     force: bool = False,
     cluster: Optional[P2PMPICluster] = None,
+    shard: Optional[Tuple[int, int]] = None,
     **spec_kwargs,
 ) -> SweepResult:
     """Run the sweep through the engine; see :class:`SweepRunner`."""
     spec = spec or scaling_spec(**spec_kwargs)
     return run_sweep(spec, jobs=jobs, store=store, force=force,
-                     cluster=cluster)
+                     cluster=cluster, shard=shard)
 
 
 def scaling_series_from_sweep(sweep: SweepResult) -> ScalingSeries:

@@ -1,0 +1,365 @@
+"""Distributed result aggregation: shard stores in, one campaign out.
+
+The contract under test is the ISSUE-4 acceptance criterion: merging
+the stores of ``--shard 1/3 + 2/3 + 3/3`` (and of two ``--jobs``
+partitions' ``.partial`` files) reproduces the unsharded canonical
+JSONL byte for byte, and a tampered cell value is rejected with a
+conflict report.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.experiments.aggregate import (
+    MergeConflictError,
+    StoreMerger,
+    aggregate_report,
+    read_store_file,
+    scan_store_root,
+)
+from repro.experiments.coallocation import coallocation_spec
+from repro.experiments.engine import ResultStore, SweepRunner, make_spec
+
+SMALL = ClusterSpec(kind="small")
+
+
+def small_spec(seed: int = 5, demands=(4, 8),
+               strategies=("spread", "concentrate"), name="agg-test"):
+    return coallocation_spec(seed=seed, demands=demands,
+                             strategies=strategies, cluster_spec=SMALL,
+                             name=name)
+
+
+def probe_cell(ctx) -> dict:
+    return {"seed": ctx.seed, "metric": ctx.params["a"] * 2.5}
+
+
+def run_full(tmp_path, spec):
+    """Unsharded reference run; returns (store, canonical bytes)."""
+    store = ResultStore(tmp_path / "reference")
+    SweepRunner(spec, store=store).run()
+    return store, store.path_for(spec).read_bytes()
+
+
+def run_shards(tmp_path, spec, count, jobs=1):
+    """Each shard into its own store dir (distinct machines); returns
+    the .partial paths in shard order."""
+    paths = []
+    for index in range(1, count + 1):
+        store = ResultStore(tmp_path / f"shard-{index}")
+        SweepRunner(spec, store=store, jobs=jobs,
+                    shard=(index, count)).run()
+        paths.append(store.partial_path_for(spec))
+    return paths
+
+
+class TestShardUnion:
+    def test_three_shards_merge_byte_identical(self, tmp_path):
+        spec = small_spec()
+        _, canonical = run_full(tmp_path, spec)
+        paths = run_shards(tmp_path, spec, 3)
+        merged = StoreMerger().merge(paths)
+        assert merged.complete
+        out = merged.write(tmp_path / "merged")
+        assert out.name.endswith(".jsonl")
+        assert out.read_bytes() == canonical
+
+    def test_two_jobs_partitions_merge_byte_identical(self, tmp_path):
+        # The ROADMAP wording: two --jobs partitions of one grid, each
+        # leaving only its .partial checkpoint, reassemble exactly.
+        spec = small_spec()
+        _, canonical = run_full(tmp_path, spec)
+        paths = run_shards(tmp_path, spec, 2, jobs=2)
+        merged = StoreMerger().merge(paths)
+        out = merged.write(tmp_path / "merged")
+        assert out.read_bytes() == canonical
+
+    def test_merge_order_independent(self, tmp_path):
+        spec = small_spec()
+        _, canonical = run_full(tmp_path, spec)
+        paths = run_shards(tmp_path, spec, 3)
+        for ordering in (paths, paths[::-1], [paths[1], paths[2], paths[0]]):
+            out = StoreMerger().merge(ordering).write(
+                tmp_path / "merged")
+            assert out.read_bytes() == canonical
+
+    def test_same_store_accumulates_shards(self, tmp_path):
+        # Two shards run on ONE machine share a store: the .partial
+        # accumulates both slices and merges alone.
+        spec = small_spec()
+        _, canonical = run_full(tmp_path, spec)
+        store = ResultStore(tmp_path / "both")
+        SweepRunner(spec, store=store, shard=(1, 2)).run()
+        SweepRunner(spec, store=store, shard=(2, 2)).run()
+        assert not store.path_for(spec).exists()  # shards never promote
+        merged = StoreMerger().merge([store.partial_path_for(spec)])
+        assert merged.complete
+        assert merged.write(tmp_path / "merged").read_bytes() == canonical
+
+    def test_canonical_plus_partial_duplicates_tolerated(self, tmp_path):
+        spec = small_spec()
+        store, canonical = run_full(tmp_path, spec)
+        partials = run_shards(tmp_path, spec, 2)
+        merged = StoreMerger().merge([store.path_for(spec), *partials])
+        assert merged.complete
+        assert merged.duplicates == spec.cell_count()
+        assert merged.write(tmp_path / "merged").read_bytes() == canonical
+
+
+class TestIncompleteMerge:
+    def test_missing_shard_writes_partial(self, tmp_path):
+        spec = small_spec()
+        paths = run_shards(tmp_path, spec, 3)
+        merged = StoreMerger().merge(paths[:2])
+        assert not merged.complete
+        assert len(merged.missing_indices) + len(merged.cells) \
+            == spec.cell_count()
+        out = merged.write(tmp_path / "merged")
+        assert out.name.endswith(".jsonl.partial")
+        assert "missing" in merged.summary()
+
+    def test_incomplete_merge_is_resumable(self, tmp_path):
+        # The merged .partial must behave like any engine checkpoint:
+        # a later run executes only the missing shard and promotes to
+        # the byte-exact canonical file.
+        spec = small_spec()
+        _, canonical = run_full(tmp_path, spec)
+        paths = run_shards(tmp_path, spec, 3)
+        merged_root = tmp_path / "merged"
+        StoreMerger().merge(paths[:2]).write(merged_root)
+        store = ResultStore(merged_root)
+        resumed = SweepRunner(spec, store=store).run()
+        assert resumed.executed == len(spec.shard_cells((3, 3)))
+        assert store.path_for(spec).read_bytes() == canonical
+
+    def test_write_absorbs_existing_partial_at_destination(self, tmp_path):
+        # Merging shards 2+3 into a store that already holds shard 1's
+        # checkpoint must union with it (and promote to canonical),
+        # never clobber it.
+        spec = small_spec()
+        _, canonical = run_full(tmp_path, spec)
+        dest = ResultStore(tmp_path / "dest")
+        SweepRunner(spec, store=dest, shard=(1, 3)).run()
+        others = run_shards(tmp_path, spec, 3)[1:]
+        merged = StoreMerger().merge(others)
+        assert not merged.complete  # shard 1 is not among the inputs
+        out = merged.write(tmp_path / "dest")
+        assert out == dest.path_for(spec)
+        assert out.read_bytes() == canonical
+        assert not dest.partial_path_for(spec).exists()  # promoted
+        # Provenance reflects the absorbed checkpoint too.
+        assert len(merged.sources) == 3
+        assert "3 store(s)" in merged.summary()
+
+    def test_write_refuses_divergent_cells_at_destination(self, tmp_path):
+        spec = small_spec()
+        store, _ = run_full(tmp_path, spec)
+        paths = run_shards(tmp_path, spec, 2)
+        dest = tmp_path / "dest"
+        StoreMerger().merge([paths[0]]).write(dest)
+        lurking = next(dest.glob("*.partial"))
+        lines = lurking.read_text().splitlines()
+        rec = json.loads(lines[1])
+        rec["value"]["total_hosts"] = 4242
+        lines[1] = json.dumps(rec, sort_keys=True)
+        lurking.write_text("\n".join(lines) + "\n")
+        with pytest.raises(MergeConflictError, match="divergent"):
+            StoreMerger().merge(paths).write(dest)
+
+    def test_torn_tail_only_drops_that_cell(self, tmp_path):
+        spec = small_spec()
+        _, canonical = run_full(tmp_path, spec)
+        paths = run_shards(tmp_path, spec, 2)
+        torn = paths[0].read_bytes()[:-15]  # tear the last record
+        paths[0].write_bytes(torn)
+        merged = StoreMerger().merge(paths)
+        assert merged.torn_lines == 1
+        assert len(merged.missing_indices) == 1
+        # Re-supplying an intact copy of the torn shard completes it.
+        intact = run_shards(tmp_path / "again", spec, 2)[0]
+        full = StoreMerger().merge([paths[0], paths[1], intact])
+        assert full.complete
+        assert full.write(tmp_path / "merged").read_bytes() == canonical
+
+
+class TestConflicts:
+    def tamper(self, path, mutate, line_no=1):
+        lines = path.read_text().splitlines()
+        rec = json.loads(lines[line_no])
+        mutate(rec)
+        lines[line_no] = json.dumps(rec, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+
+    def test_header_hash_mismatch_refused(self, tmp_path):
+        a = run_shards(tmp_path / "a", small_spec(seed=5), 2)
+        b = run_shards(tmp_path / "b", small_spec(seed=6), 2)
+        with pytest.raises(MergeConflictError, match="header hash mismatch"):
+            StoreMerger().merge([a[0], b[1]])
+
+    def test_tampered_header_with_same_hash_refused(self, tmp_path):
+        paths = run_shards(tmp_path, small_spec(), 2)
+        self.tamper(paths[0],
+                    lambda rec: rec["spec"].__setitem__("master_seed", 99),
+                    line_no=0)
+        with pytest.raises(MergeConflictError, match="tampered"):
+            StoreMerger().merge(paths)
+
+    def test_divergent_cell_value_refused_with_report(self, tmp_path):
+        spec = small_spec()
+        store, _ = run_full(tmp_path, spec)
+        paths = run_shards(tmp_path, spec, 2)
+        self.tamper(paths[0], lambda rec: rec["value"].__setitem__(
+            "total_hosts", 9999))
+        with pytest.raises(MergeConflictError) as err:
+            StoreMerger().merge([store.path_for(spec), *paths])
+        assert "divergent values" in str(err.value)
+        assert len(err.value.conflicts) == 1
+        conflict = err.value.conflicts[0]
+        assert conflict.key in {c.key for c in spec.cells()}
+        assert "9999" in conflict.describe()
+
+    def test_divergence_within_one_file_refused(self, tmp_path):
+        spec = small_spec()
+        store, _ = run_full(tmp_path, spec)
+        path = store.path_for(spec)
+        lines = path.read_text().splitlines()
+        rec = json.loads(lines[1])
+        rec["value"]["total_hosts"] = 77
+        lines.append(json.dumps(rec, sort_keys=True))
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(MergeConflictError, match="divergent records"):
+            read_store_file(path)
+
+    def test_identical_duplicate_within_one_file_tolerated(self, tmp_path):
+        spec = small_spec()
+        store, _ = run_full(tmp_path, spec)
+        path = store.path_for(spec)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines + [lines[1]]) + "\n")
+        parsed = read_store_file(path)
+        assert parsed.duplicates == 1
+        assert len(parsed.cells) == spec.cell_count()
+
+    def test_index_out_of_grid_refused(self, tmp_path):
+        spec = small_spec()
+        store, _ = run_full(tmp_path, spec)
+        path = store.path_for(spec)
+        self.tamper(path, lambda rec: rec.__setitem__("index", 999))
+        with pytest.raises(MergeConflictError, match="outside"):
+            StoreMerger().merge([path])
+
+    def test_colliding_indices_refused(self, tmp_path):
+        spec = small_spec()
+        store, _ = run_full(tmp_path, spec)
+        path = store.path_for(spec)
+        # Two different keys claiming one grid slot: corrupt store.
+        self.tamper(path, lambda rec: rec.__setitem__("index", 0),
+                    line_no=2)
+        with pytest.raises(MergeConflictError, match="both claim"):
+            StoreMerger().merge([path])
+
+    def test_non_store_file_refused(self, tmp_path):
+        rogue = tmp_path / "notes.jsonl"
+        rogue.write_text("just some text\n")
+        with pytest.raises(MergeConflictError, match="sweep-header"):
+            read_store_file(rogue)
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(MergeConflictError, match="empty"):
+            read_store_file(empty)
+
+    def test_no_inputs_refused(self):
+        with pytest.raises(MergeConflictError, match="no store files"):
+            StoreMerger().merge([])
+
+
+class TestAggregateReport:
+    def test_rolls_multiple_sweeps(self, tmp_path):
+        store = ResultStore(tmp_path)
+        SweepRunner(make_spec("alpha", {"a": (1, 2, 3)}, probe_cell),
+                    store=store).run()
+        SweepRunner(make_spec("beta", {"a": (1, 2)}, probe_cell),
+                    store=store).run()
+        text = aggregate_report(tmp_path)
+        assert "2 sweep(s), 5/5 cells" in text
+        assert "-- alpha [" in text and "-- beta [" in text
+        assert "axes: a=3" in text and "axes: a=2" in text
+        assert "metric" in text and "mean=" in text
+
+    def test_partial_sweeps_reported_pending(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(tmp_path)
+        SweepRunner(spec, store=store, shard=(1, 2)).run()
+        text = aggregate_report(tmp_path)
+        assert "partial" in text and "missing" in text
+
+    def test_canonical_and_stale_partial_collapse(self, tmp_path):
+        # A canonical file plus a leftover checkpoint of the same sweep
+        # must report as ONE complete sweep, not two entries.
+        spec = small_spec()
+        store = ResultStore(tmp_path)
+        full = SweepRunner(spec, store=store).run()
+        store.append_partial(spec, full.cells[:2])
+        sweeps, conflicts = scan_store_root(tmp_path)
+        assert len(sweeps) == 1 and sweeps[0].complete
+        assert conflicts == []
+        assert "1 sweep(s)" in aggregate_report(tmp_path)
+
+    def test_conflicting_sweep_surfaces_not_drops(self, tmp_path):
+        # A canonical file plus a divergent same-hash checkpoint must
+        # show up as CONFLICT — the exact condition the merge layer
+        # refuses cannot silently vanish from the campaign report.
+        spec = small_spec()
+        store = ResultStore(tmp_path)
+        full = SweepRunner(spec, store=store).run()
+        store.append_partial(spec, full.cells)
+        partial = store.partial_path_for(spec)
+        lines = partial.read_text().splitlines()
+        rec = json.loads(lines[1])
+        rec["value"]["total_hosts"] = 9999
+        lines[1] = json.dumps(rec, sort_keys=True)
+        partial.write_text("\n".join(lines) + "\n")
+        sweeps, conflicts = scan_store_root(tmp_path)
+        assert sweeps == []
+        assert len(conflicts) == 1 and conflicts[0].name == spec.name
+        text = aggregate_report(tmp_path)
+        assert "1 CONFLICTED" in text and "CONFLICT --" in text
+
+    def test_rollups_independent_of_checkpoint_order(self, tmp_path):
+        # A .partial from a --jobs pool holds cells in completion
+        # order; the report's float sums must not depend on it.
+        spec = small_spec()
+        store = ResultStore(tmp_path / "src")
+        SweepRunner(spec, store=store).run()
+        lines = store.path_for(spec).read_text().splitlines()
+        for name, cell_lines in (("fwd", lines[1:]), ("rev", lines[:0:-1])):
+            d = tmp_path / name
+            d.mkdir()
+            (d / store.partial_path_for(spec).name).write_text(
+                "\n".join([lines[0]] + list(cell_lines)) + "\n")
+        assert (aggregate_report(tmp_path / "fwd")
+                == aggregate_report(tmp_path / "rev"))
+
+    def test_deterministic_and_pathless(self, tmp_path):
+        store = ResultStore(tmp_path)
+        SweepRunner(make_spec("alpha", {"a": (1, 2)}, probe_cell),
+                    store=store).run()
+        text = aggregate_report(tmp_path)
+        assert text == aggregate_report(tmp_path)
+        assert str(tmp_path) not in text
+
+    def test_empty_root(self, tmp_path):
+        assert "0 sweep(s), 0/0 cells" in aggregate_report(tmp_path)
+
+    def test_foreign_files_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        SweepRunner(make_spec("alpha", {"a": (1,)}, probe_cell),
+                    store=store).run()
+        (tmp_path / "rogue.jsonl").write_text("not a store\n")
+        # Valid JSON but not an object: must skip, not crash.
+        (tmp_path / "rogue2.jsonl").write_text("[1, 2, 3]\n")
+        (tmp_path / "rogue3.jsonl").write_text('"header"\n')
+        report = aggregate_report(tmp_path)
+        assert "1 sweep(s)" in report and "CONFLICT" not in report

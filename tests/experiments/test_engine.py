@@ -21,6 +21,8 @@ from repro.experiments.engine import (
     SweepRunner,
     derive_cell_seed,
     make_spec,
+    parse_shard,
+    resolve_jobs,
 )
 
 SMALL = ClusterSpec(kind="small")
@@ -280,6 +282,116 @@ class TestCheckpointResume:
     def test_bad_checkpoint_every_rejected(self):
         with pytest.raises(ValueError):
             SweepRunner(small_spec(), checkpoint_every=0)
+
+
+class TestShard:
+    """--shard K/N: deterministic grid partitioning, partial-only writes."""
+
+    def test_parse_shard(self):
+        assert parse_shard("1/3") == (1, 3)
+        assert parse_shard("3/3") == (3, 3)
+        for bad in ("0/3", "4/3", "1/0", "x/3", "1", "1/3/5", "-1/3"):
+            with pytest.raises(ValueError):
+                parse_shard(bad)
+
+    def test_shards_partition_the_grid(self):
+        spec = small_spec(demands=(4, 8, 12))  # 6 cells
+        full = {c.key for c in spec.cells()}
+        seen = []
+        for k in (1, 2, 3):
+            seen.append({c.key for c in spec.shard_cells((k, 3))})
+        assert set.union(*seen) == full
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert not seen[i] & seen[j]
+        # Deterministic across enumerations.
+        assert ({c.key for c in spec.shard_cells((2, 3))} == seen[1])
+
+    def test_shard_shares_seed_schedule_with_full_grid(self):
+        spec = small_spec()
+        by_key = {c.key: c.seed for c in spec.cells()}
+        for cell in spec.shard_cells((2, 2)):
+            assert cell.seed == by_key[cell.key]
+
+    def test_oversized_shard_count_gives_empty_slices(self):
+        spec = small_spec()  # 4 cells
+        assert spec.shard_cells((6, 6)) == []
+        result = SweepRunner(spec, shard=(6, 6)).run()
+        assert result.cells == [] and result.executed == 0
+
+    def test_shard_writes_partial_never_canonical(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(tmp_path)
+        result = SweepRunner(spec, store=store, shard=(1, 2)).run()
+        assert result.shard == (1, 2)
+        assert result.executed == len(spec.shard_cells((1, 2)))
+        assert not store.path_for(spec).exists()
+        flushed = store.load_partial(spec)
+        assert set(flushed) == {c.key for c in spec.shard_cells((1, 2))}
+
+    def test_shard_union_resumes_to_canonical(self, tmp_path):
+        # Both shards into one store, then an unsharded invocation:
+        # nothing left to execute, the checkpoint promotes, and the
+        # canonical file equals a direct full run's byte for byte.
+        spec = small_spec()
+        direct = ResultStore(tmp_path / "direct")
+        SweepRunner(spec, store=direct).run()
+        store = ResultStore(tmp_path / "sharded")
+        SweepRunner(spec, store=store, shard=(1, 2)).run()
+        SweepRunner(spec, store=store, shard=(2, 2)).run()
+        assert not store.path_for(spec).exists()
+        promoted = SweepRunner(spec, store=store).run()
+        assert promoted.executed == 0
+        assert promoted.cached == spec.cell_count()
+        assert (store.path_for(spec).read_bytes()
+                == direct.path_for(spec).read_bytes())
+
+    def test_shard_skips_cells_cached_in_canonical(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(tmp_path)
+        SweepRunner(spec, store=store).run()
+        again = SweepRunner(spec, store=store, shard=(1, 2)).run()
+        assert again.executed == 0
+        assert again.cached == len(spec.shard_cells((1, 2)))
+
+    def test_shard_summary_mentions_slice(self):
+        result = SweepRunner(small_spec(), shard=(2, 2)).run()
+        assert "[shard 2/2]" in result.summary()
+
+    def test_bad_shards_rejected(self, small_cluster):
+        with pytest.raises(ValueError):
+            SweepRunner(small_spec(), shard=(0, 3))
+        with pytest.raises(ValueError):
+            SweepRunner(small_spec(), shard=(4, 3))
+        shared = small_spec()
+        shared.shared_cluster = True
+        with pytest.raises(ValueError):
+            SweepRunner(shared, shard=(1, 2))
+        with pytest.raises(ValueError):
+            SweepRunner(small_spec(), cluster=small_cluster, shard=(1, 2))
+
+    def test_shard_with_force_rejected(self, tmp_path):
+        # force invalidates the WHOLE store, including the .partial
+        # cells other shards checkpointed into the same directory.
+        with pytest.raises(ValueError, match="force"):
+            SweepRunner(small_spec(), store=ResultStore(tmp_path),
+                        force=True, shard=(1, 2))
+
+
+class TestResolveJobs:
+    def test_passthrough(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    def test_zero_auto_sizes_from_cpu_count(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 5)
+        assert resolve_jobs(0) == 5
+        monkeypatch.setattr("os.cpu_count", lambda: None)
+        assert resolve_jobs(0) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
 
 
 class TestRunnerModes:

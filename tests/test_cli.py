@@ -133,6 +133,176 @@ class TestGridOverrides:
         assert serial == parallel
 
 
+class TestShardedCampaign:
+    """--shard K/N plus the merge/aggregate verbs, end to end."""
+
+    def shard_argv(self, k, n, out):
+        return ["--experiment", "coallocation", "--cluster", "small",
+                "--demands", "4,8", "--shard", f"{k}/{n}", "--out", out]
+
+    def test_parser_accepts_shard(self):
+        args = build_parser().parse_args(
+            ["--experiment", "commaware", "--shard", "2/3", "--out", "/x"])
+        assert args.shard == (2, 3)
+
+    def test_bad_shard_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--shard", "0/3"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--shard", "nope"])
+
+    def test_shard_requires_experiment_and_out(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["-n", "4", "--shard", "1/2", "--out", str(tmp_path)])
+        with pytest.raises(SystemExit):
+            main(["--experiment", "coallocation", "--shard", "1/2"])
+        with pytest.raises(SystemExit):
+            main(["--experiment", "table1", "--shard", "1/2",
+                  "--out", str(tmp_path)])
+
+    def test_shard_with_force_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--experiment", "coallocation", "--shard", "1/2",
+                  "--out", str(tmp_path), "--force"])
+
+    def test_fully_cached_shard_reports_no_checkpoint(self, tmp_path,
+                                                      capsys):
+        out = str(tmp_path)
+        assert main(["--experiment", "coallocation", "--cluster", "small",
+                     "--demands", "4,8", "--out", out]) == 0
+        capsys.readouterr()
+        assert main(self.shard_argv(1, 2, out)) == 0
+        text = capsys.readouterr().out
+        assert "no checkpoint written" in text
+        assert ".partial" not in text
+
+    def test_shard_merge_reproduces_unsharded_store(self, tmp_path, capsys):
+        ref = tmp_path / "ref"
+        assert main(["--experiment", "coallocation", "--cluster", "small",
+                     "--demands", "4,8", "--out", str(ref)]) == 0
+        capsys.readouterr()
+        for k in (1, 2):
+            out = tmp_path / f"shard{k}"
+            assert main(self.shard_argv(k, 2, str(out))) == 0
+            text = capsys.readouterr().out
+            assert f"[shard {k}/2]" in text
+            # Shard mode prints the engine line only — no report tables.
+            assert "concentrate:hosts" not in text
+            assert ".jsonl.partial" in text
+        partials = sorted(tmp_path.glob("shard*/coallocation-*.partial"))
+        assert len(partials) == 2
+        assert not list(tmp_path.glob("shard*/coallocation-*[!l].jsonl"))
+        merged = tmp_path / "merged"
+        argv = ["merge"] + [str(p) for p in partials] + [
+            "--out", str(merged), "--require-complete"]
+        assert main(argv) == 0
+        assert "[merge]" in capsys.readouterr().out
+        reference = next(ref.glob("coallocation-*.jsonl"))
+        produced = next(merged.glob("coallocation-*.jsonl"))
+        assert produced.read_bytes() == reference.read_bytes()
+
+        assert main(["aggregate", str(merged)]) == 0
+        report = capsys.readouterr().out
+        assert "campaign aggregate: 1 sweep(s)" in report
+        assert "coallocation" in report and "complete" in report
+
+    def test_merge_conflict_exits_nonzero(self, tmp_path, capsys):
+        import json
+
+        ref = tmp_path / "ref"
+        assert main(["--experiment", "coallocation", "--cluster", "small",
+                     "--demands", "4,8", "--out", str(ref)]) == 0
+        capsys.readouterr()
+        original = next(ref.glob("coallocation-*.jsonl"))
+        tampered = tmp_path / "tampered.jsonl"
+        lines = original.read_text().splitlines()
+        rec = json.loads(lines[1])
+        rec["value"]["total_hosts"] = 9999
+        lines[1] = json.dumps(rec, sort_keys=True)
+        tampered.write_text("\n".join(lines) + "\n")
+        code = main(["merge", str(original), str(tampered),
+                     "--out", str(tmp_path / "merged")])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "merge conflict" in err and "divergent" in err
+
+    def test_merge_incomplete_without_flag_writes_partial(self, tmp_path,
+                                                          capsys):
+        out = tmp_path / "shard1"
+        assert main(self.shard_argv(1, 2, str(out))) == 0
+        partial = next(out.glob("coallocation-*.partial"))
+        merged = tmp_path / "merged"
+        assert main(["merge", str(partial), "--out", str(merged)]) == 0
+        assert list(merged.glob("*.jsonl.partial"))
+        assert main(["merge", str(partial), "--out", str(merged),
+                     "--require-complete"]) == 1
+        assert "incomplete" in capsys.readouterr().err
+
+    def test_merge_destination_conflict_exits_nonzero(self, tmp_path,
+                                                      capsys):
+        import json
+
+        out = tmp_path / "shard1"
+        assert main(self.shard_argv(1, 2, str(out))) == 0
+        capsys.readouterr()
+        partial = next(out.glob("coallocation-*.partial"))
+        dest = tmp_path / "dest"
+        assert main(["merge", str(partial), "--out", str(dest)]) == 0
+        capsys.readouterr()
+        lurking = next(dest.glob("*.partial"))
+        lines = lurking.read_text().splitlines()
+        rec = json.loads(lines[1])
+        rec["value"]["total_hosts"] = 777
+        lines[1] = json.dumps(rec, sort_keys=True)
+        lurking.write_text("\n".join(lines) + "\n")
+        assert main(["merge", str(partial), "--out", str(dest)]) == 1
+        assert "merge conflict" in capsys.readouterr().err
+
+    def test_aggregate_missing_dir_errors(self, tmp_path, capsys):
+        assert main(["aggregate", str(tmp_path / "no-such-dir")]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_aggregate_conflicted_store_exits_nonzero(self, tmp_path,
+                                                      capsys):
+        import json
+
+        ref = tmp_path / "ref"
+        assert main(["--experiment", "coallocation", "--cluster", "small",
+                     "--demands", "4,8", "--out", str(ref)]) == 0
+        capsys.readouterr()
+        canonical = next(ref.glob("coallocation-*.jsonl"))
+        divergent = canonical.with_suffix(".jsonl.partial")
+        lines = canonical.read_text().splitlines()
+        rec = json.loads(lines[1])
+        rec["value"]["total_hosts"] = 123456
+        divergent.write_text(
+            "\n".join([lines[0], json.dumps(rec, sort_keys=True)]) + "\n")
+        assert main(["aggregate", str(ref)]) == 1
+        captured = capsys.readouterr()
+        assert "CONFLICTED" in captured.out
+        assert "conflicting store files" in captured.err
+
+
+class TestJobsFlag:
+    def test_negative_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--experiment", "coallocation", "--jobs", "-1"])
+
+    def test_zero_auto_sizes(self, tmp_path, monkeypatch, capsys):
+        seen = {}
+        real = cli.coallocation_sweep
+
+        def spy(*args, **kwargs):
+            seen["jobs"] = kwargs.get("jobs")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(cli, "coallocation_sweep", spy)
+        monkeypatch.setattr("os.cpu_count", lambda: 3)
+        assert main(["--experiment", "coallocation", "--cluster", "small",
+                     "--demands", "4", "--jobs", "0"]) == 0
+        assert seen["jobs"] == 3
+
+
 class TestChurnload:
     SMOKE = ["--experiment", "churnload", "--cluster", "small",
              "--users", "2", "--horizon", "120", "--failures", "0.006"]
