@@ -31,33 +31,41 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.alloc.base import ReservedHost, Strategy
+from repro.net.contention import WAN_CONTENTION_FACTOR, ContentionModel
 from repro.net.topology import (DEFAULT_LAN_BW_BPS, DEFAULT_LAN_RTT_MS,
-                                Topology)
+                                Host, Topology)
 
-__all__ = ["CommAwareStrategy", "contended_pair_bw_bps",
-           "dominant_group_size"]
+__all__ = ["CommAwareStrategy", "WAN_CONTENTION_FACTOR",
+           "contended_pair_bw_bps", "dominant_group_size"]
 
 #: Fallback cross-site bandwidth when no topology is bound (bit/s).
 #: Deliberately below the LAN default so the greedy orderings prefer
 #: site-local pairs, which is the only robust unbound signal.
 FALLBACK_WAN_BW_BPS = DEFAULT_LAN_BW_BPS / 10.0
 
-#: Expected concurrent flows on a WAN link under a collective.  The
-#: raw path bottleneck (NIC-clamped) is 1 Gb/s for *every* pair on the
-#: paper's testbed, so it cannot rank placements; what differs is how
-#: the shared backbone divides.  Any factor above the backbone/LAN
-#: ratio (10 here) ranks LAN > fast WAN > bordeaux WAN, which is the
-#: ordering the §5.2 IS analysis observes.
-WAN_CONTENTION_FACTOR = 16.0
 
-
-def contended_pair_bw_bps(topology: Topology, a, b) -> float:
+def contended_pair_bw_bps(topology: Topology, a: Host, b: Host,
+                          plan_hosts: Optional[Sequence[Host]] = None
+                          ) -> float:
     """Placement score: bandwidth a host pair can expect under load.
 
     Intra-site pairs keep the switched LAN rate to themselves;
     inter-site pairs divide the site backbone with the rest of the
-    job's traffic (modelled by :data:`WAN_CONTENTION_FACTOR`).
+    job's traffic.  With ``plan_hosts`` (the placement's full host
+    multiset, one entry per process copy) the divisor is the *plan's
+    own* concurrent crossing-pair count on that backbone
+    (:class:`~repro.net.contention.ContentionModel`) — the calibrated
+    model the fig4 crossover suite validates.
+
+    Without a plan — a strategy scoring candidates mid-construction
+    has no placement to count flows from — the **deprecated** fixed
+    :data:`~repro.net.contention.WAN_CONTENTION_FACTOR` fallback
+    applies.  Any factor above the backbone/LAN ratio still ranks
+    LAN > fast WAN > bordeaux WAN (the §5.2 IS ordering), which is all
+    a before-the-plan score can honestly claim.
     """
+    if plan_hosts is not None:
+        return ContentionModel(topology).pair_bw_bps(plan_hosts, a, b)
     if a.name == b.name:
         return float("inf")
     if a.site == b.site:
@@ -109,7 +117,14 @@ class CommAwareStrategy(Strategy):
         return a.latency_ms + b.latency_ms
 
     def pair_bw_bps(self, a: ReservedHost, b: ReservedHost) -> float:
-        """Expected under-load bandwidth between two reserved hosts."""
+        """Expected under-load bandwidth between two reserved hosts.
+
+        Strategies call this *while building* a plan, so no placement
+        exists yet to count crossing pairs from: the score rides the
+        deprecated fixed-divisor fallback of
+        :func:`contended_pair_bw_bps`.  Completed plans are re-scored
+        plan-dependently by the experiment packs.
+        """
         if a.host.name == b.host.name:
             return float("inf")
         if self.topology is not None:

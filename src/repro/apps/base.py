@@ -87,8 +87,11 @@ class Application(ABC):
             for host in hosts
         )
         layout = env.costmodel.layout(hosts)
-        # Contention counts must reflect every co-located copy.
+        # Contention counts must reflect every process copy: colocated
+        # widens the NIC divisor, the copy census widens the backbone
+        # flow divisor (replicas run their collectives concurrently).
         layout.colocated = np.array([colocated.get(h.name, 1) for h in hosts])
+        layout.apply_copy_counts(colocated)
         return compute + self.comm_time(layout, n, env)
 
     # -- hooks ----------------------------------------------------------------

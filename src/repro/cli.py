@@ -10,6 +10,7 @@ and adds experiment subcommands::
     p2pmpirun --experiment fig3   # spread co-allocation sweep
     p2pmpirun --experiment fig4   # EP + IS timing sweeps
     p2pmpirun --experiment table1 # resource inventory
+    p2pmpirun --experiment applatency  # EP/IS x latency-ratio x strategy
     p2pmpirun --experiment all    # the whole campaign
 
 Sweeps run on the experiment engine: ``--jobs N`` fans cells out over
@@ -55,6 +56,10 @@ from repro.experiments.commaware import (
     commaware_report,
     run_commaware_campaign,
 )
+from repro.experiments.applatency import (
+    applatency_report,
+    run_applatency_campaign,
+)
 from repro.experiments.churnload import (
     churnload_report,
     churnload_spec,
@@ -92,7 +97,8 @@ PROGRAMS = ("hostname", "ep", "is", "cg")
 #: engine-backed; table1 prints a static table and the ablation
 #: drivers are a handful of cells each).
 SHARDABLE_EXPERIMENTS = ("fig2", "fig3", "fig4", "scaling", "multiuser",
-                         "coallocation", "commaware", "churnload", "all")
+                         "coallocation", "commaware", "churnload",
+                         "applatency", "all")
 
 
 def make_app(name: str, nas_class: str = "B"):
@@ -113,6 +119,23 @@ def _shard_arg(text: str) -> Tuple[int, int]:
         return parse_shard(text)
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc))
+
+
+def _csv_values(flag: str, text: str, cast, nonnegative: bool = False,
+                positive: bool = False) -> Tuple:
+    """Parse a comma-separated grid flag; the one shared error idiom
+    for ``--demands`` / ``--failures`` / ``--ratios``."""
+    try:
+        values = tuple(cast(part) for part in text.split(",") if part)
+    except ValueError:
+        raise SystemExit(f"error: bad {flag} {text!r}")
+    if not values:
+        raise SystemExit(f"error: {flag} needs at least one value")
+    if positive and any(v <= 0 for v in values):
+        raise SystemExit(f"error: {flag} values must be > 0")
+    if nonnegative and any(v < 0 for v in values):
+        raise SystemExit(f"error: {flag} rates must be >= 0")
+    return values
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -145,14 +168,15 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("fig2", "fig3", "fig4", "table1",
                                  "ablations", "scaling", "multiuser",
                                  "coallocation", "commaware", "churnload",
-                                 "all"),
+                                 "applatency", "all"),
                         help="regenerate a paper figure/table, run the "
                              "ablation studies, the combined §5.1 sweep "
                              "('coallocation'), the communication-aware "
                              "scenario pack ('commaware'), the sustained-"
                              "load availability campaign ('churnload'), "
-                             "or the whole campaign ('all') instead of "
-                             "running a job")
+                             "the EP/IS latency-ratio execution campaign "
+                             "('applatency'), or the whole campaign "
+                             "('all') instead of running a job")
     parser.add_argument("--cluster", default="grid5000",
                         choices=("grid5000", "small"),
                         help="testbed for coallocation/commaware sweeps "
@@ -161,6 +185,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--demands", default=None, metavar="N,N,...",
                         help="comma-separated demand grid overriding the "
                              "paper's 100..600 for coallocation/commaware")
+    parser.add_argument("--ratios", default=None, metavar="R,R,...",
+                        help="comma-separated intra/inter-site latency "
+                             "ratios overriding the applatency default "
+                             "1,10,121.6,1000 (the testbed subject: "
+                             "--cluster does not apply)")
     parser.add_argument("--users", type=int, default=2,
                         help="competing submitters per churnload round "
                              "(default 2)")
@@ -272,14 +301,7 @@ def _grid_overrides(args: argparse.Namespace) -> dict:
     figure drivers keep their spec functions' own defaults otherwise."""
     overrides = {}
     if args.demands is not None:
-        try:
-            demands = tuple(int(part)
-                            for part in args.demands.split(",") if part)
-        except ValueError:
-            raise SystemExit(f"error: bad --demands {args.demands!r}")
-        if not demands:
-            raise SystemExit("error: --demands needs at least one value")
-        overrides["demands"] = demands
+        overrides["demands"] = _csv_values("--demands", args.demands, int)
     if args.cluster == "small":
         overrides["cluster_spec"] = ClusterSpec(kind="small")
         if args.demands is None:
@@ -328,6 +350,32 @@ def _run_commaware(args: argparse.Namespace,
     print(commaware_report(campaign))
 
 
+def _run_applatency(args: argparse.Namespace,
+                    store: Optional[ResultStore]) -> None:
+    """The EP/IS latency-ratio execution campaign.  Output is the
+    deterministic report only (no engine timings), so ``--jobs 1`` and
+    ``--jobs 2`` runs diff clean byte for byte.
+
+    The latency-ratio testbed is the campaign's subject, so --cluster
+    is ignored; tiny CI grids come from --demands and --ratios.
+    """
+    overrides = {}
+    if args.demands is not None:
+        overrides["ns"] = _csv_values("--demands", args.demands, int,
+                                      positive=True)
+    if args.ratios is not None:
+        overrides["ratios"] = _csv_values("--ratios", args.ratios, float,
+                                          positive=True)
+    campaign = run_applatency_campaign(
+        seed=args.seed, nas_class=args.nas_class, jobs=args.jobs,
+        store=store, force=args.force, shard=args.shard, **overrides)
+    if args.shard:
+        for sweep in campaign.sweeps():
+            _report_sweep(sweep, store)
+        return
+    print(applatency_report(campaign))
+
+
 def _run_churnload(args: argparse.Namespace,
                    store: Optional[ResultStore]) -> None:
     """The sustained-load availability campaign.  Output is the
@@ -341,15 +389,8 @@ def _run_churnload(args: argparse.Namespace,
         raise SystemExit("error: --users must be >= 1")
     overrides = {}
     if args.failures is not None:
-        try:
-            overrides["failures"] = tuple(
-                float(part) for part in args.failures.split(",") if part)
-        except ValueError:
-            raise SystemExit(f"error: bad --failures {args.failures!r}")
-        if not overrides["failures"]:
-            raise SystemExit("error: --failures needs at least one value")
-        if any(rate < 0 for rate in overrides["failures"]):
-            raise SystemExit("error: --failures rates must be >= 0")
+        overrides["failures"] = _csv_values("--failures", args.failures,
+                                            float, nonnegative=True)
     spec = churnload_spec(
         seed=args.seed,
         users=args.users,
@@ -456,6 +497,9 @@ def _run_experiment(args: argparse.Namespace) -> int:
         return 0
     if args.experiment == "churnload":
         _run_churnload(args, store)
+        return 0
+    if args.experiment == "applatency":
+        _run_applatency(args, store)
         return 0
     if args.experiment == "fig4":
         _run_fig4(args, store)

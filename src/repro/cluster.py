@@ -40,7 +40,10 @@ __all__ = ["P2PMPICluster", "build_grid5000_cluster", "build_latratio_cluster",
            "cluster_kinds", "DEFAULT_COST_PARAMS"]
 
 #: Communication cost parameters calibrated for the 2008 Java/MPJ
-#: runtime (see DESIGN.md §5 and repro.mpi.costmodel).
+#: runtime (see DESIGN.md §5 and repro.mpi.costmodel).  WAN backbones
+#: pool plan-dependently (DESIGN.md §10): each site link divides by
+#: the placement's own concurrent crossing-pair count, validated
+#: against the fig4 IS 2x64-vs-1x128 crossover.
 DEFAULT_COST_PARAMS = CostParams(
     sw_overhead_s=20e-6,
     msg_fixed_s=3.5e-3,
@@ -49,6 +52,7 @@ DEFAULT_COST_PARAMS = CostParams(
     ser_per_byte_s=2.0e-8,
     wan_extra_s=5.0e-4,
     nic_share=True,
+    wan_contention="plan",
 )
 
 

@@ -68,6 +68,14 @@ from repro.experiments.ablations import (
     smoothing_ablation,
     block_strategy_ablation,
 )
+from repro.experiments.applatency import (
+    APPLATENCY_STRATEGIES,
+    AppLatencyCampaign,
+    applatency_report,
+    applatency_spec,
+    fig4_crossover,
+    run_applatency_campaign,
+)
 from repro.experiments.churnload import (
     CHURNLOAD_STRATEGIES,
     FixedWorkApp,
@@ -152,6 +160,12 @@ __all__ = [
     "replication_ablation",
     "block_strategy_ablation",
     "ALL_STRATEGIES",
+    "APPLATENCY_STRATEGIES",
+    "AppLatencyCampaign",
+    "applatency_report",
+    "applatency_spec",
+    "fig4_crossover",
+    "run_applatency_campaign",
     "CHURNLOAD_STRATEGIES",
     "FixedWorkApp",
     "churnload_report",

@@ -15,8 +15,8 @@ from repro.apps.ep import EPBenchmark
 from repro.apps.is_bench import ISBenchmark
 from repro.cluster import ClusterSpec, P2PMPICluster
 from repro.experiments.engine import (CellContext, ExperimentSpec,
-                                      ResultStore, SweepResult, make_spec,
-                                      run_sweep)
+                                      ResultStore, SweepResult,
+                                      demand_cost_key, make_spec, run_sweep)
 from repro.middleware.jobs import JobRequest, JobStatus
 
 __all__ = ["EP_PROCESS_COUNTS", "IS_PROCESS_COUNTS", "AppTimePoint",
@@ -118,6 +118,8 @@ def application_spec(
         cluster=cluster_spec or ClusterSpec(),
         master_seed=seed,
         meta={"app": app},
+        # Pool runs start the dominating n=512 cells first.
+        cost_key=demand_cost_key,
     )
 
 

@@ -13,8 +13,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cluster import ClusterSpec, P2PMPICluster
 from repro.experiments.engine import (CellContext, ExperimentSpec,
-                                      ResultStore, SweepResult, make_spec,
-                                      run_sweep)
+                                      ResultStore, SweepResult,
+                                      demand_cost_key, make_spec, run_sweep)
 from repro.middleware.jobs import JobRequest, JobStatus
 
 __all__ = ["PAPER_DEMANDS", "CoallocationPoint", "CoallocationSeries",
@@ -132,6 +132,8 @@ def coallocation_spec(
         runner=coallocation_cell,
         cluster=cluster_spec or ClusterSpec(),
         master_seed=seed,
+        # Pool runs start the largest-demand cells first.
+        cost_key=demand_cost_key,
     )
 
 

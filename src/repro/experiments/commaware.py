@@ -26,7 +26,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.alloc.commaware import contended_pair_bw_bps
 from repro.apps.ep import EPBenchmark
 from repro.apps.is_bench import ISBenchmark
 from repro.cluster import ClusterSpec
@@ -34,11 +33,12 @@ from repro.experiments.applications import (app_series_from_sweep,
                                             application_spec)
 from repro.experiments.coallocation import PAPER_DEMANDS
 from repro.experiments.engine import (CellContext, ExperimentSpec,
-                                      ResultStore, SweepResult, make_spec,
-                                      run_sweep)
+                                      ResultStore, SweepResult,
+                                      demand_cost_key, make_spec, run_sweep)
 from repro.experiments.report import (format_metric_comparison,
                                       format_series_table)
 from repro.middleware.jobs import JobRequest, JobStatus
+from repro.net.contention import ContentionModel
 
 __all__ = ["PAPER_STRATEGIES", "COMMAWARE_STRATEGIES", "ALL_STRATEGIES",
            "LATENCY_RATIOS", "LATRATIO_DEMAND", "CommawareCampaign",
@@ -72,22 +72,30 @@ def _placement_metrics(cluster, plan) -> Dict:
     Bandwidth is the *contended* estimate
     (:func:`repro.alloc.commaware.contended_pair_bw_bps`): the raw
     NIC-clamped bottleneck is 1 Gb/s for every pair of the paper's
-    testbed and would rank all placements equal.
+    testbed and would rank all placements equal.  A completed plan
+    carries its own placement, so the score is plan-dependent — each
+    backbone divides by *this* plan's concurrent crossing pairs
+    (DESIGN.md §10), not the deprecated fixed divisor.
     """
     used = plan.used_hosts()
     topo = cluster.topology
+    # One plan entry per process copy: co-located copies load the NIC,
+    # crossing copies load the backbone.
+    copies = [p.host for p in plan.placements]
+    contention = ContentionModel(topo).plan(copies)
     # Site-level reduction (see Topology.site_representatives): the
     # contended score depends only on the site pair.
     reps, same_site_pair = topo.site_representatives(used)
     min_bw = topo.lan_bw_bps if same_site_pair else float("inf")
     for i, a in enumerate(reps):
         for b in reps[i + 1:]:
-            min_bw = min(min_bw, contended_pair_bw_bps(topo, a, b))
+            min_bw = min(min_bw, contention.pair_bw_bps(a, b))
     return {
         "latency_diameter_ms": round(topo.latency_diameter_ms(used), 6),
         # inf (single-host allocation) is not valid strict JSON: None.
         "min_bandwidth_bps": (None if min_bw == float("inf") else min_bw),
         "sites_used": len({h.site for h in used}),
+        "max_crossing_pairs": contention.max_crossing_pairs(),
     }
 
 
@@ -155,6 +163,7 @@ def commaware_alloc_spec(
         runner=commaware_cell,
         cluster=cluster_spec or ClusterSpec(),
         master_seed=seed,
+        cost_key=demand_cost_key,
     )
 
 

@@ -47,13 +47,17 @@ from repro.cluster import ClusterSpec, P2PMPICluster
 from repro.sim.rng import stable_hash64
 
 __all__ = ["Cell", "CellContext", "CellResult", "ExperimentSpec",
-           "ResultStore", "SweepResult", "SweepRunner", "derive_cell_seed",
-           "encode_store_line", "make_spec", "parse_shard", "resolve_jobs",
-           "run_sweep", "store_basename", "validate_shard"]
+           "ResultStore", "SweepResult", "SweepRunner", "demand_cost_key",
+           "derive_cell_seed", "encode_store_line", "make_spec",
+           "parse_shard", "resolve_jobs", "run_sweep", "store_basename",
+           "validate_shard"]
 
-#: Bump when the stored cell format changes; part of the content hash,
-#: so old store files are transparently recomputed rather than misread.
-SCHEMA_VERSION = 1
+#: Bump when the stored cell format — or the meaning of stored values —
+#: changes; part of the content hash, so old store files are
+#: transparently recomputed rather than misread.  2: plan-dependent WAN
+#: contention in the cost model (DESIGN.md §10) changed every modelled
+#: execution time under an unchanged spec.
+SCHEMA_VERSION = 2
 
 
 def derive_cell_seed(master_seed: int, cell_key: str) -> int:
@@ -120,6 +124,18 @@ def parse_shard(text: str) -> Tuple[int, int]:
     except ValueError:
         raise ValueError(f"shard must look like K/N, got {text!r}")
     return validate_shard(shard)
+
+
+def demand_cost_key(cell: "Cell") -> float:
+    """The standard :attr:`ExperimentSpec.cost_key`: a cell's demand.
+
+    Every paper grid's wall-clock is dominated by its largest ``n``
+    cells (fig4's n=512 dwarfs n=32), so scheduling by descending
+    demand keeps pool workers busy instead of tail-stalling on the
+    expensive cells that a row-major submission order leaves for last.
+    """
+    params = cell.param_dict()
+    return float(params.get("n", 0))
 
 
 def _canon(value: Any) -> Any:
@@ -233,6 +249,14 @@ class ExperimentSpec:
     fixed_seed:
         Every cell uses ``master_seed`` itself instead of a derived
         per-cell seed (legacy parity for the ablation drivers).
+    cost_key:
+        Optional per-cell cost estimate (module-level callable, e.g.
+        :func:`demand_cost_key`) used by pool runs to submit expensive
+        cells first.  Pure scheduling hint: it is deliberately *not*
+        part of :meth:`to_jsonable`/:meth:`content_hash`, and it never
+        changes cell seeds, grid order, or stored bytes — the
+        canonical file is sorted by cell index at save time whatever
+        the execution order was.
     """
 
     name: str
@@ -243,6 +267,7 @@ class ExperimentSpec:
     meta: Dict[str, Any] = field(default_factory=dict)
     shared_cluster: bool = False
     fixed_seed: bool = False
+    cost_key: Optional[Callable[["Cell"], float]] = None
 
     # ------------------------------------------------------------------
     # grid
@@ -739,12 +764,24 @@ class SweepRunner:
             self._flush_checkpoint()
         return out
 
+    def pool_order(self, todo: Sequence[Cell]) -> List[Cell]:
+        """Submission order for pool runs: most expensive cells first.
+
+        With a ``spec.cost_key`` the cells sort by descending estimated
+        cost (stable, so equal-cost cells keep grid order); without one
+        the grid order stands.  Ordering is execution-only — seeds,
+        content hash and stored bytes are oblivious to it.
+        """
+        if self.spec.cost_key is None:
+            return list(todo)
+        return sorted(todo, key=self.spec.cost_key, reverse=True)
+
     def _run_pool(self, todo: Sequence[Cell]) -> List[CellResult]:
         workers = min(self.jobs, len(todo))
         out: List[CellResult] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(_execute_cell, self.spec, cell)
-                       for cell in todo]
+                       for cell in self.pool_order(todo)]
             try:
                 # Checkpoint in completion order: a death mid-sweep
                 # keeps every finished cell, not just a prefix.

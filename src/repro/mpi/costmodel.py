@@ -11,8 +11,16 @@ algorithms of :mod:`repro.mpi.collectives`:
 * pairwise alltoall(v): per-rank sum over partners, max over ranks.
 
 Effective bandwidth accounts for NIC sharing between co-located
-processes and WAN link sharing between concurrent flows — the two
-contention effects the paper's Figure 4 analysis invokes.
+processes and WAN *backbone* sharing between concurrent flows — the
+two contention effects the paper's Figure 4 analysis invokes.  The
+backbone share is plan-dependent (``CostParams.wan_contention ==
+"plan"``, the default): each site-pair link divides among the
+placement's own concurrent crossing pairs, the same counts
+:mod:`repro.net.contention` feeds the allocation scores.  The
+``"fixed"`` mode replays the deprecated constant-16 divisor (the fig4
+calibration suite pins that it does *not* reproduce the paper's IS
+crossover) and ``"none"`` the pre-calibration behaviour (NIC-clamped
+path divided by flows, no backbone pooling).
 
 ``CostParams.msg_fixed_s`` and ``ser_per_byte_s`` model the Java/MPJ
 per-message serialization overheads of the 2008 runtime; they are the
@@ -23,13 +31,18 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
+from repro.net.contention import WAN_CONTENTION_FACTOR
 from repro.net.topology import Host, Topology
 
-__all__ = ["CostParams", "GroupLayout", "CollectiveCostModel"]
+__all__ = ["CostParams", "GroupLayout", "CollectiveCostModel",
+           "WAN_CONTENTION_MODES"]
+
+#: Valid ``CostParams.wan_contention`` settings.
+WAN_CONTENTION_MODES = ("plan", "fixed", "none")
 
 
 @dataclass(frozen=True)
@@ -55,6 +68,13 @@ class CostParams:
         Extra fixed cost per WAN message (TCP windows over long RTT).
     nic_share:
         Divide LAN bandwidth by the number of co-located processes.
+    wan_contention:
+        How cross-site flows share the site backbone: ``"plan"``
+        (default) divides each backbone by the layout's own concurrent
+        crossing-pair count, ``"fixed"`` by the deprecated
+        :data:`~repro.net.contention.WAN_CONTENTION_FACTOR`, and
+        ``"none"`` restores the pre-calibration behaviour (the
+        NIC-clamped path rate divided by flows in alltoall only).
     """
 
     sw_overhead_s: float = 20e-6
@@ -64,6 +84,13 @@ class CostParams:
     ser_per_byte_s: float = 0.0
     wan_extra_s: float = 0.0
     nic_share: bool = True
+    wan_contention: str = "plan"
+
+    def __post_init__(self) -> None:
+        if self.wan_contention not in WAN_CONTENTION_MODES:
+            raise ValueError(
+                f"wan_contention must be one of {WAN_CONTENTION_MODES}, "
+                f"got {self.wan_contention!r}")
 
     def fixed_cost_s(self, nbytes: int) -> float:
         """Per-message runtime cost for a message of ``nbytes``."""
@@ -100,15 +127,61 @@ class GroupLayout:
             for j, b in enumerate(site_names):
                 self.oneway_s[i, j] = topology.site_rtt_ms(a, b) / 2.0 / 1000.0
         # WAN capacity between sites, bit/s (LAN on the diagonal).
+        # ``bw_bps`` is the NIC-clamped *path* rate one flow can reach;
+        # ``backbone_bps`` the pooled site-link capacity all crossing
+        # flows divide (repro.net.contention's quantity).
         self.bw_bps = np.zeros((n, n))
+        self.backbone_bps = np.zeros((n, n))
         for i, a in enumerate(site_names):
             for j, b in enumerate(site_names):
                 if a == b:
                     self.bw_bps[i, j] = topology.lan_bw_bps
+                    self.backbone_bps[i, j] = topology.lan_bw_bps
                 else:
                     ha = topology.hosts_in_site(a)[0]
                     hb = topology.hosts_in_site(b)[0]
                     self.bw_bps[i, j] = topology.bandwidth_bps(ha, hb)
+                    self.backbone_bps[i, j] = \
+                        topology.backbone_bandwidth_bps(ha, hb)
+        # Concurrent crossing pairs per site-pair backbone: the
+        # dominant-collective concurrency bound min(n_a, n_b) — the
+        # plan-dependent divisor of the "plan" contention mode.
+        counts = self.site_counts
+        self.wan_flows = np.minimum.outer(counts, counts)
+
+    def apply_copy_counts(self, copies: Mapping[str, int]) -> None:
+        """Recount WAN contention from the plan's full copy census.
+
+        ``copies`` maps host name -> process copies of the *whole*
+        plan (every rank, every replica, co-scheduled jobs included if
+        the caller knows them).  A replicated job runs its replicas'
+        collectives concurrently, so the backbone divisor must see all
+        of them — the same widening the ``colocated`` override applies
+        to the NIC divisor (see ``Application.run_time``).  The
+        layout's own ranks always stay counted.
+        """
+        totals = np.zeros(len(self.site_names), dtype=np.int64)
+        for name, count in copies.items():
+            host = self.topology.hosts.get(name)
+            if host is None:
+                continue
+            idx = self.site_of.get(host.site)
+            if idx is not None:
+                totals[idx] += int(count)
+        totals = np.maximum(totals, self.site_counts)
+        self.wan_flows = np.minimum.outer(totals, totals)
+
+    def wan_share_bps(self, si: int, sj: int, params: CostParams) -> float:
+        """Per-flow share of the ``si``<->``sj`` backbone under
+        ``params.wan_contention`` (``inf`` when unshared or LAN)."""
+        if si == sj:
+            return float("inf")
+        backbone = self.backbone_bps[si, sj]
+        if params.wan_contention == "plan":
+            return backbone / max(1, int(self.wan_flows[si, sj]))
+        if params.wan_contention == "fixed":
+            return backbone / WAN_CONTENTION_FACTOR
+        return float("inf")  # "none": backbone never pooled
 
     @property
     def max_colocated(self) -> int:
@@ -146,6 +219,11 @@ class CollectiveCostModel:
             if pa.nic_share:
                 share = max(layout.colocated[src], layout.colocated[dst])
                 bw = bw / share
+            if si != sj:
+                # The plan's other crossing flows pool the backbone;
+                # collective rounds run concurrently, so every edge
+                # sees its contended share, not the idle path.
+                bw = min(bw, layout.wan_share_bps(si, sj, pa))
             cost += nbytes * (pa.ser_per_byte_s + 8.0 / bw)
         elif nbytes > 0:
             cost += nbytes * pa.ser_per_byte_s
@@ -284,25 +362,13 @@ class CollectiveCostModel:
                     cost += bytes_per_pair * pa.ser_per_byte_s
                 unit[si, sj] = cost
         # Bandwidth term is added per rank below (depends on colocation).
+        wire = self._alltoallv_wire_per_rank(layout, bytes_per_pair)
         per_rank = np.zeros(p)
         for i in range(p):
             si = layout.rank_site[i]
             counts = layout.site_counts.astype(float).copy()
             counts[si] -= 1  # exclude self
-            total = float(np.dot(counts, unit[si]))
-            if bytes_per_pair > 0:
-                for sj in range(n_sites):
-                    c = counts[sj]
-                    if c <= 0:
-                        continue
-                    bw = layout.bw_bps[si, sj]
-                    if pa.nic_share:
-                        bw = bw / layout.colocated[i]
-                    if si != sj:
-                        # WAN link shared by every concurrent cross flow.
-                        flows = min(layout.site_counts[si], layout.site_counts[sj])
-                        bw = min(bw, layout.bw_bps[si, sj] / max(1, flows))
-                    total += c * bytes_per_pair * 8.0 / bw
+            total = float(np.dot(counts, unit[si])) + wire[i]
             # Same-host partners: no wire, only overheads (already in
             # `unit` diagonal via latency=LAN; subtract the LAN latency
             # for the (colocated-1) same-host partners — also for
@@ -310,13 +376,72 @@ class CollectiveCostModel:
             k = layout.colocated[i] - 1
             if k > 0:
                 total -= k * layout.oneway_s[si, si]
-                if bytes_per_pair > 0:
-                    total -= k * bytes_per_pair * 8.0 / (
-                        layout.bw_bps[si, si]
-                        / (layout.colocated[i] if pa.nic_share else 1)
-                    )
             per_rank[i] = total
         return float(per_rank.max())
+
+    def _alltoallv_wire_per_rank(self, layout: GroupLayout,
+                                 bytes_per_pair: int) -> np.ndarray:
+        """Per-rank bytes-on-the-wire seconds of one alltoall(v).
+
+        The bandwidth-dependent component only — no latency, fixed or
+        serialization overheads — under the configured NIC and WAN
+        contention modes.  Same-host partners never touch the wire.
+        """
+        pa = self.params
+        p = layout.p
+        out = np.zeros(p)
+        if bytes_per_pair <= 0:
+            return out
+        n_sites = len(layout.site_names)
+        for i in range(p):
+            si = layout.rank_site[i]
+            counts = layout.site_counts.astype(float).copy()
+            counts[si] -= 1  # exclude self
+            total = 0.0
+            for sj in range(n_sites):
+                c = counts[sj]
+                if c <= 0:
+                    continue
+                bw = layout.bw_bps[si, sj]
+                if pa.nic_share:
+                    bw = bw / layout.colocated[i]
+                if si != sj:
+                    if pa.wan_contention == "none":
+                        # Legacy: the NIC-clamped path rate divided by
+                        # the concurrent cross flows.
+                        flows = min(layout.site_counts[si],
+                                    layout.site_counts[sj])
+                        bw = min(bw, layout.bw_bps[si, sj] / max(1, flows))
+                    else:
+                        # Calibrated: the *backbone* pools across the
+                        # plan's crossing pairs ("plan") or the fixed
+                        # divisor ("fixed"); a lone flow stays NIC-bound.
+                        bw = min(bw, layout.wan_share_bps(si, sj, pa))
+                total += c * bytes_per_pair * 8.0 / bw
+            # Same-host partners never touch the wire: back out the
+            # (colocated-1) LAN-priced shares the loop charged them.
+            k = layout.colocated[i] - 1
+            if k > 0:
+                total -= k * bytes_per_pair * 8.0 / (
+                    layout.bw_bps[si, si]
+                    / (layout.colocated[i] if pa.nic_share else 1)
+                )
+            out[i] = total
+        return out
+
+    def alltoallv_transfer_time(self, layout: GroupLayout,
+                                bytes_per_pair: int) -> float:
+        """Slowest rank's pure wire time for one alltoall(v) exchange.
+
+        The fig4 calibration quantity: per-message fixed and latency
+        overheads are identical constants under every contention mode,
+        so the wire time is where the plan-dependent backbone share
+        shows (see DESIGN.md §10).
+        """
+        if layout.p == 1:
+            return 0.0
+        return float(self._alltoallv_wire_per_rank(
+            layout, bytes_per_pair).max())
 
     # -- convenience ---------------------------------------------------------------
     def describe(self, layout: GroupLayout) -> str:

@@ -11,6 +11,9 @@ This package simulates the wide-area federation the paper's testbed
   P2P-MPI's future work calls for.
 * :mod:`~repro.net.bandwidth` — per-link flow counting and effective
   bandwidth under contention.
+* :mod:`~repro.net.contention` — plan-dependent WAN backbone sharing:
+  crossing-pair counts per site link and the contended per-pair
+  bandwidth both the allocation scores and the cost model consume.
 * :mod:`~repro.net.transport` — message delivery between host inboxes
   with latency + serialization + contention delays.
 * :mod:`~repro.net.ping` — round-trip measurement probes built on the
@@ -20,6 +23,8 @@ This package simulates the wide-area federation the paper's testbed
 from repro.net.topology import Cluster, Host, Site, Topology
 from repro.net.latency import LatencyModel, LatencyEstimate
 from repro.net.bandwidth import BandwidthAllocator
+from repro.net.contention import (ContentionModel, LinkContention,
+                                  PlanContention, WAN_CONTENTION_FACTOR)
 from repro.net.transport import Message, Network
 from repro.net.ping import PingService
 
@@ -31,6 +36,10 @@ __all__ = [
     "LatencyModel",
     "LatencyEstimate",
     "BandwidthAllocator",
+    "ContentionModel",
+    "LinkContention",
+    "PlanContention",
+    "WAN_CONTENTION_FACTOR",
     "Message",
     "Network",
     "PingService",

@@ -1,0 +1,167 @@
+"""Plan-dependent WAN contention: who shares which backbone, and how.
+
+The paper's testbed gives every host a private 1 Gb/s NIC, so the raw
+path bottleneck is identical for every pair and cannot rank placements.
+What differs between placements is how the *shared* site backbones
+divide: Grid'5000 sites interconnect over RENATER links whose capacity
+is pooled across every flow the job drives through them (the platform
+paper in PAPERS.md documents exactly this shared-backbone regime).
+
+Earlier revisions approximated that division with a hard-coded
+``WAN_CONTENTION_FACTOR = 16`` — wrong for every plan whose crossing
+count is not 16.  This module derives the divisor from the plan itself:
+
+* a *plan* is the multiset of hosts carrying the job's process copies
+  (one entry per copy; duplicates mean co-located processes);
+* for each WAN backbone (site pair) the model counts the
+  **concurrently crossing communicating pairs**: in any round of the
+  pairwise / recursive-doubling collectives the MPJ runtime uses, each
+  process drives at most one flow at a time, so at most
+  ``min(n_a, n_b)`` flows cross the a<->b backbone simultaneously
+  (``n_s`` = process copies placed in site ``s``);
+* each crossing pair's contended bandwidth is its share of that
+  backbone, clamped by the NIC-limited path rate a single flow could
+  reach anyway.
+
+The same counts feed two consumers: the communication-aware placement
+score (:func:`repro.alloc.commaware.contended_pair_bw_bps`) and the
+execution-time model (:mod:`repro.mpi.costmodel`, ``wan_contention``
+mode ``"plan"``), so what the allocator optimises is what the
+simulated application experiences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.net.topology import Host, Topology
+
+__all__ = ["WAN_CONTENTION_FACTOR", "LinkContention", "PlanContention",
+           "ContentionModel"]
+
+#: The deprecated fixed divisor (the pre-calibration constant).  Kept
+#: as the fallback for scoring *before a plan exists* — a strategy
+#: ranking candidate hosts mid-construction has no placement to count
+#: crossing pairs from — and as the ``"fixed"`` cost-model mode the
+#: fig4 calibration suite pins the regression guard against.
+WAN_CONTENTION_FACTOR = 16.0
+
+
+@dataclass(frozen=True)
+class LinkContention:
+    """One WAN backbone's load under a concrete plan."""
+
+    link: Tuple[str, str]
+    backbone_bps: float
+    crossing_pairs: int
+
+    @property
+    def per_pair_bps(self) -> float:
+        """Each crossing pair's share of the backbone."""
+        return self.backbone_bps / max(1, self.crossing_pairs)
+
+
+@dataclass(frozen=True)
+class PlanContention:
+    """Contention state of one placement plan (immutable snapshot).
+
+    Built by :meth:`ContentionModel.plan`; exposes per-link crossing
+    counts and the per-pair contended bandwidth score.
+    """
+
+    topology: Topology
+    site_counts: Tuple[Tuple[str, int], ...]
+    crossing: Tuple[Tuple[Tuple[str, str], int], ...]
+
+    def counts(self) -> Dict[str, int]:
+        return dict(self.site_counts)
+
+    def crossing_pairs(self) -> Dict[Tuple[str, str], int]:
+        return dict(self.crossing)
+
+    def links(self) -> List[LinkContention]:
+        """Per-backbone load, in canonical (sorted link key) order."""
+        out = []
+        for link, pairs in self.crossing:
+            a = self.topology.hosts_in_site(link[0])[0]
+            b = self.topology.hosts_in_site(link[1])[0]
+            out.append(LinkContention(
+                link=link,
+                backbone_bps=self.topology.backbone_bandwidth_bps(a, b),
+                crossing_pairs=pairs))
+        return out
+
+    def max_crossing_pairs(self) -> int:
+        """The most loaded backbone's crossing count (0 if none)."""
+        return max((pairs for _, pairs in self.crossing), default=0)
+
+    def pair_bw_bps(self, a: Host, b: Host) -> float:
+        """Bandwidth the ``a``<->``b`` pair can expect under this plan.
+
+        Symmetric in pair order.  Intra-site pairs keep the NIC-clamped
+        path rate (a plan crossing no backbone reduces to
+        :meth:`~repro.net.topology.Topology.bandwidth_bps` exactly);
+        inter-site pairs get their share of the backbone, clamped by
+        the NIC-limited path a single flow could reach anyway — so one
+        lone crossing flow also reduces to the NIC-clamped rate, and
+        the share is monotonically non-increasing in the crossing-pair
+        count.
+        """
+        if a.name == b.name:
+            return float("inf")
+        path = self.topology.bandwidth_bps(a, b)
+        if a.site == b.site:
+            return path
+        key = self.topology.link_key(a, b)
+        pairs = dict(self.crossing).get(key, 1)
+        backbone = self.topology.backbone_bandwidth_bps(a, b)
+        return min(path, backbone / max(1, pairs))
+
+
+class ContentionModel:
+    """Counts WAN-crossing communicating pairs per backbone link.
+
+    The counting rule is the dominant-collective concurrency bound: a
+    pairwise exchange keeps every process in at most one flow per
+    round, so the a<->b backbone carries at most ``min(n_a, n_b)``
+    concurrent flows.  (The total *distinct* communicating pairs of an
+    alltoall is ``n_a * n_b``, but those never occupy the wire at
+    once — dividing by it would overcount contention by the round
+    count.)
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+
+    @staticmethod
+    def site_counts(hosts: Sequence[Host]) -> Dict[str, int]:
+        """Process copies per site (one count per plan entry)."""
+        counts: Dict[str, int] = {}
+        for host in hosts:
+            counts[host.site] = counts.get(host.site, 0) + 1
+        return counts
+
+    def crossing_pairs(self, hosts: Sequence[Host]
+                       ) -> Dict[Tuple[str, str], int]:
+        """Concurrent crossing-pair count per WAN backbone link."""
+        counts = self.site_counts(hosts)
+        names = sorted(counts)
+        out: Dict[Tuple[str, str], int] = {}
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                out[(a, b)] = min(counts[a], counts[b])
+        return out
+
+    def plan(self, hosts: Sequence[Host]) -> PlanContention:
+        """Snapshot the contention state of a placement plan."""
+        counts = self.site_counts(hosts)
+        crossing = self.crossing_pairs(hosts)
+        return PlanContention(
+            topology=self.topology,
+            site_counts=tuple(sorted(counts.items())),
+            crossing=tuple(sorted(crossing.items())))
+
+    def pair_bw_bps(self, hosts: Sequence[Host], a: Host, b: Host) -> float:
+        """One-shot convenience over :meth:`plan`."""
+        return self.plan(hosts).pair_bw_bps(a, b)

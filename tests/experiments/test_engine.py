@@ -468,3 +468,60 @@ class TestRunnerModes:
         SweepRunner(spec, store=store).run()
         text = SweepRunner(spec, store=store).run().summary()
         assert "0 executed" in text and "4 cached" in text
+
+
+class TestCostKey:
+    """Largest-cell-first pool scheduling (the ROADMAP adaptive-jobs
+    item): ordering is a hint — seeds, hashes and bytes never move."""
+
+    def spec_with_cost(self):
+        # coallocation_spec wires demand_cost_key in by default.
+        return coallocation_spec(seed=5, demands=(4, 16, 8),
+                                 strategies=("spread",), cluster_spec=SMALL,
+                                 name="eng-cost")
+
+    def test_pool_order_sorts_expensive_first(self):
+        spec = self.spec_with_cost()
+        runner = SweepRunner(spec, jobs=2)
+        ordered = runner.pool_order(spec.cells())
+        assert [c.param_dict()["n"] for c in ordered] == [16, 8, 4]
+
+    def test_pool_order_stable_on_ties(self):
+        spec = coallocation_spec(seed=5, demands=(4,),
+                                 strategies=("spread", "concentrate"),
+                                 cluster_spec=SMALL, name="eng-tie")
+        ordered = SweepRunner(spec, jobs=2).pool_order(spec.cells())
+        # All costs equal: grid order must survive the sort.
+        assert [c.index for c in ordered] == [0, 1]
+
+    def test_without_cost_key_order_unchanged(self):
+        import dataclasses
+
+        spec = dataclasses.replace(small_spec(name="eng-noorder"),
+                                   cost_key=None)
+        cells = spec.cells()
+        assert SweepRunner(spec, jobs=2).pool_order(cells) == list(cells)
+
+    def test_cost_key_outside_content_hash(self):
+        """A scheduling hint must not invalidate cached sweeps."""
+        import dataclasses
+
+        with_key = self.spec_with_cost()
+        without = dataclasses.replace(with_key, cost_key=None)
+        assert with_key.content_hash() == without.content_hash()
+        assert "cost_key" not in json.dumps(with_key.to_jsonable())
+
+    def test_ordering_changes_nothing_stored(self, tmp_path):
+        """Pool runs with and without the hint produce byte-identical
+        canonical stores (same seeds, same grid-order save)."""
+        import dataclasses
+
+        with_key = self.spec_with_cost()
+        without = dataclasses.replace(with_key, cost_key=None)
+        a = ResultStore(tmp_path / "hinted")
+        b = ResultStore(tmp_path / "plain")
+        res_a = SweepRunner(with_key, jobs=2, store=a).run()
+        res_b = SweepRunner(without, jobs=2, store=b).run()
+        assert [c.seed for c in res_a.cells] == [c.seed for c in res_b.cells]
+        assert (a.path_for(with_key).read_bytes()
+                == b.path_for(without).read_bytes())

@@ -344,3 +344,48 @@ class TestChurnload:
         assert len(stored) == 1 and stored[0].stat().st_size > 0
         assert main(argv) == 0  # cache replay renders identical text
         assert capsys.readouterr().out == first
+
+
+class TestApplatency:
+    SMOKE = ["--experiment", "applatency", "--demands", "32",
+             "--ratios", "1,1000"]
+
+    def test_parser_flags(self):
+        args = build_parser().parse_args(
+            ["--experiment", "applatency", "--ratios", "1,121.6"])
+        assert args.experiment == "applatency"
+        assert args.ratios == "1,121.6"
+
+    def test_bad_ratios_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--experiment", "applatency", "--ratios", "1,x"])
+        with pytest.raises(SystemExit):
+            main(["--experiment", "applatency", "--ratios", "0"])
+        with pytest.raises(SystemExit):
+            main(["--experiment", "applatency", "--ratios", ""])
+        with pytest.raises(SystemExit):
+            main(["--experiment", "applatency", "--demands", ""])
+        with pytest.raises(SystemExit):
+            main(["--experiment", "applatency", "--demands", "0"])
+
+    def test_smoke_report_byte_identical_across_jobs(self, capsys):
+        assert main(self.SMOKE + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(self.SMOKE + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+        assert "applatency: IS.B wall-clock" in serial
+        assert "fig4 crossover calibration" in serial
+        for strategy in ("spread", "concentrate", "bandwidth_spread",
+                         "topo_block"):
+            assert strategy in serial
+
+    def test_shard_slice_writes_partial_only(self, tmp_path, capsys):
+        argv = self.SMOKE + ["--shard", "1/2", "--jobs", "2",
+                             "--out", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "[shard 1/2]" in out
+        partials = sorted(p.name for p in tmp_path.glob("*.partial"))
+        assert len(partials) == 2  # one checkpoint per application panel
+        assert not list(tmp_path.glob("applatency-*.jsonl"))
