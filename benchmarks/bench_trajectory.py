@@ -1,0 +1,133 @@
+"""Compare a fresh ``BENCH_kernels.json`` against the committed baseline.
+
+CI runs this after the benchmark lane::
+
+    python benchmarks/bench_trajectory.py \
+        benchmarks/BENCH_kernels.json benchmarks/BENCH_baseline.json
+
+Policy (ISSUE 6 / DESIGN.md §11):
+
+* **work counters are hard**: the counter pass is deterministic
+  (single traversal per grid, independent of timing rounds and of
+  ``REPRO_BENCH_FAST``), so any *increase* in the vector path's work —
+  scalar p2p calls creeping back in, extra matrix or layout builds,
+  lost memo hits, alltoallv de-duplication degrading — or any drop in
+  ``p2p_calls_avoided`` fails the build with exit code 1;
+* **timing is informational**: cells/s and speedups depend on the
+  runner, so they are printed as ratios against the baseline but never
+  fail the build.
+
+Counters where *less* is better (creep up => regression) are listed in
+``LOWER_IS_BETTER``; ``HIGHER_IS_BETTER`` covers memo hits and the
+avoided-call headline, where a *decrease* is the regression.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Vector-path work counters that must not grow.
+LOWER_IS_BETTER = (
+    "p2p_calls",
+    "pairwise_builds",
+    "layout_builds",
+    "alltoallv_rank_evals",
+    "alltoallv_combo_evals",
+)
+#: Vector-path counters that must not shrink.
+HIGHER_IS_BETTER = (
+    "p2p_edges_vectorized",
+    "pairwise_hits",
+    "layout_cache_hits",
+)
+
+
+def compare(current: dict, baseline: dict) -> list:
+    """Return a list of human-readable hard failures (empty = pass)."""
+    failures = []
+    for grid, base_row in sorted(baseline.get("grids", {}).items()):
+        cur_row = current.get("grids", {}).get(grid)
+        if cur_row is None:
+            failures.append(f"{grid}: grid missing from current run")
+            continue
+        if cur_row["cells"] != base_row["cells"]:
+            # Grid reshaped: counters are not comparable; require a
+            # baseline refresh rather than silently passing.
+            failures.append(
+                f"{grid}: cell count changed "
+                f"{base_row['cells']} -> {cur_row['cells']} "
+                "(refresh BENCH_baseline.json in the same PR)")
+            continue
+        cur, base = cur_row["vector"]["stats"], base_row["vector"]["stats"]
+        for key in LOWER_IS_BETTER:
+            if cur.get(key, 0) > base.get(key, 0):
+                failures.append(
+                    f"{grid}: vector {key} regressed "
+                    f"{base.get(key, 0)} -> {cur.get(key, 0)}")
+        for key in HIGHER_IS_BETTER:
+            if cur.get(key, 0) < base.get(key, 0):
+                failures.append(
+                    f"{grid}: vector {key} dropped "
+                    f"{base.get(key, 0)} -> {cur.get(key, 0)}")
+        if cur_row["p2p_calls_avoided"] < base_row["p2p_calls_avoided"]:
+            failures.append(
+                f"{grid}: p2p_calls_avoided dropped "
+                f"{base_row['p2p_calls_avoided']} -> "
+                f"{cur_row['p2p_calls_avoided']}")
+    return failures
+
+
+def _ratio(cur, base):
+    if not cur or not base:
+        return "n/a"
+    return f"{cur / base:.2f}x"
+
+
+def report_timing(current: dict, baseline: dict) -> None:
+    print("timing trajectory (informational, runner-dependent):")
+    for grid, base_row in sorted(baseline.get("grids", {}).items()):
+        cur_row = current.get("grids", {}).get(grid)
+        if cur_row is None:
+            continue
+        cur_cps = cur_row["vector"].get("cells_per_s")
+        base_cps = base_row["vector"].get("cells_per_s")
+        print(f"  {grid:<12} vector {cur_cps and round(cur_cps, 1)} cells/s "
+              f"vs baseline {base_cps and round(base_cps, 1)} "
+              f"({_ratio(cur_cps, base_cps)}); "
+              f"speedup vs reference {cur_row['speedup']:.1f}x "
+              f"(baseline {base_row['speedup']:.1f}x)")
+    for name, base_row in sorted(baseline.get("kernels", {}).items()):
+        cur_row = current.get("kernels", {}).get(name)
+        if cur_row is None:
+            continue
+        print(f"  {name:<15} vector "
+              f"{_ratio(cur_row.get('vector_calls_per_s'), base_row.get('vector_calls_per_s'))} "
+              f"of baseline rate; speedup {cur_row.get('speedup'):.1f}x")
+
+
+def main(argv: list) -> int:
+    cur_path = argv[1] if len(argv) > 1 else "benchmarks/BENCH_kernels.json"
+    base_path = (argv[2] if len(argv) > 2
+                 else "benchmarks/BENCH_baseline.json")
+    with open(cur_path) as fh:
+        current = json.load(fh)
+    with open(base_path) as fh:
+        baseline = json.load(fh)
+    if current.get("schema") != baseline.get("schema"):
+        print(f"schema mismatch: {current.get('schema')} vs "
+              f"{baseline.get('schema')} (refresh the baseline)")
+        return 1
+    failures = compare(current, baseline)
+    report_timing(current, baseline)
+    if failures:
+        print("\nHARD counter regressions vs BENCH_baseline.json:")
+        for line in failures:
+            print(f"  FAIL {line}")
+        return 1
+    print("\ncounter trajectory OK: no vector-path work regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -86,6 +86,56 @@ def test_bench_costmodel_alltoallv_600(benchmark):
     assert time_s > 0
 
 
+def _grid_hosts(topology, p):
+    """Deterministic multi-site host mixes at the paper's scales."""
+    nancy = topology.hosts_in_site("nancy")
+    lyon = topology.hosts_in_site("lyon")
+    if p == 64:
+        return [h for h in nancy[:32] for _ in range(2)]
+    if p == 128:
+        return [h for h in (nancy[:32] + lyon[:32]) for _ in range(2)]
+    return (topology.all_hosts() * 2)[:p]
+
+
+@pytest.mark.parametrize("p", [64, 128, 600])
+@pytest.mark.parametrize("kernel", ["vector", "reference"])
+def test_bench_collective_kernels(benchmark, p, kernel):
+    """The full vectorised collective mix (barrier, binomial bcast,
+    recursive-doubling allreduce, gather, ring halo) priced on one
+    layout, both kernel paths, at p in {64, 128, 600}."""
+    topology = build_topology()
+    model = CollectiveCostModel(topology, CostParams(kernel=kernel))
+    layout = model.layout(_grid_hosts(topology, p))
+
+    def run():
+        return (model.barrier_time(layout)
+                + model.bcast_time(layout, 65536)
+                + model.allreduce_time(layout, 4096)
+                + model.gather_time(layout, 4096)
+                + model.ring_exchange_time(layout, 8192))
+
+    total = benchmark(run)
+    assert total > 0
+    if kernel == "vector":
+        assert model.stats.p2p_calls == 0
+        assert model.stats.p2p_edges_vectorized > 0
+
+
+@pytest.mark.parametrize("p", [64, 128, 600])
+def test_bench_layout_cache_hot_path(benchmark, p):
+    """Repeated `layout()` for an already-seen plan shape (the greedy
+    strategy inner loop) must be a memo hit plus a cheap clone."""
+    topology = build_topology()
+    model = CollectiveCostModel(topology, CostParams())
+    hosts = _grid_hosts(topology, p)
+    model.layout(hosts)  # prime the per-topology memo
+
+    layout = benchmark(lambda: model.layout(hosts))
+    assert layout.p == p
+    assert model.stats.layout_cache_hits > 0
+    assert model.stats.layout_builds == 1
+
+
 def test_bench_full_submission(cluster, benchmark):
     """End-to-end p2pmpirun latency on the 350-peer overlay."""
 

@@ -68,10 +68,7 @@ class CGLikeBenchmark(Application):
         dots = 2 * cm.allreduce_time(layout, DOUBLE.size)
         halo_bytes = max(1, int(self.rows / n * HALO_BYTES_PER_ROW))
         # Ring halo exchange: slowest neighbouring pair bounds the step.
-        p = layout.p
-        halo = max(
-            cm.p2p_time(layout, i, (i + 1) % p, halo_bytes) for i in range(p)
-        )
+        halo = cm.ring_exchange_time(layout, halo_bytes)
         return self.iterations * (dots + 2 * halo)
 
     # -- message-level program ------------------------------------------------------

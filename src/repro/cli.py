@@ -218,6 +218,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="invalidate stored sweeps and recompute")
     parser.add_argument("--plot", action="store_true",
                         help="also render ASCII charts for figure sweeps")
+    parser.add_argument("--profile", action="store_true",
+                        help="wrap the experiment sweep in cProfile: dump "
+                             "profile-<experiment>.pstats next to the store "
+                             "(or the CWD without --out) and print the "
+                             "top-20 cumulative entries")
     parser.add_argument("prog", nargs="?", default="hostname",
                         choices=PROGRAMS, help="program to execute")
     return parser
@@ -541,6 +546,33 @@ def _run_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_profiled(args: argparse.Namespace) -> int:
+    """cProfile wrapper around one experiment sweep (``--profile``).
+
+    Dumps the raw pstats next to the store (the CWD without ``--out``)
+    and prints the top-20 cumulative entries, so hot-path claims about
+    the cost kernels come with receipts (DESIGN.md §11).
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        rc = _run_experiment(args)
+    finally:
+        profiler.disable()
+    out_dir = args.out or "."
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"profile-{args.experiment}.pstats")
+    profiler.dump_stats(path)
+    print(f"\n[profile] wrote {path}; top 20 by cumulative time:")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative")
+    stats.print_stats(20)
+    return rc
+
+
 # ----------------------------------------------------------------------
 # store tools: merge + aggregate verbs
 # ----------------------------------------------------------------------
@@ -649,7 +681,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("--force cannot be combined with --shard: it "
                          "would invalidate cells other shards checkpointed "
                          "into the same store")
+    if args.profile:
+        if args.experiment is None:
+            parser.error("--profile only applies to --experiment sweeps")
+        if args.experiment == "table1":
+            parser.error("--profile: table1 prints a static table, "
+                         "there is no sweep to profile")
     if args.experiment:
+        if args.profile:
+            return _run_profiled(args)
         return _run_experiment(args)
     return _run_single(args)
 

@@ -21,11 +21,12 @@ mpi4py lowercase-method convention for object communication:
 from repro.mpi.datatypes import BYTE, DOUBLE, FLOAT, INT, LONG, Op, MAX, MIN, PROD, SUM
 from repro.mpi.api import Comm, MPIWorld, MPIProcessFailure
 import repro.mpi.collectives  # noqa: F401  (binds collective methods on Comm)
-from repro.mpi.costmodel import CollectiveCostModel, CostParams, GroupLayout
+from repro.mpi.costmodel import (CollectiveCostModel, CostParams, GroupLayout,
+                                 KernelStats)
 
 __all__ = [
     "BYTE", "INT", "LONG", "FLOAT", "DOUBLE",
     "Op", "SUM", "PROD", "MAX", "MIN",
     "Comm", "MPIWorld", "MPIProcessFailure",
-    "CollectiveCostModel", "CostParams", "GroupLayout",
+    "CollectiveCostModel", "CostParams", "GroupLayout", "KernelStats",
 ]

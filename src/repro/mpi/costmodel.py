@@ -25,12 +25,31 @@ path divided by flows, no backbone pooling).
 ``CostParams.msg_fixed_s`` and ``ser_per_byte_s`` model the Java/MPJ
 per-message serialization overheads of the 2008 runtime; they are the
 main calibration knobs for absolute IS/EP times (see DESIGN.md §5).
+
+Kernel paths (DESIGN.md §11)
+----------------------------
+Every collective has two implementations selected by
+``CostParams.kernel``:
+
+* ``"vector"`` (default): :meth:`CollectiveCostModel.pairwise_times`
+  builds the full rank x rank p2p cost matrix once per message size
+  (memoized on the layout, keyed by the mutable contention state) and
+  each round's max is one fancy-indexed reduction over precomputed,
+  LRU-cached edge-index arrays.  The alltoall(v) rank loop collapses
+  to one evaluation per distinct ``(site, colocated)`` combination.
+* ``"reference"``: the original scalar per-edge loops, retained
+  verbatim as the equivalence oracle and bench baseline.
+
+Both paths share the same scalar arithmetic bodies and summation order
+(per-round max, then left-to-right sum), so they agree bit for bit —
+pinned by ``tests/mpi/test_kernel_equivalence.py``.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass
+from collections import Counter, OrderedDict
+from dataclasses import dataclass, fields as _dataclass_fields
+from functools import lru_cache
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
@@ -39,10 +58,23 @@ from repro.net.contention import WAN_CONTENTION_FACTOR
 from repro.net.topology import Host, Topology
 
 __all__ = ["CostParams", "GroupLayout", "CollectiveCostModel",
-           "WAN_CONTENTION_MODES"]
+           "KernelStats", "WAN_CONTENTION_MODES", "KERNEL_MODES"]
 
 #: Valid ``CostParams.wan_contention`` settings.
 WAN_CONTENTION_MODES = ("plan", "fixed", "none")
+
+#: Valid ``CostParams.kernel`` settings: ``"vector"`` prices rounds from
+#: cached rank x rank cost matrices, ``"reference"`` replays the scalar
+#: per-edge loops.  Bit-exact against each other by construction.
+KERNEL_MODES = ("vector", "reference")
+
+#: Layout templates memoized per topology (keyed by the ordered host
+#: name tuple — rank order matters to every collective).
+LAYOUT_MEMO_SIZE = 32
+
+#: Rank x rank cost matrices memoized per layout template (keyed by
+#: message size, params and the mutable contention state).
+PAIRWISE_MEMO_SIZE = 8
 
 
 @dataclass(frozen=True)
@@ -75,6 +107,11 @@ class CostParams:
         :data:`~repro.net.contention.WAN_CONTENTION_FACTOR`, and
         ``"none"`` restores the pre-calibration behaviour (the
         NIC-clamped path rate divided by flows in alltoall only).
+    kernel:
+        Evaluation path: ``"vector"`` (default, matrix kernels) or
+        ``"reference"`` (scalar per-edge loops).  Both produce
+        bit-identical times; the switch exists for the equivalence
+        suite and the perf-trajectory benchmarks.
     """
 
     sw_overhead_s: float = 20e-6
@@ -85,12 +122,17 @@ class CostParams:
     wan_extra_s: float = 0.0
     nic_share: bool = True
     wan_contention: str = "plan"
+    kernel: str = "vector"
 
     def __post_init__(self) -> None:
         if self.wan_contention not in WAN_CONTENTION_MODES:
             raise ValueError(
                 f"wan_contention must be one of {WAN_CONTENTION_MODES}, "
                 f"got {self.wan_contention!r}")
+        if self.kernel not in KERNEL_MODES:
+            raise ValueError(
+                f"kernel must be one of {KERNEL_MODES}, "
+                f"got {self.kernel!r}")
 
     def fixed_cost_s(self, nbytes: int) -> float:
         """Per-message runtime cost for a message of ``nbytes``."""
@@ -99,11 +141,143 @@ class CostParams:
         return self.msg_fixed_s
 
 
+@dataclass
+class KernelStats:
+    """Deterministic work counters of one :class:`CollectiveCostModel`.
+
+    These are the hard currency of the perf trajectory
+    (``benchmarks/test_bench_kernels.py``): timing is machine-dependent
+    and informational, but the number of scalar p2p evaluations, matrix
+    builds and layout constructions a campaign performs is exact and
+    CI-comparable across PRs.
+    """
+
+    p2p_calls: int = 0            # scalar p2p_time invocations
+    p2p_edges_vectorized: int = 0  # edges priced via matrix reductions
+    pairwise_builds: int = 0       # rank x rank matrices constructed
+    pairwise_hits: int = 0         # matrix memo hits
+    alltoallv_rank_evals: int = 0  # scalar per-rank wire evaluations
+    alltoallv_combo_evals: int = 0  # deduped (site, colocated) evals
+    layout_builds: int = 0         # GroupLayout constructions
+    layout_cache_hits: int = 0     # layout memo hits
+
+    def reset(self) -> None:
+        for f in _dataclass_fields(self):
+            setattr(self, f.name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name)
+                for f in _dataclass_fields(self)}
+
+
+# -- cached edge-index arrays -------------------------------------------------
+# The round structure of every tree/dissemination collective depends
+# only on (p, root), never on the layout — so the per-round edge lists
+# are built once, converted to index arrays, and shared process-wide.
+
+def _barrier_rounds(p: int) -> List[List[Tuple[int, int]]]:
+    rounds = []
+    k = 1
+    while k < p:
+        rounds.append([(i, (i + k) % p) for i in range(p)])
+        k <<= 1
+    return rounds
+
+
+def _binomial_round_edges(p: int, root: int) -> List[List[Tuple[int, int]]]:
+    """Edges (parent -> child) per round of a binomial bcast."""
+    rounds = []
+    mask = 1
+    while mask < p:
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        edges = []
+        for rel in range(0, p, mask << 1 if mask else 1):
+            # sender rel transmits to rel+mask in this round
+            if rel + mask < p:
+                src = (rel + root) % p
+                dst = (rel + mask + root) % p
+                edges.append((src, dst))
+        if edges:
+            rounds.append(edges)
+        mask >>= 1
+    return rounds
+
+
+def _rounds_to_arrays(rounds: List[List[Tuple[int, int]]]
+                      ) -> Tuple[Tuple[np.ndarray, np.ndarray], ...]:
+    return tuple(
+        (np.array([e[0] for e in edges], dtype=np.intp),
+         np.array([e[1] for e in edges], dtype=np.intp))
+        for edges in rounds)
+
+
+@lru_cache(maxsize=1024)
+def _barrier_edge_arrays(p: int) -> Tuple[Tuple[np.ndarray, np.ndarray], ...]:
+    return _rounds_to_arrays(_barrier_rounds(p))
+
+
+@lru_cache(maxsize=1024)
+def _binomial_edge_arrays(p: int, root: int
+                          ) -> Tuple[Tuple[np.ndarray, np.ndarray], ...]:
+    return _rounds_to_arrays(_binomial_round_edges(p, root))
+
+
+@lru_cache(maxsize=1024)
+def _allreduce_edge_arrays(p: int):
+    """Recursive-doubling edge arrays: (fold pair or None, rounds)."""
+    pof2 = 1 << (p.bit_length() - 1)
+    rem = p - pof2
+    fold = None
+    if rem:
+        # p2p(2i+1, 2i) for i in range(rem)
+        fold = (np.arange(1, 2 * rem, 2, dtype=np.intp),
+                np.arange(0, 2 * rem, 2, dtype=np.intp))
+    real = np.array([2 * v if v < rem else v + rem for v in range(pof2)],
+                    dtype=np.intp)
+    rounds = []
+    mask = 1
+    while mask < pof2:
+        v = np.arange(pof2)
+        rounds.append((real[v], real[v ^ mask]))
+        mask <<= 1
+    return fold, tuple(rounds)
+
+
+@lru_cache(maxsize=1024)
+def _ring_edge_arrays(p: int) -> Tuple[np.ndarray, np.ndarray]:
+    src = np.arange(p, dtype=np.intp)
+    return src, (src + 1) % p
+
+
+def _rank_combo_index(layout: "GroupLayout"):
+    """Distinct (site, colocated) combinations across the ranks.
+
+    Every per-rank alltoall(v) quantity depends on the rank only
+    through its site index and co-location count, so the p-rank loop
+    reduces to one evaluation per distinct combination.  Returns
+    ``(combos, first, inverse)``: the combination list, the first rank
+    index carrying each combination, and each rank's combo index.
+    """
+    m = int(layout.colocated.max()) + 1
+    codes = layout.rank_site * m + layout.colocated
+    uniq, first, inverse = np.unique(codes, return_index=True,
+                                     return_inverse=True)
+    combos = [(int(c) // m, int(c) % m) for c in uniq]
+    return combos, first, inverse
+
+
 class GroupLayout:
     """Precomputed structure of one process group (rank -> host).
 
     Exposes per-rank site indices, co-location counts and the site-level
     one-way latency matrix, so collective formulas are O(p * n_sites).
+    The site matrices (``oneway_s`` / ``bw_bps`` / ``backbone_bps``)
+    are read-only views shared through the owning topology's memo —
+    they depend only on the site set, never on the plan.  The mutable
+    contention state (``colocated``, ``wan_flows``) is private to each
+    instance.
     """
 
     def __init__(self, hosts: Sequence[Host], topology: Topology) -> None:
@@ -120,34 +294,42 @@ class GroupLayout:
         per_host = Counter(h.name for h in hosts)
         #: Processes co-located with each rank (including itself).
         self.colocated = np.array([per_host[h.name] for h in hosts])
-        # One-way latency between sites, seconds.
-        n = len(site_names)
-        self.oneway_s = np.zeros((n, n))
-        for i, a in enumerate(site_names):
-            for j, b in enumerate(site_names):
-                self.oneway_s[i, j] = topology.site_rtt_ms(a, b) / 2.0 / 1000.0
-        # WAN capacity between sites, bit/s (LAN on the diagonal).
-        # ``bw_bps`` is the NIC-clamped *path* rate one flow can reach;
-        # ``backbone_bps`` the pooled site-link capacity all crossing
-        # flows divide (repro.net.contention's quantity).
-        self.bw_bps = np.zeros((n, n))
-        self.backbone_bps = np.zeros((n, n))
-        for i, a in enumerate(site_names):
-            for j, b in enumerate(site_names):
-                if a == b:
-                    self.bw_bps[i, j] = topology.lan_bw_bps
-                    self.backbone_bps[i, j] = topology.lan_bw_bps
-                else:
-                    ha = topology.hosts_in_site(a)[0]
-                    hb = topology.hosts_in_site(b)[0]
-                    self.bw_bps[i, j] = topology.bandwidth_bps(ha, hb)
-                    self.backbone_bps[i, j] = \
-                        topology.backbone_bandwidth_bps(ha, hb)
+        # Distinct-host index per rank: the vector kernel's same-host
+        # mask is ``host_index[i] == host_index[j]``.
+        host_ids: Dict[str, int] = {}
+        self.host_index = np.array(
+            [host_ids.setdefault(h.name, len(host_ids)) for h in hosts],
+            dtype=np.intp)
+        # Site-level latency/bandwidth matrices, memoized on the
+        # topology: one-way seconds, NIC-clamped path rate, and the
+        # pooled backbone capacity (repro.net.contention's quantity).
+        self.oneway_s, self.bw_bps, self.backbone_bps = \
+            topology.site_matrices(tuple(site_names))
         # Concurrent crossing pairs per site-pair backbone: the
         # dominant-collective concurrency bound min(n_a, n_b) — the
         # plan-dependent divisor of the "plan" contention mode.
         counts = self.site_counts
         self.wan_flows = np.minimum.outer(counts, counts)
+        #: rank x rank cost-matrix memo, shared with clones.  Keys
+        #: embed the mutable contention state, so callers may mutate
+        #: ``colocated``/``wan_flows`` freely without invalidation.
+        self._pairwise_memo: "OrderedDict" = OrderedDict()
+
+    def _clone(self) -> "GroupLayout":
+        """Cheap copy for the layout memo: shares every immutable site
+        matrix (and the state-keyed pairwise memo) but owns fresh
+        mutable contention arrays, so one cached template serves
+        callers that rebind ``colocated`` or call
+        :meth:`apply_copy_counts`."""
+        twin = object.__new__(GroupLayout)
+        twin.__dict__.update(self.__dict__)
+        twin.colocated = self.colocated.copy()
+        twin.wan_flows = self.wan_flows.copy()
+        return twin
+
+    def _mutation_key(self) -> Tuple[bytes, bytes]:
+        """The mutable contention state, as a hashable memo key."""
+        return (self.colocated.tobytes(), self.wan_flows.tobytes())
 
     def apply_copy_counts(self, copies: Mapping[str, int]) -> None:
         """Recount WAN contention from the plan's full copy census.
@@ -183,6 +365,19 @@ class GroupLayout:
             return backbone / WAN_CONTENTION_FACTOR
         return float("inf")  # "none": backbone never pooled
 
+    def wan_share_matrix(self, params: CostParams) -> np.ndarray:
+        """Site x site per-flow backbone share under ``params``; the
+        elementwise (bit-exact) batch form of :meth:`wan_share_bps`."""
+        n = len(self.site_names)
+        if params.wan_contention == "plan":
+            share = self.backbone_bps / np.maximum(1, self.wan_flows)
+        elif params.wan_contention == "fixed":
+            share = self.backbone_bps / WAN_CONTENTION_FACTOR
+        else:
+            share = np.full((n, n), np.inf)
+        np.fill_diagonal(share, np.inf)
+        return share
+
     @property
     def max_colocated(self) -> int:
         return int(self.colocated.max())
@@ -197,14 +392,34 @@ class CollectiveCostModel:
     def __init__(self, topology: Topology, params: CostParams = CostParams()) -> None:
         self.topology = topology
         self.params = params
+        self.stats = KernelStats()
 
     def layout(self, hosts: Sequence[Host]) -> GroupLayout:
-        return GroupLayout(hosts, self.topology)
+        """Build a group layout, memoized per topology.
+
+        Keyed by the *ordered* host-name tuple (rank order matters to
+        every collective); hits return a cheap clone whose mutable
+        contention arrays are private to the caller.
+        """
+        memo = self.topology.layout_memo
+        key = tuple(h.name for h in hosts)
+        template = memo.get(key)
+        if template is not None:
+            memo.move_to_end(key)
+            self.stats.layout_cache_hits += 1
+            return template._clone()
+        template = GroupLayout(hosts, self.topology)
+        self.stats.layout_builds += 1
+        memo[key] = template
+        while len(memo) > LAYOUT_MEMO_SIZE:
+            memo.popitem(last=False)
+        return template._clone()
 
     # -- point-to-point ---------------------------------------------------------
     def p2p_time(self, layout: GroupLayout, src: int, dst: int,
                  nbytes: int) -> float:
         """Modelled transfer time between two ranks of the group."""
+        self.stats.p2p_calls += 1
         if src == dst:
             return self.params.sw_overhead_s
         pa = self.params
@@ -229,48 +444,91 @@ class CollectiveCostModel:
             cost += nbytes * pa.ser_per_byte_s
         return float(cost)
 
+    def pairwise_times(self, layout: GroupLayout, nbytes: int) -> np.ndarray:
+        """Full rank x rank p2p cost matrix for one message size.
+
+        Entry ``[i, j]`` equals ``p2p_time(layout, i, j, nbytes)`` bit
+        for bit (same scalar arithmetic, evaluated elementwise).
+        Memoized on the layout template, keyed by the message size,
+        the params and the mutable contention state — so repeated
+        collective evaluations of one plan shape build it once, and a
+        caller mutating ``colocated``/``wan_flows`` transparently gets
+        a fresh matrix.
+        """
+        key = (nbytes, self.params, layout._mutation_key())
+        memo = layout._pairwise_memo
+        cached = memo.get(key)
+        if cached is not None:
+            memo.move_to_end(key)
+            self.stats.pairwise_hits += 1
+            return cached
+        times = self._build_pairwise(layout, nbytes)
+        times.setflags(write=False)
+        self.stats.pairwise_builds += 1
+        memo[key] = times
+        while len(memo) > PAIRWISE_MEMO_SIZE:
+            memo.popitem(last=False)
+        return times
+
+    def _build_pairwise(self, layout: GroupLayout, nbytes: int) -> np.ndarray:
+        pa = self.params
+        si = layout.rank_site[:, None]
+        sj = layout.rank_site[None, :]
+        same_host = layout.host_index[:, None] == layout.host_index[None, :]
+        cross = si != sj
+        lat = np.where(same_host, 0.0, layout.oneway_s[si, sj])
+        cost = lat + pa.sw_overhead_s + pa.fixed_cost_s(nbytes)
+        cost[cross] += pa.wan_extra_s
+        if nbytes > 0:
+            bw = layout.bw_bps[si, sj]
+            if pa.nic_share:
+                share = np.maximum(layout.colocated[:, None],
+                                   layout.colocated[None, :])
+                bw = bw / share
+            wan = layout.wan_share_matrix(pa)
+            bw = np.where(cross, np.minimum(bw, wan[si, sj]), bw)
+            cost = cost + np.where(same_host,
+                                   nbytes * pa.ser_per_byte_s,
+                                   nbytes * (pa.ser_per_byte_s + 8.0 / bw))
+        np.fill_diagonal(cost, pa.sw_overhead_s)
+        return cost
+
     # -- tree / dissemination collectives -------------------------------------------
     def _round_edges_barrier(self, p: int) -> List[List[Tuple[int, int]]]:
-        rounds = []
-        k = 1
-        while k < p:
-            rounds.append([(i, (i + k) % p) for i in range(p)])
-            k <<= 1
-        return rounds
+        return _barrier_rounds(p)
+
+    def _binomial_rounds(self, p: int, root: int) -> List[List[Tuple[int, int]]]:
+        return _binomial_round_edges(p, root)
 
     def barrier_time(self, layout: GroupLayout) -> float:
         """Dissemination barrier: sum over rounds of the slowest edge."""
+        if self.params.kernel == "reference":
+            total = 0.0
+            for edges in _barrier_rounds(layout.p):
+                total += max(self.p2p_time(layout, i, j, 32)
+                             for i, j in edges)
+            return total
+        times = self.pairwise_times(layout, 32)
         total = 0.0
-        for edges in self._round_edges_barrier(layout.p):
-            total += max(self.p2p_time(layout, i, j, 32) for i, j in edges)
+        for src, dst in _barrier_edge_arrays(layout.p):
+            total += float(times[src, dst].max())
+            self.stats.p2p_edges_vectorized += len(src)
         return total
-
-    def _binomial_rounds(self, p: int, root: int) -> List[List[Tuple[int, int]]]:
-        """Edges (parent -> child) per round of a binomial bcast."""
-        rounds = []
-        mask = 1
-        while mask < p:
-            mask <<= 1
-        mask >>= 1
-        while mask > 0:
-            edges = []
-            for rel in range(0, p, mask << 1 if mask else 1):
-                # sender rel transmits to rel+mask in this round
-                if rel + mask < p:
-                    src = (rel + root) % p
-                    dst = (rel + mask + root) % p
-                    edges.append((src, dst))
-            if edges:
-                rounds.append(edges)
-            mask >>= 1
-        return rounds
 
     def bcast_time(self, layout: GroupLayout, nbytes: int,
                    root: int = 0) -> float:
         """Binomial broadcast: per-round max edge, summed."""
+        if self.params.kernel == "reference":
+            total = 0.0
+            for edges in _binomial_round_edges(layout.p, root):
+                total += max(self.p2p_time(layout, i, j, nbytes)
+                             for i, j in edges)
+            return total
+        times = self.pairwise_times(layout, nbytes)
         total = 0.0
-        for edges in self._binomial_rounds(layout.p, root):
-            total += max(self.p2p_time(layout, i, j, nbytes) for i, j in edges)
+        for src, dst in _binomial_edge_arrays(layout.p, root):
+            total += float(times[src, dst].max())
+            self.stats.p2p_edges_vectorized += len(src)
         return total
 
     def reduce_time(self, layout: GroupLayout, nbytes: int,
@@ -288,28 +546,38 @@ class CollectiveCostModel:
         p = layout.p
         if p == 1:
             return self.params.sw_overhead_s
-        pof2 = 1 << (p.bit_length() - 1)
-        if pof2 > p:  # pragma: no cover - bit_length guards this
-            pof2 >>= 1
-        rem = p - pof2
+        if self.params.kernel == "reference":
+            pof2 = 1 << (p.bit_length() - 1)
+            rem = p - pof2
+            total = 0.0
+            if rem:
+                fold = max(
+                    self.p2p_time(layout, 2 * i + 1, 2 * i, nbytes)
+                    for i in range(rem)
+                )
+                total += 2 * fold  # fold in + fold out
+
+            def real(vrank: int) -> int:
+                return 2 * vrank if vrank < rem else vrank + rem
+
+            mask = 1
+            while mask < pof2:
+                total += max(
+                    self.p2p_time(layout, real(v), real(v ^ mask), nbytes)
+                    for v in range(pof2)
+                )
+                mask <<= 1
+            return total
+        times = self.pairwise_times(layout, nbytes)
+        fold_pair, rounds = _allreduce_edge_arrays(p)
         total = 0.0
-        if rem:
-            fold = max(
-                self.p2p_time(layout, 2 * i + 1, 2 * i, nbytes)
-                for i in range(rem)
-            )
-            total += 2 * fold  # fold in + fold out
-
-        def real(vrank: int) -> int:
-            return 2 * vrank if vrank < rem else vrank + rem
-
-        mask = 1
-        while mask < pof2:
-            total += max(
-                self.p2p_time(layout, real(v), real(v ^ mask), nbytes)
-                for v in range(pof2)
-            )
-            mask <<= 1
+        if fold_pair is not None:
+            src, dst = fold_pair
+            total += 2 * float(times[src, dst].max())
+            self.stats.p2p_edges_vectorized += len(src)
+        for src, dst in rounds:
+            total += float(times[src, dst].max())
+            self.stats.p2p_edges_vectorized += len(src)
         return total
 
     def gather_time(self, layout: GroupLayout, nbytes: int,
@@ -318,15 +586,33 @@ class CollectiveCostModel:
         pa = self.params
         if layout.p == 1:
             return pa.sw_overhead_s
-        lat = max(
-            self.p2p_time(layout, i, root, 0)
-            for i in range(layout.p) if i != root
-        )
+        if pa.kernel == "reference":
+            lat = max(
+                self.p2p_time(layout, i, root, 0)
+                for i in range(layout.p) if i != root
+            )
+        else:
+            times = self.pairwise_times(layout, 0)
+            sel = np.arange(layout.p) != root
+            lat = float(times[sel, root].max())
+            self.stats.p2p_edges_vectorized += layout.p - 1
         per_msg = (pa.sw_overhead_s + pa.fixed_cost_s(nbytes)
                    + nbytes * pa.ser_per_byte_s)
         return lat + (layout.p - 1) * per_msg + self._serial_bytes_time(
             layout, root, nbytes * (layout.p - 1)
         )
+
+    def ring_exchange_time(self, layout: GroupLayout, nbytes: int) -> float:
+        """Slowest neighbouring edge of the rank ring: one halo-exchange
+        step of a 1-D decomposition (CG's transpose stand-in)."""
+        if self.params.kernel == "reference":
+            p = layout.p
+            return max(self.p2p_time(layout, i, (i + 1) % p, nbytes)
+                       for i in range(p))
+        times = self.pairwise_times(layout, nbytes)
+        src, dst = _ring_edge_arrays(layout.p)
+        self.stats.p2p_edges_vectorized += layout.p
+        return float(times[src, dst].max())
 
     def _serial_bytes_time(self, layout: GroupLayout, rank: int,
                            nbytes: int) -> float:
@@ -344,13 +630,11 @@ class CollectiveCostModel:
         """
         return self.alltoallv_time(layout, bytes_per_pair)
 
-    def alltoallv_time(self, layout: GroupLayout, bytes_per_pair: int) -> float:
+    def _alltoallv_unit(self, layout: GroupLayout,
+                        bytes_per_pair: int) -> np.ndarray:
+        """unit[s, s'] = overhead cost of one message between sites."""
         pa = self.params
-        p = layout.p
-        if p == 1:
-            return pa.sw_overhead_s
         n_sites = len(layout.site_names)
-        # unit[s, s'] = cost of one message between sites s and s'.
         unit = np.zeros((n_sites, n_sites))
         fixed = pa.fixed_cost_s(bytes_per_pair)
         for si in range(n_sites):
@@ -361,23 +645,81 @@ class CollectiveCostModel:
                 if bytes_per_pair > 0:
                     cost += bytes_per_pair * pa.ser_per_byte_s
                 unit[si, sj] = cost
-        # Bandwidth term is added per rank below (depends on colocation).
+        return unit
+
+    def _alltoallv_rank_total(self, layout: GroupLayout, si: int,
+                              colocated: int, unit: np.ndarray,
+                              wire: float) -> float:
+        """One rank's alltoall(v) total: the loop body both kernel
+        paths share (a rank enters only through ``si``/``colocated``)."""
+        counts = layout.site_counts.astype(float).copy()
+        counts[si] -= 1  # exclude self
+        total = float(np.dot(counts, unit[si])) + wire
+        # Same-host partners: no wire, only overheads (already in
+        # `unit` diagonal via latency=LAN; subtract the LAN latency
+        # for the (colocated-1) same-host partners — also for
+        # zero-byte exchanges, else cost(0) exceeds cost(1)).
+        k = colocated - 1
+        if k > 0:
+            total -= k * layout.oneway_s[si, si]
+        return total
+
+    def alltoallv_time(self, layout: GroupLayout, bytes_per_pair: int) -> float:
+        pa = self.params
+        p = layout.p
+        if p == 1:
+            return pa.sw_overhead_s
+        unit = self._alltoallv_unit(layout, bytes_per_pair)
+        # Bandwidth term is added per rank (depends on colocation).
         wire = self._alltoallv_wire_per_rank(layout, bytes_per_pair)
-        per_rank = np.zeros(p)
-        for i in range(p):
-            si = layout.rank_site[i]
-            counts = layout.site_counts.astype(float).copy()
-            counts[si] -= 1  # exclude self
-            total = float(np.dot(counts, unit[si])) + wire[i]
-            # Same-host partners: no wire, only overheads (already in
-            # `unit` diagonal via latency=LAN; subtract the LAN latency
-            # for the (colocated-1) same-host partners — also for
-            # zero-byte exchanges, else cost(0) exceeds cost(1)).
-            k = layout.colocated[i] - 1
-            if k > 0:
-                total -= k * layout.oneway_s[si, si]
-            per_rank[i] = total
-        return float(per_rank.max())
+        if pa.kernel == "reference":
+            per_rank = np.zeros(p)
+            for i in range(p):
+                per_rank[i] = self._alltoallv_rank_total(
+                    layout, layout.rank_site[i], layout.colocated[i],
+                    unit, wire[i])
+            return float(per_rank.max())
+        combos, first, _ = _rank_combo_index(layout)
+        return float(max(
+            self._alltoallv_rank_total(layout, si, colo, unit, wire[fi])
+            for (si, colo), fi in zip(combos, first)))
+
+    def _alltoallv_wire_one(self, layout: GroupLayout, si: int,
+                            colocated: int, bytes_per_pair: int) -> float:
+        """One rank's bytes-on-the-wire seconds (shared loop body)."""
+        pa = self.params
+        counts = layout.site_counts.astype(float).copy()
+        counts[si] -= 1  # exclude self
+        total = 0.0
+        for sj in range(len(layout.site_names)):
+            c = counts[sj]
+            if c <= 0:
+                continue
+            bw = layout.bw_bps[si, sj]
+            if pa.nic_share:
+                bw = bw / colocated
+            if si != sj:
+                if pa.wan_contention == "none":
+                    # Legacy: the NIC-clamped path rate divided by
+                    # the concurrent cross flows.
+                    flows = min(layout.site_counts[si],
+                                layout.site_counts[sj])
+                    bw = min(bw, layout.bw_bps[si, sj] / max(1, flows))
+                else:
+                    # Calibrated: the *backbone* pools across the
+                    # plan's crossing pairs ("plan") or the fixed
+                    # divisor ("fixed"); a lone flow stays NIC-bound.
+                    bw = min(bw, layout.wan_share_bps(si, sj, pa))
+            total += c * bytes_per_pair * 8.0 / bw
+        # Same-host partners never touch the wire: back out the
+        # (colocated-1) LAN-priced shares the loop charged them.
+        k = colocated - 1
+        if k > 0:
+            total -= k * bytes_per_pair * 8.0 / (
+                layout.bw_bps[si, si]
+                / (colocated if pa.nic_share else 1)
+            )
+        return total
 
     def _alltoallv_wire_per_rank(self, layout: GroupLayout,
                                  bytes_per_pair: int) -> np.ndarray:
@@ -387,47 +729,23 @@ class CollectiveCostModel:
         serialization overheads — under the configured NIC and WAN
         contention modes.  Same-host partners never touch the wire.
         """
-        pa = self.params
         p = layout.p
-        out = np.zeros(p)
         if bytes_per_pair <= 0:
+            return np.zeros(p)
+        if self.params.kernel == "reference":
+            self.stats.alltoallv_rank_evals += p
+            out = np.zeros(p)
+            for i in range(p):
+                out[i] = self._alltoallv_wire_one(
+                    layout, layout.rank_site[i], layout.colocated[i],
+                    bytes_per_pair)
             return out
-        n_sites = len(layout.site_names)
-        for i in range(p):
-            si = layout.rank_site[i]
-            counts = layout.site_counts.astype(float).copy()
-            counts[si] -= 1  # exclude self
-            total = 0.0
-            for sj in range(n_sites):
-                c = counts[sj]
-                if c <= 0:
-                    continue
-                bw = layout.bw_bps[si, sj]
-                if pa.nic_share:
-                    bw = bw / layout.colocated[i]
-                if si != sj:
-                    if pa.wan_contention == "none":
-                        # Legacy: the NIC-clamped path rate divided by
-                        # the concurrent cross flows.
-                        flows = min(layout.site_counts[si],
-                                    layout.site_counts[sj])
-                        bw = min(bw, layout.bw_bps[si, sj] / max(1, flows))
-                    else:
-                        # Calibrated: the *backbone* pools across the
-                        # plan's crossing pairs ("plan") or the fixed
-                        # divisor ("fixed"); a lone flow stays NIC-bound.
-                        bw = min(bw, layout.wan_share_bps(si, sj, pa))
-                total += c * bytes_per_pair * 8.0 / bw
-            # Same-host partners never touch the wire: back out the
-            # (colocated-1) LAN-priced shares the loop charged them.
-            k = layout.colocated[i] - 1
-            if k > 0:
-                total -= k * bytes_per_pair * 8.0 / (
-                    layout.bw_bps[si, si]
-                    / (layout.colocated[i] if pa.nic_share else 1)
-                )
-            out[i] = total
-        return out
+        combos, _, inverse = _rank_combo_index(layout)
+        self.stats.alltoallv_combo_evals += len(combos)
+        vals = np.array([
+            self._alltoallv_wire_one(layout, si, colo, bytes_per_pair)
+            for si, colo in combos])
+        return vals[inverse]
 
     def alltoallv_transfer_time(self, layout: GroupLayout,
                                 bytes_per_pair: int) -> float:

@@ -33,12 +33,13 @@ simulated application experiences.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from functools import cached_property
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.net.topology import Host, Topology
 
 __all__ = ["WAN_CONTENTION_FACTOR", "LinkContention", "PlanContention",
-           "ContentionModel"]
+           "ContentionModel", "IncrementalPlanScore"]
 
 #: The deprecated fixed divisor (the pre-calibration constant).  Kept
 #: as the fallback for scoring *before a plan exists* — a strategy
@@ -80,12 +81,17 @@ class PlanContention:
     def crossing_pairs(self) -> Dict[Tuple[str, str], int]:
         return dict(self.crossing)
 
+    @cached_property
+    def _crossing_map(self) -> Dict[Tuple[str, str], int]:
+        """The crossing tuple as a dict, built once per snapshot."""
+        return dict(self.crossing)
+
     def links(self) -> List[LinkContention]:
         """Per-backbone load, in canonical (sorted link key) order."""
         out = []
         for link, pairs in self.crossing:
-            a = self.topology.hosts_in_site(link[0])[0]
-            b = self.topology.hosts_in_site(link[1])[0]
+            a = self.topology.site_representative(link[0])
+            b = self.topology.site_representative(link[1])
             out.append(LinkContention(
                 link=link,
                 backbone_bps=self.topology.backbone_bandwidth_bps(a, b),
@@ -114,7 +120,7 @@ class PlanContention:
         if a.site == b.site:
             return path
         key = self.topology.link_key(a, b)
-        pairs = dict(self.crossing).get(key, 1)
+        pairs = self._crossing_map.get(key, 1)
         backbone = self.topology.backbone_bandwidth_bps(a, b)
         return min(path, backbone / max(1, pairs))
 
@@ -142,10 +148,10 @@ class ContentionModel:
             counts[host.site] = counts.get(host.site, 0) + 1
         return counts
 
-    def crossing_pairs(self, hosts: Sequence[Host]
-                       ) -> Dict[Tuple[str, str], int]:
-        """Concurrent crossing-pair count per WAN backbone link."""
-        counts = self.site_counts(hosts)
+    @staticmethod
+    def crossing_from_counts(counts: Mapping[str, int]
+                             ) -> Dict[Tuple[str, str], int]:
+        """Crossing-pair count per backbone, from a site census."""
         names = sorted(counts)
         out: Dict[Tuple[str, str], int] = {}
         for i, a in enumerate(names):
@@ -153,10 +159,15 @@ class ContentionModel:
                 out[(a, b)] = min(counts[a], counts[b])
         return out
 
+    def crossing_pairs(self, hosts: Sequence[Host]
+                       ) -> Dict[Tuple[str, str], int]:
+        """Concurrent crossing-pair count per WAN backbone link."""
+        return self.crossing_from_counts(self.site_counts(hosts))
+
     def plan(self, hosts: Sequence[Host]) -> PlanContention:
         """Snapshot the contention state of a placement plan."""
         counts = self.site_counts(hosts)
-        crossing = self.crossing_pairs(hosts)
+        crossing = self.crossing_from_counts(counts)
         return PlanContention(
             topology=self.topology,
             site_counts=tuple(sorted(counts.items())),
@@ -165,3 +176,95 @@ class ContentionModel:
     def pair_bw_bps(self, hosts: Sequence[Host], a: Host, b: Host) -> float:
         """One-shot convenience over :meth:`plan`."""
         return self.plan(hosts).pair_bw_bps(a, b)
+
+
+class IncrementalPlanScore:
+    """Mutable companion to :class:`ContentionModel` for greedy loops.
+
+    A strategy growing a plan one host at a time used to have only two
+    options: re-run :meth:`ContentionModel.plan` over the whole host
+    list per candidate (O(hosts) each, O(hosts^2) per selection pass)
+    or fall back to the fixed divisor.  This class maintains the same
+    site census under single-host :meth:`add`/:meth:`remove` in O(1)
+    and answers the contended pair-bandwidth query in O(1), so
+    try-a-candidate/score/undo costs O(selected) instead of
+    O(selected * hosts).
+
+    Agreement contract (pinned by the equivalence suite): after any
+    add/remove sequence, :meth:`snapshot` equals
+    ``ContentionModel(topology).plan(hosts)`` for the equivalent host
+    multiset, and :meth:`pair_bw_bps` equals the snapshot's.
+    """
+
+    def __init__(self, topology: Topology,
+                 hosts: Iterable[Host] = ()) -> None:
+        self.topology = topology
+        self._counts: Dict[str, int] = {}
+        self.size = 0
+        for host in hosts:
+            self.add(host)
+
+    def add(self, host: Host, copies: int = 1) -> None:
+        """Place ``copies`` process copies of the plan on ``host``."""
+        self._bump(host.site, copies)
+
+    def remove(self, host: Host, copies: int = 1) -> None:
+        """Undo :meth:`add` (raises if the site census would go
+        negative — removing what was never placed is a caller bug)."""
+        self._bump(host.site, -copies)
+
+    def _bump(self, site: str, delta: int) -> None:
+        count = self._counts.get(site, 0) + delta
+        if count < 0:
+            raise ValueError(
+                f"site census for {site!r} would drop below zero")
+        if count:
+            self._counts[site] = count
+        else:
+            self._counts.pop(site, None)
+        self.size += delta
+
+    def counts(self) -> Dict[str, int]:
+        """Live process-copy census per site."""
+        return dict(self._counts)
+
+    def crossing_pairs(self) -> Dict[Tuple[str, str], int]:
+        """Live crossing-pair counts (O(sites^2) materialisation)."""
+        return ContentionModel.crossing_from_counts(self._counts)
+
+    def max_crossing_pairs(self) -> int:
+        """Most loaded backbone's crossing count: the second-largest
+        site census (two sites both feed their min into one link)."""
+        if len(self._counts) < 2:
+            return 0
+        first = second = 0
+        for count in self._counts.values():
+            if count >= first:
+                first, second = count, first
+            elif count > second:
+                second = count
+        return second
+
+    def pair_bw_bps(self, a: Host, b: Host) -> float:
+        """Contended ``a``<->``b`` bandwidth under the live census.
+
+        Same semantics as :meth:`PlanContention.pair_bw_bps`, answered
+        in O(1) from the maintained counts.
+        """
+        if a.name == b.name:
+            return float("inf")
+        path = self.topology.bandwidth_bps(a, b)
+        if a.site == b.site:
+            return path
+        pairs = min(self._counts.get(a.site, 0),
+                    self._counts.get(b.site, 0))
+        backbone = self.topology.backbone_bandwidth_bps(a, b)
+        return min(path, backbone / max(1, pairs))
+
+    def snapshot(self) -> PlanContention:
+        """Freeze the live census into a :class:`PlanContention` equal
+        to what :meth:`ContentionModel.plan` builds from scratch."""
+        return PlanContention(
+            topology=self.topology,
+            site_counts=tuple(sorted(self._counts.items())),
+            crossing=tuple(sorted(self.crossing_pairs().items())))

@@ -12,10 +12,12 @@ application-model experiments (Figure 4), never allocation decisions
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
+import numpy as np
 
 __all__ = ["Host", "Cluster", "Site", "Topology", "LinkSpec"]
 
@@ -184,6 +186,15 @@ class Topology:
 
         self.graph = self._build_graph()
 
+        # Memos for the cost-model hot path (repro.mpi.costmodel):
+        # site-level metric matrices per site subset, and GroupLayout
+        # templates per ordered host tuple.  Both live on the topology
+        # because their values depend only on it.
+        self._site_matrix_memo: Dict[
+            Tuple[str, ...],
+            Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self.layout_memo: "OrderedDict" = OrderedDict()
+
     # -- helpers ---------------------------------------------------------
     @staticmethod
     def _key(a: str, b: str) -> Tuple[str, str]:
@@ -219,6 +230,16 @@ class Topology:
     def hosts_in_site(self, site: str) -> List[Host]:
         self._check_site(site)
         return list(self._hosts_by_site[site])
+
+    def site_representative(self, site: str) -> Host:
+        """First host of ``site``, without the defensive list copy of
+        :meth:`hosts_in_site` — link metrics depend only on the site
+        pair, so any one host stands in for all of them."""
+        self._check_site(site)
+        bucket = self._hosts_by_site[site]
+        if not bucket:
+            raise KeyError(f"site {site!r} has no hosts")
+        return bucket[0]
 
     def all_hosts(self) -> List[Host]:
         """All hosts in deterministic (site, cluster, index) order."""
@@ -274,6 +295,41 @@ class Topology:
         if a.site == b.site:
             return self.lan_bw_bps
         return self._bw.get(self._key(a.site, b.site), self.default_wan_bw_bps)
+
+    def site_matrices(self, site_names: Tuple[str, ...]
+                      ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Memoized site-level metric matrices for a site subset.
+
+        Returns ``(oneway_s, bw_bps, backbone_bps)`` — one-way latency
+        in seconds, NIC-clamped path rate, and pooled backbone capacity
+        between every pair of ``site_names`` (LAN values on the
+        diagonal).  The matrices depend only on the topology and the
+        site subset, never on a placement, so every
+        :class:`~repro.mpi.costmodel.GroupLayout` over the same site
+        mix shares one read-only copy.
+        """
+        cached = self._site_matrix_memo.get(site_names)
+        if cached is not None:
+            return cached
+        n = len(site_names)
+        oneway = np.zeros((n, n))
+        bw = np.zeros((n, n))
+        backbone = np.zeros((n, n))
+        for i, a in enumerate(site_names):
+            for j, b in enumerate(site_names):
+                oneway[i, j] = self.site_rtt_ms(a, b) / 2.0 / 1000.0
+                if a == b:
+                    bw[i, j] = self.lan_bw_bps
+                    backbone[i, j] = self.lan_bw_bps
+                else:
+                    ha = self.site_representative(a)
+                    hb = self.site_representative(b)
+                    bw[i, j] = self.bandwidth_bps(ha, hb)
+                    backbone[i, j] = self.backbone_bandwidth_bps(ha, hb)
+        for arr in (oneway, bw, backbone):
+            arr.setflags(write=False)
+        self._site_matrix_memo[site_names] = (oneway, bw, backbone)
+        return oneway, bw, backbone
 
     def link_key(self, a: Host, b: Host) -> Tuple[str, str]:
         """Canonical contention-domain key for the a<->b path."""

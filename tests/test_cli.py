@@ -389,3 +389,31 @@ class TestApplatency:
         partials = sorted(p.name for p in tmp_path.glob("*.partial"))
         assert len(partials) == 2  # one checkpoint per application panel
         assert not list(tmp_path.glob("applatency-*.jsonl"))
+
+
+class TestProfile:
+    def test_parser_flag(self):
+        args = build_parser().parse_args(
+            ["--experiment", "coallocation", "--profile"])
+        assert args.profile is True
+        assert build_parser().parse_args(["-n", "4"]).profile is False
+
+    def test_profile_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["-n", "4", "--profile"])
+        with pytest.raises(SystemExit):
+            main(["--experiment", "table1", "--profile"])
+
+    def test_profile_dumps_pstats_next_to_store(self, tmp_path, capsys):
+        argv = ["--experiment", "coallocation", "--cluster", "small",
+                "--demands", "4", "--profile", "--out", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        dump = tmp_path / "profile-coallocation.pstats"
+        assert dump.exists() and dump.stat().st_size > 0
+        assert str(dump) in out
+        assert "cumulative" in out  # top-20 pstats table printed
+
+        import pstats
+        stats = pstats.Stats(str(dump))
+        assert stats.total_calls > 0
