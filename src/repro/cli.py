@@ -4,14 +4,17 @@ Mirrors the paper's invocation::
 
     p2pmpirun -n 100 -r 1 -a concentrate hostname
 
-and adds experiment subcommands::
+and drives the experiment campaigns through verbs::
 
-    p2pmpirun --experiment fig2   # concentrate co-allocation sweep
-    p2pmpirun --experiment fig3   # spread co-allocation sweep
-    p2pmpirun --experiment fig4   # EP + IS timing sweeps
-    p2pmpirun --experiment table1 # resource inventory
-    p2pmpirun --experiment applatency  # EP/IS x latency-ratio x strategy
-    p2pmpirun --experiment all    # the whole campaign
+    p2pmpirun run fig2                  # concentrate co-allocation sweep
+    p2pmpirun run fig4 --out store      # EP + IS timing sweeps, persisted
+    p2pmpirun run all --jobs 4          # the whole campaign
+    p2pmpirun orchestrate commaware --workers 4 --out store
+    p2pmpirun merge host1/*.partial host2/*.partial --out all
+    p2pmpirun aggregate all
+
+(the pre-verb ``p2pmpirun --experiment X`` spelling still works and is
+rewritten to ``p2pmpirun run X`` with a deprecation note).
 
 Sweeps run on the experiment engine: ``--jobs N`` fans cells out over
 worker processes (``--jobs 0`` auto-sizes from the CPU count),
@@ -19,18 +22,26 @@ worker processes (``--jobs 0`` auto-sizes from the CPU count),
 :class:`~repro.experiments.engine.ResultStore` (re-invocations skip
 cached cells), and ``--force`` invalidates the stored sweep first.
 
-Campaigns distribute with two more pieces (DESIGN.md §9)::
+Campaigns distribute three ways (DESIGN.md §9 and §12):
 
-    p2pmpirun --experiment commaware --shard 2/3 --out store   # one slice
-    p2pmpirun merge host1/*.partial host2/*.partial --out all  # reassemble
-    p2pmpirun aggregate all                                    # roll up
+* by hand — ``run <exp> --shard K/N --out store`` executes the K-th of
+  N deterministic slices of every sweep grid (results land in the
+  store's ``.partial`` file); ``merge`` combines shard/checkpoint
+  stores from any number of machines into the canonical file an
+  unsharded run would have written, refusing on conflicts, and cleans
+  up the promoted inputs (``--keep-partial`` retains them);
+* supervised — ``orchestrate <exp> --workers N --out store`` owns the
+  whole campaign: it shards the grid, dispatches worker processes,
+  tails their heartbeats, retries crashed or stalled shards with
+  backoff, merges each landed shard immediately, promotes the
+  canonical store and cleans up its scratch;
+* ``aggregate DIR`` renders a cross-experiment summary of a store
+  directory either way.
 
-``--shard K/N`` runs the K-th of N deterministic slices of every sweep
-grid (results land in the store's ``.partial`` file); ``merge``
-combines shard/checkpoint stores from any number of machines into the
-canonical file an unsharded run would have written, refusing on
-conflicts; ``aggregate`` renders a cross-experiment summary of a store
-directory.
+Experiments come from :mod:`repro.experiments.registry`: the parser
+enumerates names from its static manifest, and each driver module is
+imported only when its campaign actually runs — which is what keeps
+``p2pmpirun --help`` fast.
 """
 
 from __future__ import annotations
@@ -40,69 +51,26 @@ import os
 import sys
 from typing import List, Optional, Tuple
 
-from repro.apps import CGLikeBenchmark, EPBenchmark, HostnameApp, ISBenchmark
-from repro.cluster import ClusterSpec, build_grid5000_cluster
-from repro.experiments.applications import (
-    app_series_from_sweep,
-    application_spec,
-    application_sweep,
-)
-from repro.experiments.coallocation import (
-    coallocation_spec,
-    coallocation_sweep,
-    series_from_sweep,
-)
-from repro.experiments.commaware import (
-    commaware_report,
-    run_commaware_campaign,
-)
-from repro.experiments.applatency import (
-    applatency_report,
-    run_applatency_campaign,
-)
-from repro.experiments.churnload import (
-    churnload_report,
-    churnload_spec,
-    churnload_sweep,
-)
-from repro.experiments.aggregate import (
-    MergeConflictError,
-    StoreMerger,
-    render_aggregate,
-    scan_store_root,
-)
-from repro.experiments.engine import (
-    ResultStore,
-    SweepResult,
-    parse_shard,
-    resolve_jobs,
-)
-from repro.experiments.multiuser import multiuser_spec, multiuser_sweep
-from repro.experiments.report import format_series_table, format_site_table
-from repro.experiments.scaling import (
-    scaling_series_from_sweep,
-    scaling_spec,
-    scaling_sweep,
-)
-from repro.grid5000.builder import build_topology, paper_site_legend
-from repro.grid5000.resources import CLUSTERS
-from repro.middleware.jobs import JobRequest
+from repro.experiments import registry
 
-__all__ = ["main", "build_parser", "build_merge_parser",
+__all__ = ["main", "build_parser", "build_run_parser",
+           "build_orchestrate_parser", "build_merge_parser",
            "build_aggregate_parser", "make_app"]
 
 PROGRAMS = ("hostname", "ep", "is", "cg")
 
 #: Experiments whose sweeps partition with ``--shard`` (everything
 #: engine-backed; table1 prints a static table and the ablation
-#: drivers are a handful of cells each).
-SHARDABLE_EXPERIMENTS = ("fig2", "fig3", "fig4", "scaling", "multiuser",
-                         "coallocation", "commaware", "churnload",
-                         "applatency", "all")
+#: drivers are a handful of cells each).  Kept as a module constant
+#: for compatibility; the registry manifest is the source of truth.
+SHARDABLE_EXPERIMENTS = registry.shardable_names()
 
 
 def make_app(name: str, nas_class: str = "B"):
     """Application model for a program name (``None`` for hostname)."""
+    from repro.apps import (CGLikeBenchmark, EPBenchmark, HostnameApp,
+                            ISBenchmark)
+
     if name == "hostname":
         return HostnameApp()
     if name == "ep":
@@ -115,68 +83,31 @@ def make_app(name: str, nas_class: str = "B"):
 
 
 def _shard_arg(text: str) -> Tuple[int, int]:
+    from repro.experiments.engine import parse_shard
+
     try:
         return parse_shard(text)
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc))
 
 
-def _csv_values(flag: str, text: str, cast, nonnegative: bool = False,
-                positive: bool = False) -> Tuple:
-    """Parse a comma-separated grid flag; the one shared error idiom
-    for ``--demands`` / ``--failures`` / ``--ratios``."""
-    try:
-        values = tuple(cast(part) for part in text.split(",") if part)
-    except ValueError:
-        raise SystemExit(f"error: bad {flag} {text!r}")
-    if not values:
-        raise SystemExit(f"error: {flag} needs at least one value")
-    if positive and any(v <= 0 for v in values):
-        raise SystemExit(f"error: {flag} values must be > 0")
-    if nonnegative and any(v < 0 for v in values):
-        raise SystemExit(f"error: {flag} rates must be >= 0")
-    return values
+# ----------------------------------------------------------------------
+# parsers
+# ----------------------------------------------------------------------
+def _add_shape_flags(parser: argparse.ArgumentParser) -> None:
+    """Sweep-shape flags: what grid a campaign spans.
 
-
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="p2pmpirun",
-        description="Run a job on the simulated P2P-MPI Grid'5000 testbed.",
-        epilog="Store tools: 'p2pmpirun merge <STORE...> --out DIR' "
-               "combines shard/checkpoint stores of one sweep into the "
-               "canonical file (refusing on conflicts); 'p2pmpirun "
-               "aggregate DIR' renders the campaign-level summary of a "
-               "store directory.  See 'p2pmpirun merge --help'.",
-    )
-    parser.add_argument("-n", type=int, default=None,
-                        help="number of MPI processes (mandatory for runs)")
-    parser.add_argument("-r", type=int, default=1,
-                        help="replication degree (default 1)")
+    Shared by the legacy parser, ``run`` and ``orchestrate`` — the
+    orchestrator forwards exactly these to its worker processes, so
+    the three surfaces must stay flag-compatible.
+    """
     parser.add_argument("-a", "--alloc", default="spread",
                         help="allocation strategy: spread | concentrate | "
                              "block | bandwidth_spread | "
                              "diameter_concentrate | topo_block")
-    parser.add_argument("--block", type=int, default=2,
-                        help="block size when -a block")
-    parser.add_argument("--group", type=int, default=None,
-                        help="collective-group block unit when -a "
-                             "topo_block (default: derived from n)")
     parser.add_argument("--class", dest="nas_class", default="B",
                         help="NAS class for ep/is/cg (default B)")
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--experiment",
-                        choices=("fig2", "fig3", "fig4", "table1",
-                                 "ablations", "scaling", "multiuser",
-                                 "coallocation", "commaware", "churnload",
-                                 "applatency", "all"),
-                        help="regenerate a paper figure/table, run the "
-                             "ablation studies, the combined §5.1 sweep "
-                             "('coallocation'), the communication-aware "
-                             "scenario pack ('commaware'), the sustained-"
-                             "load availability campaign ('churnload'), "
-                             "the EP/IS latency-ratio execution campaign "
-                             "('applatency'), or the whole campaign "
-                             "('all') instead of running a job")
     parser.add_argument("--cluster", default="grid5000",
                         choices=("grid5000", "small"),
                         help="testbed for coallocation/commaware sweeps "
@@ -200,6 +131,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--horizon", type=float, default=240.0,
                         help="churnload round horizon in simulated "
                              "seconds (default 240)")
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """Execution/persistence flags of a directly-run sweep."""
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for sweep cells (default 1; "
                              "0 auto-sizes from the CPU count)")
@@ -223,12 +158,155 @@ def build_parser() -> argparse.ArgumentParser:
                              "profile-<experiment>.pstats next to the store "
                              "(or the CWD without --out) and print the "
                              "top-20 cumulative entries")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The job-run (and legacy ``--experiment``) parser."""
+    parser = argparse.ArgumentParser(
+        prog="p2pmpirun",
+        description="Run a job on the simulated P2P-MPI Grid'5000 testbed.",
+        epilog="Campaign verbs: 'p2pmpirun run EXPERIMENT' executes one "
+               "campaign, 'p2pmpirun orchestrate EXPERIMENT --out DIR' "
+               "runs it sharded over supervised worker processes, "
+               "'p2pmpirun merge <STORE...> --out DIR' combines "
+               "shard/checkpoint stores into the canonical file "
+               "(refusing on conflicts), and 'p2pmpirun aggregate DIR' "
+               "renders the campaign-level summary of a store "
+               "directory.  See 'p2pmpirun run --help'.",
+    )
+    parser.add_argument("-n", type=int, default=None,
+                        help="number of MPI processes (mandatory for runs)")
+    parser.add_argument("-r", type=int, default=1,
+                        help="replication degree (default 1)")
+    parser.add_argument("--block", type=int, default=2,
+                        help="block size when -a block")
+    parser.add_argument("--group", type=int, default=None,
+                        help="collective-group block unit when -a "
+                             "topo_block (default: derived from n)")
+    parser.add_argument("--experiment", choices=registry.names(),
+                        help="deprecated spelling of 'p2pmpirun run "
+                             "EXPERIMENT' (kept for compatibility)")
+    _add_shape_flags(parser)
+    _add_engine_flags(parser)
     parser.add_argument("prog", nargs="?", default="hostname",
                         choices=PROGRAMS, help="program to execute")
     return parser
 
 
+def build_run_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="p2pmpirun run",
+        description="Run one experiment campaign: regenerate a paper "
+                    "figure/table, the ablation studies, the combined "
+                    "§5.1 sweep ('coallocation'), the communication-"
+                    "aware scenario pack ('commaware'), the sustained-"
+                    "load availability campaign ('churnload'), the "
+                    "EP/IS latency-ratio execution campaign "
+                    "('applatency'), or the whole campaign ('all').")
+    parser.add_argument("experiment", choices=registry.names(),
+                        help="campaign to run")
+    _add_shape_flags(parser)
+    _add_engine_flags(parser)
+    return parser
+
+
+def build_orchestrate_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="p2pmpirun orchestrate",
+        description="Run a whole campaign end to end over supervised "
+                    "worker processes: shard the sweep grids, dispatch "
+                    "up to --workers concurrent shard workers, track "
+                    "their progress through heartbeat files, retry "
+                    "crashed or stalled shards with exponential "
+                    "backoff, merge every landed shard into --out "
+                    "immediately, and promote the canonical store — "
+                    "byte-identical to an unsharded run — when the "
+                    "grid completes.")
+    parser.add_argument("experiment", choices=registry.shardable_names(),
+                        help="campaign to orchestrate (engine-backed "
+                             "experiments only)")
+    _add_shape_flags(parser)
+    parser.add_argument("--out", required=True, metavar="DIR",
+                        help="campaign store directory; also hosts the "
+                             ".orchestrate/ scratch tree while running")
+    parser.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="maximum concurrent shard workers (default 2)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="grid partitions (default: --workers; more "
+                             "shards than workers queue and backfill)")
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="relaunch budget per shard beyond the first "
+                             "attempt (default 2)")
+    parser.add_argument("--stall-timeout", type=float, default=300.0,
+                        metavar="SECONDS",
+                        help="terminate and retry a worker whose "
+                             "heartbeat stops this long (default 300)")
+    parser.add_argument("--poll-interval", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="supervisor poll period (default 0.5)")
+    parser.add_argument("--backoff", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="base of the exponential relaunch backoff "
+                             "(default 0.5)")
+    parser.add_argument("--keep-partial", action="store_true",
+                        help="keep shard scratch directories and "
+                             ".partial files after a successful campaign")
+    parser.add_argument("--inject-kill", type=int, default=None,
+                        metavar="CELLS",
+                        help="failure-injection hook for tests/CI: the "
+                             "first shard's first worker self-kills "
+                             "after CELLS cells")
+    return parser
+
+
+def build_merge_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="p2pmpirun merge",
+        description="Combine shard/checkpoint JSONL stores of ONE sweep "
+                    "into a single canonical store.  Inputs may mix "
+                    "canonical .jsonl files and .jsonl.partial shard or "
+                    "checkpoint files produced on any machine; the merge "
+                    "refuses on header-hash mismatch or divergent cell "
+                    "values, tolerates torn tails and identical "
+                    "duplicates, and — when the union covers the full "
+                    "grid — writes a file byte-identical to what one "
+                    "unsharded run would have saved, then removes the "
+                    "promoted .partial inputs.")
+    parser.add_argument("stores", nargs="+", metavar="STORE",
+                        help="store files to merge (.jsonl and/or "
+                             ".jsonl.partial of one spec)")
+    parser.add_argument("--out", required=True, metavar="DIR",
+                        help="store directory receiving the merged file "
+                             "(canonical when complete, .partial when "
+                             "cells are still missing)")
+    parser.add_argument("--require-complete", action="store_true",
+                        help="exit non-zero unless the merged cells cover "
+                             "the full sweep grid")
+    parser.add_argument("--keep-partial", action="store_true",
+                        help="keep the input .partial files even when "
+                             "the merge promotes the canonical store")
+    return parser
+
+
+def build_aggregate_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="p2pmpirun aggregate",
+        description="Render the campaign-level summary of a store "
+                    "directory: every sweep (canonical or pending "
+                    ".partial) with completeness, axis shapes and "
+                    "numeric-metric rollups.")
+    parser.add_argument("root", metavar="DIR",
+                        help="store directory (the --out of runs/merges)")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# single-job path
+# ----------------------------------------------------------------------
 def _run_single(args: argparse.Namespace) -> int:
+    from repro.cluster import build_grid5000_cluster
+    from repro.middleware.jobs import JobRequest
+
     if args.n is None:
         print("error: -n is mandatory (as in the paper's p2pmpirun)",
               file=sys.stderr)
@@ -252,297 +330,17 @@ def _run_single(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
-def _store(args: argparse.Namespace) -> Optional[ResultStore]:
+# ----------------------------------------------------------------------
+# experiment execution (shared by `run` and the legacy spelling)
+# ----------------------------------------------------------------------
+def _store(args: argparse.Namespace):
+    from repro.experiments.engine import ResultStore
+
     return ResultStore(args.out) if args.out else None
 
 
-def _report_sweep(sweep: SweepResult, store: Optional[ResultStore]) -> None:
-    line = f"[engine] {sweep.summary()}"
-    if store is not None:
-        # Sharded runs persist to the .partial checkpoint (the merge
-        # input); only complete sweeps own the canonical file.  A shard
-        # served entirely from cache checkpoints nothing — pointing a
-        # later `merge` at a nonexistent path would only confuse.
-        path = (store.partial_path_for(sweep.spec) if sweep.shard
-                else store.path_for(sweep.spec))
-        if sweep.shard and not path.exists():
-            line += " (all cells cached; no checkpoint written)"
-        else:
-            line += f" -> {path}"
-    print(line)
-
-
-def _run_coallocation(args: argparse.Namespace, experiment: str,
-                      store: Optional[ResultStore]) -> None:
-    strategy = "concentrate" if experiment == "fig2" else "spread"
-    spec = coallocation_spec(seed=args.seed, strategies=(strategy,),
-                             name=experiment, **_grid_overrides(args))
-    sweep = coallocation_sweep(spec=spec, jobs=args.jobs, store=store,
-                               force=args.force, shard=args.shard)
-    _report_sweep(sweep, store)
-    if args.shard:
-        return  # a shard's slice cannot fill the report tables
-    series = series_from_sweep(sweep)[strategy]
-    print(format_site_table(series, value="hosts"))
-    print()
-    print(format_site_table(series, value="cores"))
-    if args.plot:
-        from repro.experiments.figures import ascii_plot
-        from repro.experiments.report import legend_order
-
-        sites = legend_order(
-            sorted({s for pt in series.points for s in pt.cores_by_site}))
-        print()
-        print(ascii_plot(
-            series.demands,
-            {site: series.cores_series(site) for site in sites},
-            title=f"{strategy}: allocated cores per site",
-            y_label="cores",
-        ))
-
-
-def _grid_overrides(args: argparse.Namespace) -> dict:
-    """Only the sweep-shape kwargs the user explicitly set, so the
-    figure drivers keep their spec functions' own defaults otherwise."""
-    overrides = {}
-    if args.demands is not None:
-        overrides["demands"] = _csv_values("--demands", args.demands, int)
-    if args.cluster == "small":
-        overrides["cluster_spec"] = ClusterSpec(kind="small")
-        if args.demands is None:
-            # The paper's 100..600 grid is infeasible on the 28-core
-            # smoke testbed; default to a grid that fits it.
-            overrides["demands"] = (4, 8, 16)
-    return overrides
-
-
-def _run_combined_coallocation(args: argparse.Namespace,
-                               store: Optional[ResultStore]) -> None:
-    """The §5.1 sweep with both published strategies in one grid."""
-    spec = coallocation_spec(seed=args.seed,
-                             strategies=("concentrate", "spread"),
-                             name="coallocation", **_grid_overrides(args))
-    sweep = coallocation_sweep(spec=spec, jobs=args.jobs, store=store,
-                               force=args.force, shard=args.shard)
-    _report_sweep(sweep, store)
-    if args.shard:
-        return
-    for strategy, series in sorted(series_from_sweep(sweep).items()):
-        print(format_site_table(series, value="hosts"))
-        print()
-        print(format_site_table(series, value="cores"))
-        print()
-
-
-def _run_commaware(args: argparse.Namespace,
-                   store: Optional[ResultStore]) -> None:
-    """The communication-aware pack.  Output is deterministic byte for
-    byte (no timings), so ``--jobs 1`` and ``--jobs 2`` runs diff clean.
-    """
-    small = args.cluster == "small"
-    campaign = run_commaware_campaign(
-        seed=args.seed,
-        # The fig4/latratio panels assume the full testbed's demand
-        # range; on the smoke grid only the alloc comparison makes sense.
-        with_apps=not small,
-        with_latratio=not small,
-        jobs=args.jobs, store=store, force=args.force, shard=args.shard,
-        **_grid_overrides(args))
-    if args.shard:
-        for sweep in campaign.sweeps():
-            _report_sweep(sweep, store)
-        return
-    print(commaware_report(campaign))
-
-
-def _run_applatency(args: argparse.Namespace,
-                    store: Optional[ResultStore]) -> None:
-    """The EP/IS latency-ratio execution campaign.  Output is the
-    deterministic report only (no engine timings), so ``--jobs 1`` and
-    ``--jobs 2`` runs diff clean byte for byte.
-
-    The latency-ratio testbed is the campaign's subject, so --cluster
-    is ignored; tiny CI grids come from --demands and --ratios.
-    """
-    overrides = {}
-    if args.demands is not None:
-        overrides["ns"] = _csv_values("--demands", args.demands, int,
-                                      positive=True)
-    if args.ratios is not None:
-        overrides["ratios"] = _csv_values("--ratios", args.ratios, float,
-                                          positive=True)
-    campaign = run_applatency_campaign(
-        seed=args.seed, nas_class=args.nas_class, jobs=args.jobs,
-        store=store, force=args.force, shard=args.shard, **overrides)
-    if args.shard:
-        for sweep in campaign.sweeps():
-            _report_sweep(sweep, store)
-        return
-    print(applatency_report(campaign))
-
-
-def _run_churnload(args: argparse.Namespace,
-                   store: Optional[ResultStore]) -> None:
-    """The sustained-load availability campaign.  Output is the
-    deterministic ledger report only (no engine timings), so
-    ``--jobs 1`` and ``--jobs 2`` runs diff clean byte for byte.
-    """
-    small = args.cluster == "small"
-    if args.horizon <= 0:
-        raise SystemExit("error: --horizon must be > 0")
-    if args.users < 1:
-        raise SystemExit("error: --users must be >= 1")
-    overrides = {}
-    if args.failures is not None:
-        overrides["failures"] = _csv_values("--failures", args.failures,
-                                            float, nonnegative=True)
-    spec = churnload_spec(
-        seed=args.seed,
-        users=args.users,
-        horizon_s=args.horizon,
-        # The 28-core smoke grid saturates around n*r=8; the full
-        # testbed gets a demand that actually straddles sites.
-        n=4 if small else 16,
-        cluster_spec=ClusterSpec(kind="small" if small else "grid5000"),
-        **overrides,
-    )
-    sweep = churnload_sweep(spec=spec, jobs=args.jobs, store=store,
-                            force=args.force, shard=args.shard)
-    if args.shard:
-        _report_sweep(sweep, store)
-        return
-    print(churnload_report(sweep))
-
-
-def _run_fig4(args: argparse.Namespace,
-              store: Optional[ResultStore]) -> None:
-    panels = {}
-    for app in (EPBenchmark(args.nas_class), ISBenchmark(args.nas_class)):
-        spec = application_spec(app, seed=args.seed)
-        sweep = application_sweep(spec=spec, jobs=args.jobs, store=store,
-                                  force=args.force, shard=args.shard)
-        _report_sweep(sweep, store)
-        panels[app.name] = app_series_from_sweep(sweep)
-    if args.shard:
-        return
-    for label, series in panels.items():
-        print()
-        print(format_series_table(series, title=label.upper()))
-    if args.plot:
-        from repro.experiments.figures import ascii_plot
-
-        for label, series in panels.items():
-            print()
-            print(ascii_plot(
-                series["spread"].ns,
-                {name: s.times for name, s in series.items()},
-                title=f"{label} total time",
-                y_label="s",
-            ))
-
-
-def _run_scaling(args: argparse.Namespace,
-                 store: Optional[ResultStore]) -> None:
-    strategy = args.alloc
-    if strategy == "block":
-        print("warning: --experiment scaling does not sweep the block "
-              "strategy; using spread", file=sys.stderr)
-        strategy = "spread"
-    spec = scaling_spec(seed=args.seed, strategy=strategy)
-    sweep = scaling_sweep(spec=spec, jobs=args.jobs, store=store,
-                          force=args.force, shard=args.shard)
-    _report_sweep(sweep, store)
-    if args.shard:
-        return
-    series = scaling_series_from_sweep(sweep)
-    print(f"strategy: {series.strategy}")
-    for p in series.points:
-        print(f"n={p.n:<4} reservation={p.reservation_s * 1e3:7.1f} ms  "
-              f"launch={p.launch_s * 1e3:7.1f} ms  booked={p.booked_hosts}  "
-              f"attempts={p.attempts}")
-
-
-def _run_multiuser(args: argparse.Namespace,
-                   store: Optional[ResultStore]) -> None:
-    spec = multiuser_spec(seed=args.seed)
-    sweep = multiuser_sweep(spec=spec, jobs=args.jobs, store=store,
-                            force=args.force, shard=args.shard)
-    _report_sweep(sweep, store)
-    if args.shard:
-        return
-    for cell in sweep.cells:
-        v = cell.value
-        print(f"users={cell.params['users']} n={cell.params['n']} "
-              f"{cell.params['strategy']:<12} statuses={v['statuses']} "
-              f"overlaps={v['concurrent_overlap_count']} "
-              f"refusals={v['total_refusals']}")
-
-
 def _run_experiment(args: argparse.Namespace) -> int:
-    if args.experiment == "table1":
-        print(f"{'Site':<10}{'Cluster':<12}{'CPU':<20}"
-              f"{'#Nodes':>8}{'#CPUs':>8}{'#Cores':>8}")
-        for c in CLUSTERS:
-            print(f"{c.site:<10}{c.name:<12}{c.cpu_model:<20}"
-                  f"{c.nodes:>8}{c.cpus:>8}{c.cores:>8}")
-        topo = build_topology()
-        print("\nLegend (RTT to nancy):")
-        for site, rtt, hosts, cores in paper_site_legend(topo):
-            print(f"  {site:<10} {rtt:>7.3f} ms  {hosts:>3} hosts  {cores:>4} cores")
-        return 0
-    store = _store(args)
-    if args.experiment in ("fig2", "fig3"):
-        _run_coallocation(args, args.experiment, store)
-        return 0
-    if args.experiment == "coallocation":
-        _run_combined_coallocation(args, store)
-        return 0
-    if args.experiment == "commaware":
-        _run_commaware(args, store)
-        return 0
-    if args.experiment == "churnload":
-        _run_churnload(args, store)
-        return 0
-    if args.experiment == "applatency":
-        _run_applatency(args, store)
-        return 0
-    if args.experiment == "fig4":
-        _run_fig4(args, store)
-        return 0
-    if args.experiment == "scaling":
-        _run_scaling(args, store)
-        return 0
-    if args.experiment == "multiuser":
-        _run_multiuser(args, store)
-        return 0
-    if args.experiment == "ablations":
-        from repro.experiments.ablations import (
-            latency_noise_ablation,
-            replication_ablation,
-        )
-
-        print("Latency noise vs ranking quality (Kendall tau):")
-        for p in latency_noise_ablation(seed=args.seed, jobs=args.jobs,
-                                        store=store, force=args.force):
-            print(f"  sigma={p.noise_sigma_ms:5.2f} ms  tau={p.tau:.4f}")
-        print("\nReplication degree vs survival (5% host failures):")
-        for p in replication_ablation(seed=args.seed or 1, store=store,
-                                      force=args.force):
-            print(f"  r={p.r}  P(survive)={p.survival:.4f}")
-        return 0
-    # --experiment all: the full campaign through the engine.
-    for experiment in ("fig2", "fig3"):
-        print(f"== {experiment} ==")
-        _run_coallocation(args, experiment, store)
-        print()
-    print("== fig4 ==")
-    _run_fig4(args, store)
-    print()
-    print("== scaling ==")
-    _run_scaling(args, store)
-    print()
-    print("== multiuser ==")
-    _run_multiuser(args, store)
+    registry.get(args.experiment).cli_run(args, _store(args))
     return 0
 
 
@@ -573,47 +371,90 @@ def _run_profiled(args: argparse.Namespace) -> int:
     return rc
 
 
+def _finish(parser: argparse.ArgumentParser,
+            args: argparse.Namespace) -> int:
+    """Validations + dispatch shared by ``run`` and the legacy form."""
+    from repro.experiments.engine import resolve_jobs
+
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0 (0 = auto-size from CPU count)")
+    args.jobs = resolve_jobs(args.jobs)
+    if args.shard:
+        if args.experiment is None:
+            parser.error("--shard only applies to experiment sweeps "
+                         "('p2pmpirun run EXPERIMENT --shard K/N')")
+        if not registry.is_shardable(args.experiment):
+            parser.error(
+                f"experiment {args.experiment} does not shard (shardable: "
+                f"{', '.join(registry.shardable_names())})")
+        if not args.out:
+            parser.error("--shard requires --out: a shard's cells persist "
+                         "to the store's .partial file for the merge step")
+        if args.force:
+            parser.error("--force cannot be combined with --shard: it "
+                         "would invalidate cells other shards checkpointed "
+                         "into the same store")
+    if args.profile:
+        if args.experiment is None:
+            parser.error("--profile only applies to experiment sweeps")
+        if args.experiment == "table1":
+            parser.error("--profile: table1 prints a static table, "
+                         "there is no sweep to profile")
+    if args.experiment:
+        if args.profile:
+            return _run_profiled(args)
+        return _run_experiment(args)
+    return _run_single(args)
+
+
+def _run_run(argv: List[str]) -> int:
+    parser = build_run_parser()
+    return _finish(parser, parser.parse_args(argv))
+
+
+# ----------------------------------------------------------------------
+# orchestrate verb
+# ----------------------------------------------------------------------
+def _run_orchestrate(argv: List[str]) -> int:
+    parser = build_orchestrate_parser()
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    if args.shards is not None and args.shards < 1:
+        parser.error("--shards must be >= 1")
+    if args.retries < 0:
+        parser.error("--retries must be >= 0")
+    if args.inject_kill is not None and args.inject_kill < 1:
+        parser.error("--inject-kill must be >= 1")
+
+    from repro.experiments.orchestrator import Orchestrator, worker_flags
+
+    experiment = registry.get(args.experiment)
+    # Spec builders reuse the drivers' own CLI validation (bad
+    # --demands/--ratios/... exit here, before any worker launches).
+    specs = experiment.specs(args)
+    orchestrator = Orchestrator(
+        args.experiment, specs, args.out,
+        worker_flags=worker_flags(args.experiment, args),
+        workers=args.workers,
+        shards=args.shards,
+        retries=args.retries,
+        stall_timeout_s=args.stall_timeout,
+        poll_interval_s=args.poll_interval,
+        backoff_base_s=args.backoff,
+        keep_partial=args.keep_partial,
+        inject_kill_cells=args.inject_kill,
+    )
+    report = orchestrator.run()
+    return 0 if report.ok else 1
+
+
 # ----------------------------------------------------------------------
 # store tools: merge + aggregate verbs
 # ----------------------------------------------------------------------
-def build_merge_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="p2pmpirun merge",
-        description="Combine shard/checkpoint JSONL stores of ONE sweep "
-                    "into a single canonical store.  Inputs may mix "
-                    "canonical .jsonl files and .jsonl.partial shard or "
-                    "checkpoint files produced on any machine; the merge "
-                    "refuses on header-hash mismatch or divergent cell "
-                    "values, tolerates torn tails and identical "
-                    "duplicates, and — when the union covers the full "
-                    "grid — writes a file byte-identical to what one "
-                    "unsharded run would have saved.")
-    parser.add_argument("stores", nargs="+", metavar="STORE",
-                        help="store files to merge (.jsonl and/or "
-                             ".jsonl.partial of one spec)")
-    parser.add_argument("--out", required=True, metavar="DIR",
-                        help="store directory receiving the merged file "
-                             "(canonical when complete, .partial when "
-                             "cells are still missing)")
-    parser.add_argument("--require-complete", action="store_true",
-                        help="exit non-zero unless the merged cells cover "
-                             "the full sweep grid")
-    return parser
-
-
-def build_aggregate_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="p2pmpirun aggregate",
-        description="Render the campaign-level summary of a store "
-                    "directory: every sweep (canonical or pending "
-                    ".partial) with completeness, axis shapes and "
-                    "numeric-metric rollups.")
-    parser.add_argument("root", metavar="DIR",
-                        help="store directory (the --out of runs/merges)")
-    return parser
-
-
 def _run_merge(argv: List[str]) -> int:
+    from repro.experiments.aggregate import MergeConflictError, StoreMerger
+
     args = build_merge_parser().parse_args(argv)
     try:
         merged = StoreMerger().merge(args.stores)
@@ -624,6 +465,21 @@ def _run_merge(argv: List[str]) -> int:
         print(f"error: merge conflict: {exc}", file=sys.stderr)
         return 1
     print(f"[merge] {merged.summary()} -> {path}")
+    if merged.complete and not args.keep_partial:
+        # The canonical file supersedes the shard checkpoints that fed
+        # it; leaving them around invites a later merge/aggregate to
+        # trip over stale data.
+        removed = 0
+        for store in args.stores:
+            candidate = os.path.abspath(store)
+            if (candidate.endswith(".partial")
+                    and candidate != os.path.abspath(str(path))
+                    and os.path.exists(candidate)):
+                os.unlink(candidate)
+                removed += 1
+        if removed:
+            print(f"[merge] removed {removed} superseded .partial "
+                  f"input(s) (--keep-partial retains them)")
     if args.require_complete and not merged.complete:
         print(f"error: merged store is incomplete "
               f"({len(merged.missing_indices)} cell(s) missing)",
@@ -633,6 +489,8 @@ def _run_merge(argv: List[str]) -> int:
 
 
 def _run_aggregate(argv: List[str]) -> int:
+    from repro.experiments.aggregate import render_aggregate, scan_store_root
+
     args = build_aggregate_parser().parse_args(argv)
     if not os.path.isdir(args.root):
         # A typo'd path must not pass as an empty-but-clean campaign.
@@ -647,51 +505,54 @@ def _run_aggregate(argv: List[str]) -> int:
     return 0
 
 
-#: Store-tool verbs dispatched before the main parser (``p2pmpirun
-#: merge ...`` / ``p2pmpirun aggregate ...``).
-TOOL_VERBS = {"merge": _run_merge, "aggregate": _run_aggregate}
+#: Verbs dispatched before the legacy parser (``p2pmpirun run ...``,
+#: ``p2pmpirun orchestrate ...``, ``p2pmpirun merge ...``, ...).
+TOOL_VERBS = {"run": _run_run, "orchestrate": _run_orchestrate,
+              "merge": _run_merge, "aggregate": _run_aggregate}
+
+
+def _rewrite_legacy_experiment(argv: List[str]) -> List[str]:
+    """``--experiment X`` -> ``run X`` (the pre-verb CLI, deprecated).
+
+    Only the exact flag spellings are rewritten; a trailing
+    ``--experiment`` with no value falls through to the legacy parser,
+    whose own "expected one argument" error is the right one.
+    """
+    for i, arg in enumerate(argv):
+        if arg == "--experiment":
+            if i + 1 >= len(argv):
+                break
+            name, rest = argv[i + 1], argv[:i] + argv[i + 2:]
+        elif arg.startswith("--experiment="):
+            name, rest = arg.split("=", 1)[1], argv[:i] + argv[i + 1:]
+        else:
+            continue
+        print(f"note: 'p2pmpirun --experiment {name}' is deprecated; "
+              f"use 'p2pmpirun run {name}'", file=sys.stderr)
+        return ["run", name] + rest
+    return argv
+
+
+def _dispatch(verb: str, argv: List[str]) -> int:
+    try:
+        return TOOL_VERBS[verb](argv)
+    except BrokenPipeError:
+        # The stdout reader (head, grep -q) went away mid-report;
+        # park stdout on devnull so the interpreter's exit flush
+        # does not raise again, and exit like a SIGPIPE'd tool.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] in TOOL_VERBS:
-        try:
-            return TOOL_VERBS[argv[0]](argv[1:])
-        except BrokenPipeError:
-            # The stdout reader (head, grep -q) went away mid-report;
-            # park stdout on devnull so the interpreter's exit flush
-            # does not raise again, and exit like a SIGPIPE'd tool.
-            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-            return 141
+        return _dispatch(argv[0], argv[1:])
+    argv = _rewrite_legacy_experiment(argv)
+    if argv and argv[0] in TOOL_VERBS:
+        return _dispatch(argv[0], argv[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
-    if args.jobs < 0:
-        parser.error("--jobs must be >= 0 (0 = auto-size from CPU count)")
-    args.jobs = resolve_jobs(args.jobs)
-    if args.shard:
-        if args.experiment is None:
-            parser.error("--shard only applies to --experiment sweeps")
-        if args.experiment not in SHARDABLE_EXPERIMENTS:
-            parser.error(f"--experiment {args.experiment} does not shard "
-                         f"(shardable: {', '.join(SHARDABLE_EXPERIMENTS)})")
-        if not args.out:
-            parser.error("--shard requires --out: a shard's cells persist "
-                         "to the store's .partial file for the merge step")
-        if args.force:
-            parser.error("--force cannot be combined with --shard: it "
-                         "would invalidate cells other shards checkpointed "
-                         "into the same store")
-    if args.profile:
-        if args.experiment is None:
-            parser.error("--profile only applies to --experiment sweeps")
-        if args.experiment == "table1":
-            parser.error("--profile: table1 prints a static table, "
-                         "there is no sweep to profile")
-    if args.experiment:
-        if args.profile:
-            return _run_profiled(args)
-        return _run_experiment(args)
-    return _run_single(args)
+    return _finish(parser, parser.parse_args(argv))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -4,6 +4,13 @@
   driver is built on: declarative :class:`ExperimentSpec` grids, a
   :class:`SweepRunner` with serial / process-pool / shared-cluster
   modes, and a content-hash-keyed JSONL :class:`ResultStore`.
+* :mod:`~repro.experiments.registry` — the lazy experiment catalogue:
+  each driver registers its ``(name, spec builder, CLI entry, axes)``
+  record once; the CLI and the orchestrator enumerate campaigns from
+  it without importing every driver up front.
+* :mod:`~repro.experiments.orchestrator` — the campaign daemon behind
+  ``p2pmpirun orchestrate``: shard dispatch to worker processes,
+  heartbeat-based stall detection, retries, continuous merge.
 * :mod:`~repro.experiments.coallocation` — Figures 2 and 3 (hosts and
   cores per site vs. demanded processes, per strategy) plus the §5.1
   narrative checks.
@@ -17,176 +24,93 @@
 * :mod:`~repro.experiments.aggregate` — distributed result
   aggregation: merge shard/checkpoint stores into one canonical file
   and roll a store directory into a campaign-level summary.
+
+The package is import-lazy (PEP 562): ``from repro.experiments import
+coallocation_sweep`` resolves — and pays for — only the owning
+submodule, which is what keeps ``p2pmpirun --help`` fast.
 """
 
-from repro.experiments.engine import (
-    Cell,
-    CellContext,
-    CellResult,
-    ExperimentSpec,
-    ResultStore,
-    SweepResult,
-    SweepRunner,
-    derive_cell_seed,
-    make_spec,
-    parse_shard,
-    resolve_jobs,
-    run_sweep,
-)
-from repro.experiments.aggregate import (
-    CellConflict,
-    MergeConflictError,
-    MergedStore,
-    StoreMerger,
-    SweepConflict,
-    aggregate_report,
-    read_store_file,
-    render_aggregate,
-    scan_store_root,
-)
-from repro.experiments.coallocation import (
-    CoallocationPoint,
-    CoallocationSeries,
-    coallocation_spec,
-    coallocation_sweep,
-    run_coallocation_experiment,
-    series_from_sweep,
-)
-from repro.experiments.applications import (
-    AppTimePoint,
-    AppTimeSeries,
-    app_series_from_sweep,
-    application_spec,
-    application_sweep,
-    run_application_experiment,
-)
-from repro.experiments.ablations import (
-    kendall_tau,
-    latency_noise_ablation,
-    overbooking_ablation,
-    replication_ablation,
-    smoothing_ablation,
-    block_strategy_ablation,
-)
-from repro.experiments.applatency import (
-    APPLATENCY_STRATEGIES,
-    AppLatencyCampaign,
-    applatency_report,
-    applatency_spec,
-    fig4_crossover,
-    run_applatency_campaign,
-)
-from repro.experiments.churnload import (
-    CHURNLOAD_STRATEGIES,
-    FixedWorkApp,
-    churnload_report,
-    churnload_spec,
-    churnload_sweep,
-    run_churnload_round,
-)
-from repro.experiments.commaware import (
-    ALL_STRATEGIES,
-    COMMAWARE_STRATEGIES,
-    CommawareCampaign,
-    commaware_alloc_spec,
-    commaware_app_spec,
-    commaware_report,
-    latratio_spec,
-    run_commaware_campaign,
-)
-from repro.experiments.report import (
-    format_metric_comparison,
-    format_series_table,
-    format_site_table,
-    series_to_csv,
-)
-from repro.experiments.multiuser import (
-    MultiUserOutcome,
-    multiuser_spec,
-    multiuser_sweep,
-    run_multiuser_experiment,
-)
-from repro.experiments.figures import ascii_plot
-from repro.experiments.scaling import (
-    ScalingPoint,
-    ScalingSeries,
-    run_scaling_experiment,
-    scaling_spec,
-    scaling_sweep,
-)
+from __future__ import annotations
 
-__all__ = [
-    "Cell",
-    "CellContext",
-    "CellResult",
-    "ExperimentSpec",
-    "ResultStore",
-    "SweepResult",
-    "SweepRunner",
-    "derive_cell_seed",
-    "make_spec",
-    "parse_shard",
-    "resolve_jobs",
-    "run_sweep",
-    "CellConflict",
-    "MergeConflictError",
-    "MergedStore",
-    "StoreMerger",
-    "SweepConflict",
-    "aggregate_report",
-    "read_store_file",
-    "render_aggregate",
-    "scan_store_root",
-    "coallocation_spec",
-    "coallocation_sweep",
-    "series_from_sweep",
-    "application_spec",
-    "application_sweep",
-    "app_series_from_sweep",
-    "scaling_spec",
-    "scaling_sweep",
-    "multiuser_spec",
-    "multiuser_sweep",
-    "CoallocationPoint",
-    "CoallocationSeries",
-    "run_coallocation_experiment",
-    "AppTimePoint",
-    "AppTimeSeries",
-    "run_application_experiment",
-    "kendall_tau",
-    "latency_noise_ablation",
-    "smoothing_ablation",
-    "overbooking_ablation",
-    "replication_ablation",
-    "block_strategy_ablation",
-    "ALL_STRATEGIES",
-    "APPLATENCY_STRATEGIES",
-    "AppLatencyCampaign",
-    "applatency_report",
-    "applatency_spec",
-    "fig4_crossover",
-    "run_applatency_campaign",
-    "CHURNLOAD_STRATEGIES",
-    "FixedWorkApp",
-    "churnload_report",
-    "churnload_spec",
-    "churnload_sweep",
-    "run_churnload_round",
-    "COMMAWARE_STRATEGIES",
-    "CommawareCampaign",
-    "commaware_alloc_spec",
-    "commaware_app_spec",
-    "commaware_report",
-    "latratio_spec",
-    "run_commaware_campaign",
-    "format_metric_comparison",
-    "format_series_table",
-    "format_site_table",
-    "series_to_csv",
-    "MultiUserOutcome",
-    "run_multiuser_experiment",
-    "ascii_plot",
-    "ScalingPoint",
-    "ScalingSeries",
-    "run_scaling_experiment",
-]
+import importlib
+
+#: symbol -> owning submodule, replacing the old eager import blocks.
+_EXPORTS = {name: module for module, symbols in {
+    "engine": (
+        "Cell", "CellContext", "CellResult", "ExperimentSpec", "Heartbeat",
+        "ResultStore", "SweepResult", "SweepRunner", "derive_cell_seed",
+        "make_spec", "parse_shard", "resolve_jobs", "run_sweep",
+    ),
+    "aggregate": (
+        "CellConflict", "MergeConflictError", "MergedStore", "StoreMerger",
+        "SweepConflict", "aggregate_report", "read_store_file",
+        "render_aggregate", "scan_store_root",
+    ),
+    "coallocation": (
+        "CoallocationPoint", "CoallocationSeries", "coallocation_spec",
+        "coallocation_sweep", "run_coallocation_experiment",
+        "series_from_sweep",
+    ),
+    "applications": (
+        "AppTimePoint", "AppTimeSeries", "app_series_from_sweep",
+        "application_spec", "application_sweep",
+        "run_application_experiment",
+    ),
+    "ablations": (
+        "kendall_tau", "latency_noise_ablation", "overbooking_ablation",
+        "replication_ablation", "smoothing_ablation",
+        "block_strategy_ablation",
+    ),
+    "applatency": (
+        "APPLATENCY_STRATEGIES", "AppLatencyCampaign", "applatency_report",
+        "applatency_spec", "fig4_crossover", "run_applatency_campaign",
+    ),
+    "churnload": (
+        "CHURNLOAD_STRATEGIES", "FixedWorkApp", "churnload_report",
+        "churnload_spec", "churnload_sweep", "run_churnload_round",
+    ),
+    "commaware": (
+        "ALL_STRATEGIES", "COMMAWARE_STRATEGIES", "CommawareCampaign",
+        "commaware_alloc_spec", "commaware_app_spec", "commaware_report",
+        "latratio_spec", "run_commaware_campaign",
+    ),
+    "report": (
+        "format_metric_comparison", "format_series_table",
+        "format_site_table", "series_to_csv",
+    ),
+    "multiuser": (
+        "MultiUserOutcome", "multiuser_spec", "multiuser_sweep",
+        "run_multiuser_experiment",
+    ),
+    "figures": ("ascii_plot",),
+    "scaling": (
+        "ScalingPoint", "ScalingSeries", "run_scaling_experiment",
+        "scaling_spec", "scaling_sweep",
+    ),
+    "orchestrator": (
+        "ExecutionStrategy", "LocalProcessStrategy", "OrchestrationReport",
+        "Orchestrator",
+    ),
+}.items() for name in symbols}
+
+#: plain submodules reachable as attributes too (`repro.experiments.engine`).
+_SUBMODULES = frozenset(
+    set(_EXPORTS.values())
+    | {"cliutil", "inventory", "registry", "orchestrator"})
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    if name in _EXPORTS:
+        module = importlib.import_module(f"{__name__}.{_EXPORTS[name]}")
+        value = getattr(module, name)
+        globals()[name] = value  # cache: next access skips __getattr__
+        return value
+    if name in _SUBMODULES:
+        return importlib.import_module(f"{__name__}.{name}")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return __all__

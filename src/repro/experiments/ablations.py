@@ -286,3 +286,30 @@ def block_strategy_ablation(
                    time_s=cell.value["time_s"])
         for cell in sweep.cells
     ]
+
+
+# ----------------------------------------------------------------------
+# CLI registration (ablations)
+# ----------------------------------------------------------------------
+def _cli_run(args, store) -> None:
+    print("Latency noise vs ranking quality (Kendall tau):")
+    for p in latency_noise_ablation(seed=args.seed, jobs=args.jobs,
+                                    store=store, force=args.force):
+        print(f"  sigma={p.noise_sigma_ms:5.2f} ms  tau={p.tau:.4f}")
+    print("\nReplication degree vs survival (5% host failures):")
+    for p in replication_ablation(seed=args.seed or 1, store=store,
+                                  force=args.force):
+        print(f"  r={p.r}  P(survive)={p.survival:.4f}")
+
+
+def _register() -> None:
+    from repro.experiments import registry
+
+    registry.register(registry.Experiment(
+        name="ablations",
+        cli_run=_cli_run,
+        shardable=False,
+    ))
+
+
+_register()

@@ -42,7 +42,8 @@ from repro.experiments.engine import encode_store_line, store_basename
 
 __all__ = ["CellConflict", "MergeConflictError", "MergedStore",
            "StoreFile", "StoreMerger", "SweepConflict", "aggregate_report",
-           "read_store_file", "render_aggregate", "scan_store_root"]
+           "merge_into", "read_store_file", "render_aggregate",
+           "scan_store_root"]
 
 #: Exactly the bytes :class:`ResultStore` writes for a record — shared
 #: with the engine so the byte-identity contract has one home.
@@ -259,6 +260,20 @@ class MergedStore:
         if missing:
             text += f", {len(missing)} cell(s) missing"
         return text
+
+
+def merge_into(out_root: os.PathLike,
+               paths: Sequence[os.PathLike]) -> Tuple[MergedStore, Path]:
+    """Incremental-merge entry point: fold ``paths`` into ``out_root``.
+
+    One call per landed shard is how the orchestrator merges
+    continuously: each call absorbs whatever earlier calls left at the
+    destination (canonical or ``.partial``), so shards can merge in any
+    completion order, and the call whose union covers the grid promotes
+    the canonical file.  Returns the merged store and the written path.
+    """
+    merged = StoreMerger().merge(paths)
+    return merged, merged.write(out_root)
 
 
 class StoreMerger:

@@ -315,3 +315,66 @@ def applatency_report(campaign: AppLatencyCampaign) -> str:
             f"EP total {rows['2x64']['ep_total']:.2f} vs "
             f"{rows['1x128']['ep_total']:.2f} s")
     return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# CLI registration (applatency)
+# ----------------------------------------------------------------------
+def _cli_overrides(args) -> Dict:
+    """--demands/--ratios reshape the panels; --cluster does not apply
+    (the latency-ratio testbed is the campaign's subject)."""
+    from repro.experiments.cliutil import csv_values
+
+    overrides = {}
+    if args.demands is not None:
+        overrides["ns"] = csv_values("--demands", args.demands, int,
+                                     positive=True)
+    if args.ratios is not None:
+        overrides["ratios"] = csv_values("--ratios", args.ratios, float,
+                                         positive=True)
+    return overrides
+
+
+def _cli_specs(args) -> List[ExperimentSpec]:
+    """Mirror of :func:`run_applatency_campaign`'s spec construction
+    (the orchestrator contract: same kwargs, same hashes)."""
+    overrides = _cli_overrides(args)
+    ratios = tuple(float(r)
+                   for r in overrides.get("ratios", LATENCY_RATIOS))
+    ns = tuple(int(n) for n in overrides.get("ns", APPLATENCY_NS))
+    return [applatency_spec(app, ratios=ratios,
+                            strategies=APPLATENCY_STRATEGIES, ns=ns,
+                            seed=args.seed)
+            for app in applatency_apps(args.nas_class)]
+
+
+def _cli_run(args, store) -> None:
+    """The EP/IS latency-ratio execution campaign.  Output is the
+    deterministic report only (no engine timings), so ``--jobs 1`` and
+    ``--jobs 2`` runs diff clean byte for byte.
+    """
+    from repro.experiments.cliutil import report_sweep
+
+    campaign = run_applatency_campaign(
+        seed=args.seed, nas_class=args.nas_class, jobs=args.jobs,
+        store=store, force=args.force, shard=args.shard,
+        **_cli_overrides(args))
+    if args.shard:
+        for sweep in campaign.sweeps():
+            report_sweep(sweep, store)
+        return
+    print(applatency_report(campaign))
+
+
+def _register() -> None:
+    from repro.experiments import registry
+
+    registry.register(registry.Experiment(
+        name="applatency",
+        cli_run=_cli_run,
+        specs=_cli_specs,
+        cli_axes=("demands", "ratios", "nas_class"),
+    ))
+
+
+_register()

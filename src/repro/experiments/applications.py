@@ -174,3 +174,58 @@ def run_application_experiment(
     sweep = application_sweep(spec=spec, jobs=jobs, store=store, force=force,
                               cluster=cluster)
     return app_series_from_sweep(sweep)
+
+
+# ----------------------------------------------------------------------
+# CLI registration (fig4)
+# ----------------------------------------------------------------------
+def _fig4_apps(args) -> Tuple[Application, ...]:
+    return (EPBenchmark(args.nas_class), ISBenchmark(args.nas_class))
+
+
+def _fig4_specs(args) -> List[ExperimentSpec]:
+    return [application_spec(app, seed=args.seed)
+            for app in _fig4_apps(args)]
+
+
+def _cli_run_fig4(args, store) -> None:
+    from repro.experiments.cliutil import report_sweep
+    from repro.experiments.report import format_series_table
+
+    panels = {}
+    for app in _fig4_apps(args):
+        spec = application_spec(app, seed=args.seed)
+        sweep = application_sweep(spec=spec, jobs=args.jobs, store=store,
+                                  force=args.force, shard=args.shard)
+        report_sweep(sweep, store)
+        panels[app.name] = app_series_from_sweep(sweep)
+    if args.shard:
+        return
+    for label, series in panels.items():
+        print()
+        print(format_series_table(series, title=label.upper()))
+    if args.plot:
+        from repro.experiments.figures import ascii_plot
+
+        for label, series in panels.items():
+            print()
+            print(ascii_plot(
+                series["spread"].ns,
+                {name: s.times for name, s in series.items()},
+                title=f"{label} total time",
+                y_label="s",
+            ))
+
+
+def _register() -> None:
+    from repro.experiments import registry
+
+    registry.register(registry.Experiment(
+        name="fig4",
+        cli_run=_cli_run_fig4,
+        specs=_fig4_specs,
+        cli_axes=("nas_class", "plot"),
+    ))
+
+
+_register()

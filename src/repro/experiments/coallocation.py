@@ -195,3 +195,93 @@ def run_coallocation_experiment(
     sweep = coallocation_sweep(spec=spec, jobs=jobs, store=store,
                                force=force, cluster=cluster)
     return series_from_sweep(sweep)
+
+
+# ----------------------------------------------------------------------
+# CLI registration (fig2 / fig3 / coallocation)
+# ----------------------------------------------------------------------
+def _figure_strategies(name: str) -> Tuple[str, ...]:
+    if name == "fig2":
+        return ("concentrate",)
+    if name == "fig3":
+        return ("spread",)
+    return ("concentrate", "spread")
+
+
+def _figure_spec(args, name: str) -> ExperimentSpec:
+    from repro.experiments.cliutil import grid_overrides
+
+    return coallocation_spec(seed=args.seed,
+                             strategies=_figure_strategies(name),
+                             name=name, **grid_overrides(args))
+
+
+def _print_series(series: CoallocationSeries, plot: bool) -> None:
+    from repro.experiments.report import format_site_table
+
+    print(format_site_table(series, value="hosts"))
+    print()
+    print(format_site_table(series, value="cores"))
+    if plot:
+        from repro.experiments.figures import ascii_plot
+        from repro.experiments.report import legend_order
+
+        sites = legend_order(
+            sorted({s for pt in series.points for s in pt.cores_by_site}))
+        print()
+        print(ascii_plot(
+            series.demands,
+            {site: series.cores_series(site) for site in sites},
+            title=f"{series.strategy}: allocated cores per site",
+            y_label="cores",
+        ))
+
+
+def _cli_run_figure(args, store, name: str) -> None:
+    from repro.experiments.cliutil import report_sweep
+
+    spec = _figure_spec(args, name)
+    sweep = coallocation_sweep(spec=spec, jobs=args.jobs, store=store,
+                               force=args.force, shard=args.shard)
+    report_sweep(sweep, store)
+    if args.shard:
+        return  # a shard's slice cannot fill the report tables
+    strategy = _figure_strategies(name)[0]
+    _print_series(series_from_sweep(sweep)[strategy], args.plot)
+
+
+def _cli_run_combined(args, store) -> None:
+    """The §5.1 sweep with both published strategies in one grid."""
+    from repro.experiments.cliutil import report_sweep
+    from repro.experiments.report import format_site_table
+
+    spec = _figure_spec(args, "coallocation")
+    sweep = coallocation_sweep(spec=spec, jobs=args.jobs, store=store,
+                               force=args.force, shard=args.shard)
+    report_sweep(sweep, store)
+    if args.shard:
+        return
+    for _strategy, series in sorted(series_from_sweep(sweep).items()):
+        print(format_site_table(series, value="hosts"))
+        print()
+        print(format_site_table(series, value="cores"))
+        print()
+
+
+def _register() -> None:
+    from repro.experiments import registry
+
+    axes = ("cluster", "demands", "plot")
+    for name in ("fig2", "fig3", "coallocation"):
+        run = (_cli_run_combined if name == "coallocation"
+               else (lambda args, store, name=name:
+                     _cli_run_figure(args, store, name)))
+        registry.register(registry.Experiment(
+            name=name,
+            cli_run=run,
+            specs=lambda args, name=name: [_figure_spec(args, name)],
+            cli_axes=axes,
+        ))
+
+
+_register()

@@ -331,3 +331,68 @@ def commaware_report(campaign: CommawareCampaign) -> str:
         parts.append(format_metric_comparison(
             "minbw_gbps@ratio", ratios, bw_rows, fmt=".2f"))
     return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# CLI registration (commaware)
+# ----------------------------------------------------------------------
+def _cli_specs(args) -> List[ExperimentSpec]:
+    """The campaign's sweep grids for these flags, nothing executed.
+
+    Must mirror :func:`run_commaware_campaign`'s spec construction
+    exactly — same kwargs, same order — or the orchestrator would plan
+    shards against hashes its workers never write.
+    """
+    from repro.experiments.cliutil import grid_overrides
+
+    small = args.cluster == "small"
+    overrides = grid_overrides(args)
+    demands = tuple(overrides.get("demands", PAPER_DEMANDS))
+    cluster_spec = overrides.get("cluster_spec")
+    specs = [commaware_alloc_spec(seed=args.seed, demands=demands,
+                                  strategies=ALL_STRATEGIES,
+                                  cluster_spec=cluster_spec)]
+    if not small:
+        for app in (EPBenchmark("B"), ISBenchmark("B")):
+            specs.append(commaware_app_spec(
+                app, seed=args.seed, strategies=ALL_STRATEGIES,
+                cluster_spec=cluster_spec))
+        specs.append(latratio_spec(seed=args.seed,
+                                   strategies=ALL_STRATEGIES))
+    return specs
+
+
+def _cli_run(args, store) -> None:
+    """The communication-aware pack.  Output is deterministic byte for
+    byte (no timings), so ``--jobs 1`` and ``--jobs 2`` runs diff clean.
+    """
+    from repro.experiments.cliutil import grid_overrides, report_sweep
+
+    small = args.cluster == "small"
+    campaign = run_commaware_campaign(
+        seed=args.seed,
+        # The fig4/latratio panels assume the full testbed's demand
+        # range; on the smoke grid only the alloc comparison makes sense.
+        with_apps=not small,
+        with_latratio=not small,
+        jobs=args.jobs, store=store, force=args.force, shard=args.shard,
+        **grid_overrides(args))
+    if args.shard:
+        for sweep in campaign.sweeps():
+            report_sweep(sweep, store)
+        return
+    print(commaware_report(campaign))
+
+
+def _register() -> None:
+    from repro.experiments import registry
+
+    registry.register(registry.Experiment(
+        name="commaware",
+        cli_run=_cli_run,
+        specs=_cli_specs,
+        cli_axes=("cluster", "demands"),
+    ))
+
+
+_register()

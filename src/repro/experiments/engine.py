@@ -47,10 +47,10 @@ from repro.cluster import ClusterSpec, P2PMPICluster
 from repro.sim.rng import stable_hash64
 
 __all__ = ["Cell", "CellContext", "CellResult", "ExperimentSpec",
-           "ResultStore", "SweepResult", "SweepRunner", "demand_cost_key",
-           "derive_cell_seed", "encode_store_line", "make_spec",
-           "parse_shard", "resolve_jobs", "run_sweep", "store_basename",
-           "validate_shard"]
+           "Heartbeat", "ResultStore", "SweepResult", "SweepRunner",
+           "demand_cost_key", "derive_cell_seed", "encode_store_line",
+           "make_spec", "parse_shard", "resolve_jobs", "run_sweep",
+           "store_basename", "validate_shard"]
 
 #: Bump when the stored cell format — or the meaning of stored values —
 #: changes; part of the content hash, so old store files are
@@ -575,6 +575,66 @@ class ResultStore:
         return out
 
 
+class Heartbeat:
+    """Per-worker progress beacon for the orchestrator (DESIGN.md §12).
+
+    A worker process installs one as the runner's progress hook; every
+    completed cell rewrites ``path`` (atomically, tmp + rename) with a
+    tiny JSON record ``{"done": N, "last_key": ...}``.  The orchestrator
+    tails the file's mtime to distinguish a *slow* shard from a *stalled*
+    one — a worker grinding through expensive cells keeps touching its
+    heartbeat, a hung or dead one stops.
+
+    ``kill_after`` is the chaos hook behind ``orchestrate
+    --inject-kill``: after that many cells the process dies with
+    ``os._exit(137)`` — no atexit, no flush, exactly like a SIGKILL'd
+    worker — *after* the heartbeat write, so the orchestrator's view
+    stays consistent with the checkpoint the cells already landed in.
+    The counter is cumulative across every sweep the process runs, so
+    multi-sweep campaigns (commaware, applatency) can die between
+    sweeps too.
+    """
+
+    _env_instance: Optional["Heartbeat"] = None
+
+    def __init__(self, path: os.PathLike,
+                 kill_after: Optional[int] = None) -> None:
+        self.path = Path(path)
+        self.kill_after = kill_after
+        self.done = 0
+
+    def __call__(self, result: "CellResult") -> None:
+        self.done += 1
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(
+            {"done": self.done, "last_key": result.key}, sort_keys=True),
+            encoding="utf-8")
+        tmp.replace(self.path)
+        if self.kill_after is not None and self.done >= self.kill_after:
+            os._exit(137)
+
+    @classmethod
+    def from_env(cls) -> Optional["Heartbeat"]:
+        """The process-wide heartbeat configured by the orchestrator.
+
+        Reads ``REPRO_HEARTBEAT_FILE`` (the beacon path) and
+        ``REPRO_KILL_AFTER_CELLS`` (the injection counter); returns
+        ``None`` when unset — runs outside an orchestrated worker pay
+        nothing.  One instance per process: the cumulative ``done``
+        counter must survive across the several sweeps a campaign
+        worker executes.
+        """
+        path = os.environ.get("REPRO_HEARTBEAT_FILE")
+        if not path:
+            return None
+        if cls._env_instance is None or str(cls._env_instance.path) != path:
+            kill = os.environ.get("REPRO_KILL_AFTER_CELLS")
+            cls._env_instance = cls(
+                path, kill_after=int(kill) if kill else None)
+        return cls._env_instance
+
+
 def _execute_cell(spec: ExperimentSpec, cell: Cell) -> CellResult:
     """Run one cell in the current process (also the pool entry point)."""
     t0 = time.perf_counter()
@@ -607,9 +667,17 @@ class SweepRunner:
     checkpoint_every:
         Flush completed cells to the store's ``.partial`` file every
         this many cells (per-cell sweeps with a store only), so a
-        killed campaign resumes from the checkpoint.  The canonical
-        file at sweep end stays byte-identical regardless of the
-        checkpoint cadence.
+        killed campaign resumes from the checkpoint.  ``None`` (the
+        default) reads ``REPRO_CHECKPOINT_EVERY`` from the environment
+        — the orchestrator's channel for forcing per-cell flushes on
+        its workers — falling back to 8.  The canonical file at sweep
+        end stays byte-identical regardless of the checkpoint cadence.
+    progress:
+        Optional per-cell hook called after each *executed* cell (and
+        its checkpoint flush): cache hits never fire it.  ``None``
+        resolves :meth:`Heartbeat.from_env`, so orchestrated workers
+        beacon progress without any plumbing through the driver
+        modules.
     shard:
         ``(index, count)`` 1-based shard designator (the CLI's
         ``--shard K/N``): run only this shard's slice of the grid (see
@@ -624,10 +692,15 @@ class SweepRunner:
     def __init__(self, spec: ExperimentSpec, *, jobs: int = 1,
                  store: Optional[ResultStore] = None, force: bool = False,
                  cluster: Optional[P2PMPICluster] = None,
-                 checkpoint_every: int = 8,
-                 shard: Optional[Tuple[int, int]] = None) -> None:
+                 checkpoint_every: Optional[int] = None,
+                 shard: Optional[Tuple[int, int]] = None,
+                 progress: Optional[Callable[[CellResult], None]] = None,
+                 ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if checkpoint_every is None:
+            checkpoint_every = int(os.environ.get(
+                "REPRO_CHECKPOINT_EVERY", "8"))
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
         if cluster is not None and (store is not None or force):
@@ -659,6 +732,8 @@ class SweepRunner:
         self.cluster = cluster
         self.checkpoint_every = checkpoint_every
         self.shard = shard
+        self.progress = (progress if progress is not None
+                         else Heartbeat.from_env())
         self._pending_checkpoint: List[CellResult] = []
 
     # ------------------------------------------------------------------
@@ -743,10 +818,13 @@ class SweepRunner:
             t0 = time.perf_counter()
             ctx = CellContext(spec=self.spec, cell=cell, _cluster=cluster)
             value = dict(self.spec.runner(ctx))
-            out.append(CellResult(
+            result = CellResult(
                 index=cell.index, key=cell.key, params=cell.param_dict(),
                 seed=cell.seed, value=value,
-                elapsed_s=time.perf_counter() - t0))
+                elapsed_s=time.perf_counter() - t0)
+            out.append(result)
+            if self.progress is not None:
+                self.progress(result)
         return out
 
     def _run_shared(self, cells: Sequence[Cell]) -> List[CellResult]:
@@ -760,6 +838,8 @@ class SweepRunner:
                 result = _execute_cell(self.spec, cell)
                 out.append(result)
                 self._checkpoint(result)
+                if self.progress is not None:
+                    self.progress(result)
         finally:
             self._flush_checkpoint()
         return out
@@ -789,6 +869,8 @@ class SweepRunner:
                     result = future.result()
                     out.append(result)
                     self._checkpoint(result)
+                    if self.progress is not None:
+                        self.progress(result)
             finally:
                 self._flush_checkpoint()
         return out
@@ -802,10 +884,12 @@ class SweepRunner:
 def run_sweep(spec: ExperimentSpec, *, jobs: int = 1,
               store: Optional[ResultStore] = None, force: bool = False,
               cluster: Optional[P2PMPICluster] = None,
-              checkpoint_every: int = 8,
-              shard: Optional[Tuple[int, int]] = None) -> SweepResult:
+              checkpoint_every: Optional[int] = None,
+              shard: Optional[Tuple[int, int]] = None,
+              progress: Optional[Callable[[CellResult], None]] = None,
+              ) -> SweepResult:
     """One-call façade over :class:`SweepRunner` — the shared body of
     every driver module's ``*_sweep`` entry point."""
     return SweepRunner(spec, jobs=jobs, store=store, force=force,
                        cluster=cluster, checkpoint_every=checkpoint_every,
-                       shard=shard).run()
+                       shard=shard, progress=progress).run()

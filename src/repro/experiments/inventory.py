@@ -1,0 +1,44 @@
+"""Table 1: the testbed resource inventory.
+
+The paper's Table 1 lists the Grid'5000 clusters the experiment drew
+from — site, cluster, CPU model, node/CPU/core counts — and the figure
+legends annotate each site with its RTT from the submitter.  This is a
+static render of :data:`repro.grid5000.resources.CLUSTERS` plus the
+legend; there is no sweep, no store, nothing to shard.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.experiments import registry
+from repro.grid5000.builder import build_topology, paper_site_legend
+from repro.grid5000.resources import CLUSTERS
+
+__all__ = ["inventory_table"]
+
+
+def inventory_table() -> str:
+    """The Table-1 render (plus RTT legend) as one string."""
+    lines = [f"{'Site':<10}{'Cluster':<12}{'CPU':<20}"
+             f"{'#Nodes':>8}{'#CPUs':>8}{'#Cores':>8}"]
+    for c in CLUSTERS:
+        lines.append(f"{c.site:<10}{c.name:<12}{c.cpu_model:<20}"
+                     f"{c.nodes:>8}{c.cpus:>8}{c.cores:>8}")
+    topo = build_topology()
+    lines.append("\nLegend (RTT to nancy):")
+    for site, rtt, hosts, cores in paper_site_legend(topo):
+        lines.append(f"  {site:<10} {rtt:>7.3f} ms  {hosts:>3} hosts  "
+                     f"{cores:>4} cores")
+    return "\n".join(lines)
+
+
+def _cli_run(args: Any, store: Optional[Any]) -> None:
+    print(inventory_table())
+
+
+registry.register(registry.Experiment(
+    name="table1",
+    cli_run=_cli_run,
+    shardable=False,
+))

@@ -194,3 +194,40 @@ def multiuser_sweep(
     """Run the contention sweep through the engine."""
     spec = spec or multiuser_spec(**spec_kwargs)
     return run_sweep(spec, jobs=jobs, store=store, force=force, shard=shard)
+
+
+# ----------------------------------------------------------------------
+# CLI registration (multiuser)
+# ----------------------------------------------------------------------
+def _cli_specs(args) -> List[ExperimentSpec]:
+    return [multiuser_spec(seed=args.seed)]
+
+
+def _cli_run(args, store) -> None:
+    from repro.experiments.cliutil import report_sweep
+
+    spec = multiuser_spec(seed=args.seed)
+    sweep = multiuser_sweep(spec=spec, jobs=args.jobs, store=store,
+                            force=args.force, shard=args.shard)
+    report_sweep(sweep, store)
+    if args.shard:
+        return
+    for cell in sweep.cells:
+        v = cell.value
+        print(f"users={cell.params['users']} n={cell.params['n']} "
+              f"{cell.params['strategy']:<12} statuses={v['statuses']} "
+              f"overlaps={v['concurrent_overlap_count']} "
+              f"refusals={v['total_refusals']}")
+
+
+def _register() -> None:
+    from repro.experiments import registry
+
+    registry.register(registry.Experiment(
+        name="multiuser",
+        cli_run=_cli_run,
+        specs=_cli_specs,
+    ))
+
+
+_register()

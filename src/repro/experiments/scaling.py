@@ -133,3 +133,52 @@ def run_scaling_experiment(
     sweep = scaling_sweep(spec=spec, jobs=jobs, store=store, force=force,
                           cluster=cluster)
     return scaling_series_from_sweep(sweep)
+
+
+# ----------------------------------------------------------------------
+# CLI registration (scaling)
+# ----------------------------------------------------------------------
+def _cli_strategy(args) -> str:
+    strategy = args.alloc
+    if strategy == "block":
+        import sys
+
+        print("warning: --experiment scaling does not sweep the block "
+              "strategy; using spread", file=sys.stderr)
+        strategy = "spread"
+    return strategy
+
+
+def _cli_specs(args) -> List[ExperimentSpec]:
+    return [scaling_spec(seed=args.seed, strategy=_cli_strategy(args))]
+
+
+def _cli_run(args, store) -> None:
+    from repro.experiments.cliutil import report_sweep
+
+    spec = scaling_spec(seed=args.seed, strategy=_cli_strategy(args))
+    sweep = scaling_sweep(spec=spec, jobs=args.jobs, store=store,
+                          force=args.force, shard=args.shard)
+    report_sweep(sweep, store)
+    if args.shard:
+        return
+    series = scaling_series_from_sweep(sweep)
+    print(f"strategy: {series.strategy}")
+    for p in series.points:
+        print(f"n={p.n:<4} reservation={p.reservation_s * 1e3:7.1f} ms  "
+              f"launch={p.launch_s * 1e3:7.1f} ms  booked={p.booked_hosts}  "
+              f"attempts={p.attempts}")
+
+
+def _register() -> None:
+    from repro.experiments import registry
+
+    registry.register(registry.Experiment(
+        name="scaling",
+        cli_run=_cli_run,
+        specs=_cli_specs,
+        cli_axes=("alloc",),
+    ))
+
+
+_register()

@@ -1,0 +1,205 @@
+"""Campaign orchestrator: dispatch, failure recovery, continuous merge."""
+
+import pytest
+
+from repro.cli import build_orchestrate_parser, main
+from repro.experiments import registry
+from repro.experiments.orchestrator import (ExecutionStrategy, Orchestrator,
+                                            worker_flags)
+
+SMOKE = ["--cluster", "small", "--demands", "4,8"]
+
+
+def orchestrate_args(*argv):
+    return build_orchestrate_parser().parse_args(list(argv))
+
+
+def smoke_setup(out, *extra):
+    """(specs, worker flags) for the small coallocation campaign."""
+    args = orchestrate_args("coallocation", *SMOKE, "--out", str(out),
+                            *extra)
+    specs = registry.get("coallocation").specs(args)
+    return specs, worker_flags("coallocation", args)
+
+
+class TestWorkerFlags:
+    def test_forwards_registered_axes_only(self):
+        args = orchestrate_args("coallocation", *SMOKE, "--out", "x")
+        assert worker_flags("coallocation", args) == (
+            "--seed", "0", "--cluster", "small", "--demands", "4,8")
+
+    def test_churn_axes(self):
+        args = orchestrate_args("churnload", "--users", "3", "--horizon",
+                                "90", "--failures", "0.006", "--out", "x")
+        flags = worker_flags("churnload", args)
+        assert ("--users", "3") == flags[flags.index("--users"):
+                                         flags.index("--users") + 2]
+        assert "--horizon" in flags and "--failures" in flags
+        # churnload does not consume the demands axis
+        assert "--demands" not in flags
+
+    def test_unset_optional_flags_not_forwarded(self):
+        args = orchestrate_args("applatency", "--out", "x")
+        flags = worker_flags("applatency", args)
+        assert flags[:2] == ("--seed", "0")
+        assert "--demands" not in flags and "--ratios" not in flags
+        assert "--class" in flags  # nas_class always has a value
+
+
+class HangStrategy(ExecutionStrategy):
+    """Workers that never beat and never exit: the stall scenario."""
+
+    def __init__(self):
+        self.launched = 0
+        self.killed = 0
+
+    def launch(self, task):
+        self.launched += 1
+        return object()
+
+    def poll(self, handle):
+        return None
+
+    def terminate(self, handle):
+        self.killed += 1
+
+
+class FailStrategy(ExecutionStrategy):
+    """Workers that crash instantly: the budget-exhaustion scenario."""
+
+    def __init__(self, exit_code=9):
+        self.exit_code = exit_code
+        self.launched = 0
+
+    def launch(self, task):
+        self.launched += 1
+        return object()
+
+    def poll(self, handle):
+        return self.exit_code
+
+    def terminate(self, handle):
+        pass
+
+
+class TestFailurePaths:
+    def test_stalled_worker_is_terminated_and_reported(self, tmp_path):
+        specs, flags = smoke_setup(tmp_path / "store")
+        strategy = HangStrategy()
+        lines = []
+        report = Orchestrator(
+            "coallocation", specs, tmp_path / "store",
+            worker_flags=flags, workers=1, shards=1, retries=0,
+            stall_timeout_s=0.2, poll_interval_s=0.05,
+            strategy=strategy, echo=lines.append).run()
+        assert not report.ok
+        assert strategy.killed == 1
+        assert "stalled" in report.failed[1]
+        assert any("terminated" in line for line in lines)
+        # the scratch tree survives a failed campaign for diagnosis
+        assert (tmp_path / "store" / ".orchestrate").exists()
+
+    def test_retry_budget_exhaustion_surfaces_per_shard_failure(
+            self, tmp_path):
+        specs, flags = smoke_setup(tmp_path / "store")
+        strategy = FailStrategy(exit_code=9)
+        report = Orchestrator(
+            "coallocation", specs, tmp_path / "store",
+            worker_flags=flags, workers=2, shards=2, retries=1,
+            poll_interval_s=0.01, backoff_base_s=0.01,
+            strategy=strategy, echo=lambda line: None).run()
+        assert not report.ok
+        assert set(report.failed) == {1, 2}
+        for reason in report.failed.values():
+            assert "exited 9" in reason
+        # 2 attempts per shard: the first plus one retry each
+        assert strategy.launched == 4
+        assert report.retries == 2
+
+    def test_zero_exit_with_incomplete_shard_is_retried(self, tmp_path):
+        specs, flags = smoke_setup(tmp_path / "store")
+        strategy = FailStrategy(exit_code=0)  # exits clean, lands nothing
+        report = Orchestrator(
+            "coallocation", specs, tmp_path / "store",
+            worker_flags=flags, workers=1, shards=1, retries=1,
+            poll_interval_s=0.01, backoff_base_s=0.01,
+            strategy=strategy, echo=lambda line: None).run()
+        assert not report.ok
+        assert "incomplete" in report.failed[1]
+
+    def test_rejects_bad_construction(self, tmp_path):
+        specs, flags = smoke_setup(tmp_path / "store")
+        with pytest.raises(ValueError):
+            Orchestrator("coallocation", specs, tmp_path, workers=0)
+        with pytest.raises(ValueError):
+            Orchestrator("coallocation", specs, tmp_path, retries=-1)
+        with pytest.raises(ValueError):
+            Orchestrator("coallocation", [], tmp_path)
+
+
+class TestEndToEnd:
+    """Real worker subprocesses, injected crash, byte-level acceptance."""
+
+    def test_injected_kill_is_retried_and_store_matches_serial_run(
+            self, tmp_path, capsys):
+        ref = tmp_path / "ref"
+        assert main(["run", "coallocation", *SMOKE, "--jobs", "1",
+                     "--out", str(ref)]) == 0
+        capsys.readouterr()
+        out = tmp_path / "store"
+        specs, flags = smoke_setup(out)
+        lines = []
+        report = Orchestrator(
+            "coallocation", specs, out, worker_flags=flags,
+            workers=3, retries=2, poll_interval_s=0.1,
+            backoff_base_s=0.1, inject_kill_cells=1,
+            echo=lines.append).run()
+        assert report.ok
+        assert report.retries >= 1
+        assert not report.failed
+        reference = next(ref.glob("coallocation-*.jsonl"))
+        produced = next(out.glob("coallocation-*.jsonl"))
+        assert produced.name == reference.name
+        assert produced.read_bytes() == reference.read_bytes()
+        # success-path cleanup: no scratch tree, no stray checkpoints
+        assert not (out / ".orchestrate").exists()
+        assert not list(out.glob("*.partial"))
+        assert any("exited 137" in line for line in lines)
+        assert any("campaign complete" in line for line in lines)
+
+    def test_cached_campaign_short_circuits(self, tmp_path, capsys):
+        out = tmp_path / "store"
+        assert main(["run", "coallocation", *SMOKE, "--jobs", "1",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        specs, flags = smoke_setup(out)
+        strategy = HangStrategy()  # would hang if any worker launched
+        report = Orchestrator(
+            "coallocation", specs, out, worker_flags=flags,
+            workers=2, poll_interval_s=0.01, strategy=strategy,
+            echo=lambda line: None).run()
+        assert report.ok
+        assert strategy.launched == 0
+
+    def test_keep_partial_retains_scratch(self, tmp_path):
+        out = tmp_path / "store"
+        specs, flags = smoke_setup(out)
+        report = Orchestrator(
+            "coallocation", specs, out, worker_flags=flags,
+            workers=2, shards=2, poll_interval_s=0.1,
+            backoff_base_s=0.1, keep_partial=True,
+            echo=lambda line: None).run()
+        assert report.ok
+        assert (out / ".orchestrate").exists()
+        assert next(out.glob("coallocation-*.jsonl")).stat().st_size > 0
+
+    def test_cli_orchestrate_verb(self, tmp_path, capsys):
+        out = tmp_path / "store"
+        rc = main(["orchestrate", "coallocation", *SMOKE,
+                   "--workers", "2", "--out", str(out),
+                   "--poll-interval", "0.1", "--backoff", "0.1"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "campaign complete" in text
+        assert "retries: 0" in text
+        assert next(out.glob("coallocation-*.jsonl")).stat().st_size > 0

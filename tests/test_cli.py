@@ -69,9 +69,12 @@ class TestEngineFlags:
     @pytest.fixture
     def fast_fig2(self, monkeypatch):
         """Shrink fig2 to a 2-cell sweep on the small testbed."""
-        monkeypatch.setattr(cli, "coallocation_spec", functools.partial(
-            coallocation_spec, demands=(4, 8),
-            cluster_spec=ClusterSpec(kind="small")))
+        import repro.experiments.coallocation as coallocation_mod
+
+        monkeypatch.setattr(
+            coallocation_mod, "coallocation_spec", functools.partial(
+                coallocation_spec, demands=(4, 8),
+                cluster_spec=ClusterSpec(kind="small")))
 
     def test_fig2_runs_stores_and_caches(self, fast_fig2, tmp_path, capsys):
         argv = ["--experiment", "fig2", "--jobs", "2",
@@ -289,14 +292,16 @@ class TestJobsFlag:
             main(["--experiment", "coallocation", "--jobs", "-1"])
 
     def test_zero_auto_sizes(self, tmp_path, monkeypatch, capsys):
+        import repro.experiments.coallocation as coallocation_mod
+
         seen = {}
-        real = cli.coallocation_sweep
+        real = coallocation_mod.coallocation_sweep
 
         def spy(*args, **kwargs):
             seen["jobs"] = kwargs.get("jobs")
             return real(*args, **kwargs)
 
-        monkeypatch.setattr(cli, "coallocation_sweep", spy)
+        monkeypatch.setattr(coallocation_mod, "coallocation_sweep", spy)
         monkeypatch.setattr("os.cpu_count", lambda: 3)
         assert main(["--experiment", "coallocation", "--cluster", "small",
                      "--demands", "4", "--jobs", "0"]) == 0
@@ -417,3 +422,137 @@ class TestProfile:
         import pstats
         stats = pstats.Stats(str(dump))
         assert stats.total_calls > 0
+
+
+class TestSubcommands:
+    """The verb CLI and the legacy --experiment shim pin to each other."""
+
+    ARGS = ["coallocation", "--cluster", "small", "--demands", "4,8"]
+
+    def test_run_verb_matches_legacy_output_and_store(self, tmp_path,
+                                                      capsys):
+        legacy_out = tmp_path / "legacy"
+        run_out = tmp_path / "run"
+        assert main(["--experiment"] + self.ARGS
+                    + ["--out", str(legacy_out)]) == 0
+        legacy = capsys.readouterr()
+        assert "deprecated" in legacy.err
+        assert "p2pmpirun run coallocation" in legacy.err
+        assert main(["run"] + self.ARGS + ["--out", str(run_out)]) == 0
+        sub = capsys.readouterr()
+        assert sub.err == ""
+
+        def report_lines(text):
+            # the [engine] line carries wall-clock timing; the report
+            # tables below it are the deterministic part
+            return [line for line in text.splitlines()
+                    if not line.startswith("[engine]")]
+
+        assert report_lines(legacy.out) == report_lines(sub.out)
+        reference = next(legacy_out.glob("coallocation-*.jsonl"))
+        produced = next(run_out.glob("coallocation-*.jsonl"))
+        assert produced.name == reference.name
+        assert produced.read_bytes() == reference.read_bytes()
+
+    def test_legacy_and_run_share_one_store(self, tmp_path, capsys):
+        out = str(tmp_path)
+        assert main(["run"] + self.ARGS + ["--out", out]) == 0
+        capsys.readouterr()
+        assert main(["--experiment"] + self.ARGS + ["--out", out]) == 0
+        assert "(0 executed, 4 cached)" in capsys.readouterr().out
+
+    def test_experiment_equals_form_rewritten(self, capsys):
+        assert main(["--experiment=table1"]) == 0
+        captured = capsys.readouterr()
+        assert "grelon" in captured.out
+        assert "run table1" in captured.err
+
+    def test_run_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["run", "quake"])
+
+    def test_run_parser_validations(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run", "coallocation", "--shard", "1/2"])  # no --out
+        with pytest.raises(SystemExit):
+            main(["run", "table1", "--shard", "1/2", "--out",
+                  str(tmp_path)])
+        with pytest.raises(SystemExit):
+            main(["run", "coallocation", "--jobs", "-1"])
+        with pytest.raises(SystemExit):
+            main(["run", "table1", "--profile"])
+
+
+class TestMergeCleanup:
+    """Promoting merges remove the shard checkpoints that fed them."""
+
+    def shard_argv(self, k, n, out):
+        return ["run", "coallocation", "--cluster", "small",
+                "--demands", "4,8", "--shard", f"{k}/{n}", "--out", out]
+
+    def _partials(self, tmp_path, capsys):
+        for k in (1, 2):
+            assert main(self.shard_argv(
+                k, 2, str(tmp_path / f"shard{k}"))) == 0
+        capsys.readouterr()
+        return sorted(tmp_path.glob("shard*/coallocation-*.partial"))
+
+    def test_promoting_merge_removes_inputs(self, tmp_path, capsys):
+        partials = self._partials(tmp_path, capsys)
+        assert len(partials) == 2
+        merged = tmp_path / "merged"
+        assert main(["merge"] + [str(p) for p in partials]
+                    + ["--out", str(merged)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 2 superseded .partial input(s)" in out
+        assert not any(p.exists() for p in partials)
+        assert list(merged.glob("coallocation-*.jsonl"))
+
+    def test_keep_partial_retains_inputs(self, tmp_path, capsys):
+        partials = self._partials(tmp_path, capsys)
+        merged = tmp_path / "merged"
+        assert main(["merge"] + [str(p) for p in partials]
+                    + ["--out", str(merged), "--keep-partial"]) == 0
+        assert "removed" not in capsys.readouterr().out
+        assert all(p.exists() for p in partials)
+
+    def test_incomplete_merge_keeps_inputs(self, tmp_path, capsys):
+        partials = self._partials(tmp_path, capsys)
+        merged = tmp_path / "merged"
+        assert main(["merge", str(partials[0]),
+                     "--out", str(merged)]) == 0
+        assert partials[0].exists()
+        assert list(merged.glob("*.jsonl.partial"))
+
+
+class TestOrchestrateParser:
+    def test_requires_out(self):
+        with pytest.raises(SystemExit):
+            main(["orchestrate", "coallocation"])
+
+    def test_rejects_unshardable(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["orchestrate", "table1", "--out", str(tmp_path)])
+        with pytest.raises(SystemExit):
+            main(["orchestrate", "ablations", "--out", str(tmp_path)])
+
+    def test_rejects_bad_knobs(self, tmp_path):
+        out = ["--out", str(tmp_path)]
+        with pytest.raises(SystemExit):
+            main(["orchestrate", "coallocation", "--workers", "0"] + out)
+        with pytest.raises(SystemExit):
+            main(["orchestrate", "coallocation", "--shards", "0"] + out)
+        with pytest.raises(SystemExit):
+            main(["orchestrate", "coallocation", "--retries", "-1"] + out)
+        with pytest.raises(SystemExit):
+            main(["orchestrate", "coallocation", "--inject-kill", "0"]
+                 + out)
+
+    def test_defaults(self):
+        from repro.cli import build_orchestrate_parser
+
+        args = build_orchestrate_parser().parse_args(
+            ["commaware", "--out", "/tmp/x"])
+        assert args.workers == 2 and args.shards is None
+        assert args.retries == 2 and args.stall_timeout == 300.0
+        assert not args.keep_partial and args.inject_kill is None
