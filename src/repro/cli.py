@@ -131,6 +131,14 @@ def _add_shape_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--horizon", type=float, default=240.0,
                         help="churnload round horizon in simulated "
                              "seconds (default 240)")
+    parser.add_argument("--tenants", default=None, metavar="T,T,...",
+                        help="comma-separated tenant-count grid for the "
+                             "multiuser2 control-plane campaign "
+                             "(default 10,50,200)")
+    parser.add_argument("--rates", default=None, metavar="R,R,...",
+                        help="comma-separated per-tenant arrival rates "
+                             "(jobs/s) for multiuser2 "
+                             "(default 0.01,0.05)")
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:

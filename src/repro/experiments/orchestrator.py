@@ -90,6 +90,11 @@ def worker_flags(experiment: str, args: Any) -> Tuple[str, ...]:
             flags += ["--failures", args.failures]
     if "nas_class" in axes:
         flags += ["--class", args.nas_class]
+    if "controlplane" in axes:
+        if getattr(args, "tenants", None) is not None:
+            flags += ["--tenants", args.tenants]
+        if getattr(args, "rates", None) is not None:
+            flags += ["--rates", args.rates]
     if "alloc" in axes:
         flags += ["--alloc", args.alloc]
     return tuple(flags)
@@ -475,6 +480,24 @@ class Orchestrator:
                       f"{done} cell(s) executed "
                       f"(attempt {st.attempts})")
 
+    def _tick_sleep(self, states: List[ShardState]) -> float:
+        """Sleep budget for one poll tick.
+
+        The poll interval is a *ceiling*, not a fixed cadence: a
+        pending shard whose retry-backoff deadline (``not_before``)
+        expires sooner gets the loop woken at that deadline, so a short
+        backoff is never stretched to the poll interval — and,
+        symmetrically, one shard's long backoff never delays polling
+        (and thus stall detection) for the shards still running,
+        because the ceiling still applies.
+        """
+        wake = time.monotonic() + self.poll_interval_s
+        for st in states:
+            if st.status == "pending" and st.not_before < wake:
+                wake = st.not_before
+        return max(0.0, min(self.poll_interval_s,
+                            wake - time.monotonic()))
+
     # ------------------------------------------------------------------
     # the campaign
     # ------------------------------------------------------------------
@@ -505,7 +528,7 @@ class Orchestrator:
                 self._poll_shard(st, report)
             if all(st.status in ("done", "failed") for st in states):
                 break
-            time.sleep(self.poll_interval_s)
+            time.sleep(self._tick_sleep(states))
 
         report.failed = {st.index: st.failure or "unknown failure"
                          for st in states if st.status == "failed"}

@@ -61,6 +61,7 @@ MANIFEST: Dict[str, ExperimentRef] = {
     "commaware": ExperimentRef("repro.experiments.commaware"),
     "churnload": ExperimentRef("repro.experiments.churnload"),
     "applatency": ExperimentRef("repro.experiments.applatency"),
+    "multiuser2": ExperimentRef("repro.experiments.multiuser2"),
     "all": ExperimentRef("repro.experiments.registry"),
 }
 

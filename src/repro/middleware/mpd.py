@@ -177,6 +177,11 @@ class MPD:
             self.rs.consume(key)
             self.gatekeeper.start_application(key, job_id, len(assignments))
         except AdmissionError as exc:
+            # A refused start must also release the J slot the booking
+            # pinned: rs.finish() forgets the (consumed) reservation, so
+            # nothing else — not even TTL expiry — would ever free the
+            # held key, and the slot would leak for the host's lifetime.
+            self.gatekeeper.release_hold(key)
             self.rs.finish(key)
             self.network.send(
                 self.host.name, msg.src, port=payload["reply_port"],

@@ -71,13 +71,20 @@ class ReservationService:
             self.gatekeeper.release_hold(key)
 
     def handle_reserve(self, msg: Message) -> None:
-        """§4.2 step 4: accept or refuse a reservation request."""
+        """§4.2 step 4: accept or refuse a reservation request.
+
+        Admission goes through the gatekeeper's atomic
+        :meth:`~repro.middleware.gatekeeper.Gatekeeper.try_admit` — the
+        policy check and the ``J``-slot pin are one indivisible step,
+        so interleaved RESERVE traffic (concurrent submitters racing
+        for the same host) can never overshoot the owner's limit the
+        way the legacy ``can_accept`` + ``hold`` pair could.
+        """
         self._expire()
         payload = msg.payload
         key: str = payload["key"]
         submitter: str = payload["submitter"]
-        if self.gatekeeper.can_accept(submitter):
-            self.gatekeeper.hold(key)
+        if self.gatekeeper.try_admit(key, submitter):
             self.reservations[key] = Reservation(
                 key=key,
                 job_id=payload["job_id"],
@@ -92,7 +99,7 @@ class ReservationService:
                 size_bytes=SIZE_CONTROL,
             )
         else:
-            self.gatekeeper.refuse()
+            # try_admit counted the refusal in the gatekeeper ledger.
             self.network.send(
                 self.host_name, msg.src, port=payload["reply_port"],
                 kind="RESERVE_NOK", payload={"reason": "J exceeded or denied"},

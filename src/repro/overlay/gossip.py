@@ -1,0 +1,121 @@
+"""Sequence-numbered gossip primitives for peer-state propagation.
+
+The overlay's membership truth lives at the supernode (§3.2), but both
+the supernode's ALIVE stream and the control plane's replicated peer
+views (:mod:`repro.middleware.controlplane`) face the same distributed
+problem: state updates about one origin can arrive out of order or more
+than once, and a receiver must converge on the *newest* state without
+coordination.  The classic answer — used here — is per-origin sequence
+numbers with last-writer-wins merge:
+
+* every origin stamps each update it emits with a monotonically
+  increasing ``seq``;
+* a receiver keeps, per origin, the highest ``seq`` it has applied and
+  drops anything at or below it (duplicate or stale);
+* any gossip topology (direct, relayed, anti-entropy exchange) then
+  converges every view to the origin's latest state, in any delivery
+  order.
+
+Everything here is plain deterministic data handling: no wall clock, no
+randomness, no I/O — timestamps are whatever (virtual) clock the caller
+stamps in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["PeerDigest", "GossipEnvelope", "GossipView"]
+
+
+@dataclass(frozen=True)
+class PeerDigest:
+    """One origin's self-reported state at sequence ``seq``.
+
+    ``status`` is free-form ("online", "suspect", "offline"...);
+    ``load`` is the origin's busy-slot count, and ``last_seen`` the
+    clock value the *stamping* node observed — both travel opaquely.
+    """
+
+    name: str
+    seq: int
+    status: str = "online"
+    load: int = 0
+    last_seen: float = 0.0
+
+
+@dataclass(frozen=True)
+class GossipEnvelope:
+    """A batch of digests relayed by ``origin`` (its own or forwarded).
+
+    ``seq`` is the *envelope* sequence of the relay, letting receivers
+    drop whole duplicate envelopes cheaply before per-digest merging.
+    """
+
+    origin: str
+    seq: int
+    entries: Tuple[PeerDigest, ...] = ()
+
+
+class GossipView:
+    """A materialised peer view converging via seq-deduped merges.
+
+    One instance per consumer (a site relay, a tenant's local cache).
+    :meth:`apply` folds an envelope in and reports how many digests
+    actually advanced the view — the rest were duplicates or stale,
+    which is the property the control-plane tests pin.
+    """
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        self.peers: Dict[str, PeerDigest] = {}
+        #: Highest envelope seq applied per relay origin.
+        self.envelope_seq: Dict[str, int] = {}
+        #: Diagnostics: digests applied / dropped as stale-or-duplicate.
+        self.applied = 0
+        self.stale = 0
+
+    def __len__(self) -> int:
+        return len(self.peers)
+
+    def get(self, name: str) -> Optional[PeerDigest]:
+        return self.peers.get(name)
+
+    def apply_digest(self, digest: PeerDigest) -> bool:
+        """Merge one digest; True if it advanced the view."""
+        have = self.peers.get(digest.name)
+        if have is not None and digest.seq <= have.seq:
+            self.stale += 1
+            return False
+        self.peers[digest.name] = digest
+        self.applied += 1
+        return True
+
+    def apply(self, envelope: GossipEnvelope) -> int:
+        """Merge an envelope; returns the number of digests applied.
+
+        A whole envelope whose ``seq`` is not newer than the last one
+        seen from the same relay is dropped outright (retransmission).
+        """
+        last = self.envelope_seq.get(envelope.origin, 0)
+        if envelope.seq <= last:
+            self.stale += len(envelope.entries)
+            return 0
+        self.envelope_seq[envelope.origin] = envelope.seq
+        return sum(1 for digest in envelope.entries
+                   if self.apply_digest(digest))
+
+    def digest(self, names: Optional[Iterable[str]] = None
+               ) -> Tuple[PeerDigest, ...]:
+        """The view's current digests, name-sorted (deterministic)."""
+        if names is None:
+            selected: List[PeerDigest] = list(self.peers.values())
+        else:
+            selected = [self.peers[n] for n in names if n in self.peers]
+        return tuple(sorted(selected, key=lambda d: d.name))
+
+    def online(self) -> List[str]:
+        """Names currently reported online, sorted."""
+        return sorted(n for n, d in self.peers.items()
+                      if d.status == "online")

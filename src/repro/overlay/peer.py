@@ -75,6 +75,16 @@ class PeerDaemon:
         self._procs: List = []
         #: Bumped on every (re-)join; stale alive loops notice and exit.
         self._alive_generation = 0
+        #: Per-origin gossip sequence: every membership update this peer
+        #: emits (REGISTER, ALIVE) carries a fresh monotonically rising
+        #: ``seq`` so receivers can drop reordered/duplicated state (see
+        #: :mod:`repro.overlay.gossip`).
+        self._state_seq = 0
+
+    def next_seq(self) -> int:
+        """Stamp the next outgoing state update."""
+        self._state_seq += 1
+        return self._state_seq
 
     # -- lifecycle ---------------------------------------------------------
     def boot(self) -> Generator:
@@ -105,7 +115,8 @@ class PeerDaemon:
         reply_port = Ports.supernode_reply(self.host.name)
         self.network.send(
             self.host.name, self.supernode_host, port=SUPERNODE_PORT,
-            kind="REGISTER", payload={"reply_port": reply_port},
+            kind="REGISTER",
+            payload={"reply_port": reply_port, "seq": self.next_seq()},
             size_bytes=SIZE_CONTROL,
         )
         msg = yield self.network.receive(self.host.name, reply_port, "REGISTER_ACK")
@@ -121,7 +132,8 @@ class PeerDaemon:
                 return
             self.network.send(
                 self.host.name, self.supernode_host, port=SUPERNODE_PORT,
-                kind="ALIVE", payload={}, size_bytes=SIZE_CONTROL,
+                kind="ALIVE", payload={"seq": self.next_seq()},
+                size_bytes=SIZE_CONTROL,
             )
 
     # -- cache maintenance -----------------------------------------------------

@@ -23,10 +23,17 @@ __all__ = ["PeerRecord", "Supernode"]
 
 @dataclass
 class PeerRecord:
-    """One host-list entry."""
+    """One host-list entry.
+
+    ``seq`` is the highest per-origin gossip sequence applied so far
+    (see :mod:`repro.overlay.gossip`); updates carrying an older or
+    equal ``seq`` are reordered/duplicated deliveries and are dropped
+    rather than rolling ``last_seen`` backwards.
+    """
 
     host_name: str
     last_seen: float
+    seq: int = 0
 
     def stale(self, now: float, horizon: float) -> bool:
         return (now - self.last_seen) > horizon
@@ -56,14 +63,27 @@ class Supernode:
         self.registrations = 0
         self.alive_signals = 0
         self.peer_queries = 0
+        self.stale_updates = 0
 
     # -- registry ------------------------------------------------------------
-    def _touch(self, peer: str, now: float) -> None:
+    def _touch(self, peer: str, now: float, seq: int = 0) -> bool:
+        """Apply one membership update; False if dropped as stale.
+
+        A ``seq`` of 0 means the sender predates sequence stamping
+        (or the message kind carries none) — always applied, matching
+        the pre-seq behaviour.
+        """
         rec = self.records.get(peer)
         if rec is None:
-            self.records[peer] = PeerRecord(peer, now)
-        else:
-            rec.last_seen = now
+            self.records[peer] = PeerRecord(peer, now, seq)
+            return True
+        if seq and seq <= rec.seq:
+            self.stale_updates += 1
+            return False
+        rec.last_seen = now
+        if seq:
+            rec.seq = seq
+        return True
 
     def prune(self, now: float) -> List[str]:
         """Drop stale records; returns the dropped names."""
@@ -93,7 +113,7 @@ class Supernode:
             now = sim.now
             if msg.kind == "REGISTER":
                 self.registrations += 1
-                self._touch(msg.src, now)
+                self._touch(msg.src, now, msg.payload.get("seq", 0))
                 peers = self.peer_list(now)
                 self.network.send(
                     self.host_name, msg.src,
@@ -103,7 +123,7 @@ class Supernode:
                 )
             elif msg.kind == "ALIVE":
                 self.alive_signals += 1
-                self._touch(msg.src, now)
+                self._touch(msg.src, now, msg.payload.get("seq", 0))
             elif msg.kind == "GET_PEERS":
                 self.peer_queries += 1
                 self._touch(msg.src, now)

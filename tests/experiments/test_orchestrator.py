@@ -203,3 +203,101 @@ class TestEndToEnd:
         assert "campaign complete" in text
         assert "retries: 0" in text
         assert next(out.glob("coallocation-*.jsonl")).stat().st_size > 0
+
+
+class MixedStrategy(ExecutionStrategy):
+    """Shard 1 crashes instantly (enters retry backoff); shard 2 hangs
+    without heartbeats (the stall scenario) — together they pin that
+    one shard's backoff never delays another's stall detection."""
+
+    def __init__(self):
+        self.killed = 0
+
+    def launch(self, task):
+        return task.shard[0]
+
+    def poll(self, handle):
+        return 9 if handle == 1 else None
+
+    def terminate(self, handle):
+        self.killed += 1
+
+
+class TestNonBlockingBackoff:
+    """Retry backoff is deadline-scheduled, never slept through: the
+    poll cadence (and with it stall detection for *other* shards) is
+    independent of any shard's pending relaunch."""
+
+    def test_tick_sleep_wakes_at_nearest_pending_deadline(self, tmp_path):
+        import time as _time
+
+        from repro.experiments.orchestrator import ShardState
+
+        specs, flags = smoke_setup(tmp_path / "store")
+        orch = Orchestrator(
+            "coallocation", specs, tmp_path / "store",
+            worker_flags=flags, poll_interval_s=5.0,
+            echo=lambda line: None)
+
+        def shard(status, not_before=0.0):
+            return ShardState(index=1, shard=(1, 1),
+                              scratch=tmp_path, heartbeat=tmp_path,
+                              status=status, not_before=not_before)
+
+        now = _time.monotonic()
+        # no pending shard: the poll interval is the cadence
+        assert orch._tick_sleep([shard("running")]) == pytest.approx(
+            5.0, abs=0.01)
+        # a pending deadline sooner than the interval wins...
+        near = orch._tick_sleep([shard("pending", now + 0.2),
+                                 shard("running")])
+        assert 0.0 <= near <= 0.2
+        # ...an overdue one means no sleep at all...
+        assert orch._tick_sleep([shard("pending", now - 1.0)]) == 0.0
+        # ...and a distant one is still capped by the poll interval.
+        assert orch._tick_sleep(
+            [shard("pending", now + 60.0)]) == pytest.approx(5.0, abs=0.01)
+
+    def test_short_backoff_not_stretched_by_long_poll_interval(
+            self, tmp_path):
+        import time as _time
+
+        specs, flags = smoke_setup(tmp_path / "store")
+        t0 = _time.monotonic()
+        report = Orchestrator(
+            "coallocation", specs, tmp_path / "store",
+            worker_flags=flags, workers=1, shards=1, retries=1,
+            poll_interval_s=5.0, backoff_base_s=0.05,
+            strategy=FailStrategy(exit_code=9),
+            echo=lambda line: None).run()
+        elapsed = _time.monotonic() - t0
+        assert not report.ok
+        assert report.retries == 1
+        # A fixed poll-interval cadence would take >= 5 s per tick;
+        # the deadline-aware sleep finishes the whole campaign fast.
+        assert elapsed < 2.0
+
+    def test_one_shards_backoff_never_stalls_anothers_detection(
+            self, tmp_path):
+        import time as _time
+
+        specs, flags = smoke_setup(tmp_path / "store")
+        strategy = MixedStrategy()
+        t0 = _time.monotonic()
+        stalled_at = []
+
+        def echo(line):
+            if "stalled" in line:
+                stalled_at.append(_time.monotonic() - t0)
+
+        report = Orchestrator(
+            "coallocation", specs, tmp_path / "store",
+            worker_flags=flags, workers=2, shards=2, retries=1,
+            stall_timeout_s=0.2, poll_interval_s=0.05,
+            backoff_base_s=1.5, strategy=strategy, echo=echo).run()
+        assert not report.ok
+        assert "stalled" in report.failed[2]
+        # Shard 2's stall fired on the poll cadence, well before shard
+        # 1's 1.5 s relaunch backoff expired — the backoff is a
+        # deadline, not a sleep the whole loop serves.
+        assert stalled_at and stalled_at[0] < 1.0

@@ -1,0 +1,88 @@
+"""Sequence-numbered gossip: digest merge, envelope dedup, supernode.
+
+The convergence property under test: per-origin sequence numbers with
+last-writer-wins merging make any delivery order (duplicates,
+reordering, relays) converge every view to each origin's newest state
+— and the supernode's ALIVE stream now obeys the same rule.
+"""
+
+from repro.cluster import build_small_cluster
+from repro.overlay.gossip import GossipEnvelope, GossipView, PeerDigest
+from repro.overlay.supernode import PeerRecord, Supernode
+
+
+class TestGossipView:
+    def test_digest_merge_is_last_writer_wins(self):
+        view = GossipView(owner="v")
+        assert view.apply_digest(PeerDigest(name="h", seq=1, load=0))
+        assert view.apply_digest(PeerDigest(name="h", seq=3, load=5))
+        # Reordered delivery of the middle update must not regress.
+        assert not view.apply_digest(PeerDigest(name="h", seq=2, load=2))
+        assert view.get("h").load == 5
+        assert view.applied == 2 and view.stale == 1
+
+    def test_envelope_dedup_by_relay_seq(self):
+        view = GossipView(owner="v")
+        env = GossipEnvelope(origin="relay", seq=1, entries=(
+            PeerDigest(name="a", seq=1), PeerDigest(name="b", seq=1)))
+        assert view.apply(env) == 2
+        assert view.apply(env) == 0  # retransmission dropped wholesale
+        assert view.stale == 2
+
+    def test_any_delivery_order_converges(self):
+        updates = [PeerDigest(name="h", seq=s, load=s) for s in (1, 2, 3)]
+        forward, shuffled = GossipView("f"), GossipView("s")
+        for d in updates:
+            forward.apply_digest(d)
+        for d in (updates[2], updates[0], updates[1]):
+            shuffled.apply_digest(d)
+        assert forward.peers == shuffled.peers
+
+    def test_digest_snapshot_is_name_sorted(self):
+        view = GossipView(owner="v")
+        view.apply_digest(PeerDigest(name="zz", seq=1))
+        view.apply_digest(PeerDigest(name="aa", seq=1))
+        assert [d.name for d in view.digest()] == ["aa", "zz"]
+
+    def test_online_filter(self):
+        view = GossipView(owner="v")
+        view.apply_digest(PeerDigest(name="up", seq=1, status="online"))
+        view.apply_digest(PeerDigest(name="down", seq=1, status="suspect"))
+        assert view.online() == ["up"]
+
+
+class TestSupernodeSequenceNumbers:
+    def test_stale_update_does_not_roll_last_seen_back(self):
+        sn = Supernode.__new__(Supernode)  # _touch is network-free
+        sn.records, sn.stale_updates = {}, 0
+        assert sn._touch("h", now=10.0, seq=2)
+        assert not sn._touch("h", now=20.0, seq=1)  # reordered ALIVE
+        assert sn.records["h"].last_seen == 10.0
+        assert sn.stale_updates == 1
+        assert sn._touch("h", now=30.0, seq=3)
+        assert sn.records["h"].last_seen == 30.0
+
+    def test_seqless_updates_keep_legacy_behaviour(self):
+        sn = Supernode.__new__(Supernode)
+        sn.records, sn.stale_updates = {}, 0
+        assert sn._touch("h", now=1.0)
+        assert sn._touch("h", now=2.0)  # always applied without a seq
+        assert sn.records["h"].last_seen == 2.0
+        assert sn.records["h"].seq == 0
+
+    def test_peer_record_defaults(self):
+        rec = PeerRecord("h", last_seen=0.0)
+        assert rec.seq == 0
+
+    def test_alive_stream_carries_rising_seqs_end_to_end(self):
+        """Booted cluster: the supernode's records reflect the peers'
+        stamped REGISTER/ALIVE sequence numbers."""
+        cluster = build_small_cluster(seed=2)
+        cluster.boot()
+        cluster.sim.run(until=130.0)  # past two alive periods
+        records = cluster.supernode.records
+        assert records  # everyone registered
+        assert all(rec.seq >= 1 for rec in records.values())
+        # At least one peer has heartbeat since registering.
+        assert any(rec.seq > 1 for rec in records.values())
+        assert cluster.supernode.stale_updates == 0
