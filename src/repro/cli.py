@@ -9,6 +9,7 @@ and drives the experiment campaigns through verbs::
     p2pmpirun run fig2                  # concentrate co-allocation sweep
     p2pmpirun run fig4 --out store      # EP + IS timing sweeps, persisted
     p2pmpirun run all --jobs 4          # the whole campaign
+    p2pmpirun run topozoo --family scale_free --sites 200
     p2pmpirun orchestrate commaware --workers 4 --out store
     p2pmpirun merge host1/*.partial host2/*.partial --out all
     p2pmpirun aggregate all
@@ -139,6 +140,15 @@ def _add_shape_flags(parser: argparse.ArgumentParser) -> None:
                         help="comma-separated per-tenant arrival rates "
                              "(jobs/s) for multiuser2 "
                              "(default 0.01,0.05)")
+    parser.add_argument("--family", default=None, metavar="F,F,...",
+                        help="comma-separated topology families for the "
+                             "topozoo campaign (grid5000, scale_free, "
+                             "small_world, fat_sites; default all), e.g. "
+                             "'p2pmpirun run topozoo --family scale_free "
+                             "--sites 200'")
+    parser.add_argument("--sites", default=None, metavar="N,N,...",
+                        help="comma-separated site counts for topozoo's "
+                             "generated families (default 16,48)")
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -210,7 +220,10 @@ def build_run_parser() -> argparse.ArgumentParser:
                     "aware scenario pack ('commaware'), the sustained-"
                     "load availability campaign ('churnload'), the "
                     "EP/IS latency-ratio execution campaign "
-                    "('applatency'), or the whole campaign ('all').")
+                    "('applatency'), the topology-family ranking "
+                    "campaign ('topozoo', e.g. 'run topozoo --family "
+                    "scale_free --sites 200'), or the whole campaign "
+                    "('all').")
     parser.add_argument("experiment", choices=registry.names(),
                         help="campaign to run")
     _add_shape_flags(parser)

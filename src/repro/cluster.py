@@ -17,8 +17,10 @@ Example
 from __future__ import annotations
 
 import dataclasses
+import sys
 from dataclasses import dataclass
-from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, Generator, List, Mapping, Optional,
+                    Sequence, Tuple)
 
 from repro.apps.base import AppEnv
 from repro.apps.machine import MachineModel
@@ -36,8 +38,11 @@ from repro.sim.core import Simulator
 from repro.sim.monitor import Monitor
 
 __all__ = ["P2PMPICluster", "build_grid5000_cluster", "build_latratio_cluster",
-           "build_small_cluster", "ClusterSpec", "register_cluster_kind",
-           "cluster_kinds", "DEFAULT_COST_PARAMS"]
+           "build_small_cluster", "build_scale_free_cluster",
+           "build_small_world_cluster", "build_fat_sites_cluster",
+           "ClusterSpec", "FamilyParam", "TopologyFamily",
+           "register_family", "get_family", "family_names",
+           "register_cluster_kind", "cluster_kinds", "DEFAULT_COST_PARAMS"]
 
 #: Communication cost parameters calibrated for the 2008 Java/MPJ
 #: runtime (see DESIGN.md §5 and repro.mpi.costmodel).  WAN backbones
@@ -318,31 +323,248 @@ def build_small_cluster(
     return cluster.boot() if boot else cluster
 
 
-#: Named cluster recipes a :class:`ClusterSpec` can refer to.  Builders
-#: must be module-level callables so a spec stays picklable across
-#: ``ProcessPoolExecutor`` workers: ``builder(seed, config, boot)``.
-_CLUSTER_KINDS: Dict[str, Callable[..., P2PMPICluster]] = {
-    "grid5000": build_grid5000_cluster,
-    "grid5000-latratio": build_latratio_cluster,
-    "small": build_small_cluster,
-}
+def build_scale_free_cluster(
+    seed: int = 0,
+    config: Optional[MiddlewareConfig] = None,
+    cost_params: CostParams = DEFAULT_COST_PARAMS,
+    boot: bool = True,
+    sites: int = 20,
+    m: int = 2,
+    hosts_per_site: int = 2,
+    cores_per_host: int = 4,
+    topo_seed: int = 0,
+) -> P2PMPICluster:
+    """A routed Barabási–Albert federation (see repro.net.families)."""
+    from repro.net.families import scale_free_topology
+
+    topology = scale_free_topology(
+        sites=sites, m=m, hosts_per_site=hosts_per_site,
+        cores_per_host=cores_per_host, topo_seed=topo_seed)
+    cluster = P2PMPICluster(topology, seed=seed, config=config,
+                            cost_params=cost_params)
+    return cluster.boot() if boot else cluster
+
+
+def build_small_world_cluster(
+    seed: int = 0,
+    config: Optional[MiddlewareConfig] = None,
+    cost_params: CostParams = DEFAULT_COST_PARAMS,
+    boot: bool = True,
+    sites: int = 20,
+    k: int = 4,
+    rewire_p: float = 0.1,
+    hosts_per_site: int = 2,
+    cores_per_host: int = 4,
+    topo_seed: int = 0,
+) -> P2PMPICluster:
+    """A routed Watts–Strogatz federation (see repro.net.families)."""
+    from repro.net.families import small_world_topology
+
+    topology = small_world_topology(
+        sites=sites, k=k, rewire_p=rewire_p,
+        hosts_per_site=hosts_per_site, cores_per_host=cores_per_host,
+        topo_seed=topo_seed)
+    cluster = P2PMPICluster(topology, seed=seed, config=config,
+                            cost_params=cost_params)
+    return cluster.boot() if boot else cluster
+
+
+def build_fat_sites_cluster(
+    seed: int = 0,
+    config: Optional[MiddlewareConfig] = None,
+    cost_params: CostParams = DEFAULT_COST_PARAMS,
+    boot: bool = True,
+    sites: int = 100,
+    router_groups: int = 8,
+    hosts_per_site: int = 1,
+    cores_per_host: int = 4,
+    failed: Tuple[str, ...] = (),
+    topo_seed: int = 0,
+) -> P2PMPICluster:
+    """Hundreds of sites dual-homed on a router core, with optional
+    ``failed`` router/site exclusion (see repro.net.families)."""
+    from repro.net.families import fat_sites_topology
+
+    topology = fat_sites_topology(
+        sites=sites, router_groups=router_groups,
+        hosts_per_site=hosts_per_site, cores_per_host=cores_per_host,
+        failed=tuple(failed), topo_seed=topo_seed)
+    cluster = P2PMPICluster(topology, seed=seed, config=config,
+                            cost_params=cost_params)
+    return cluster.boot() if boot else cluster
+
+
+# ---------------------------------------------------------------------------
+# Topology-family registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FamilyParam:
+    """One declared parameter of a :class:`TopologyFamily`."""
+
+    name: str
+    default: object = None
+    doc: str = ""
+
+
+@dataclass(frozen=True)
+class TopologyFamily:
+    """A declarative, seedable cluster recipe (DESIGN.md §14).
+
+    Replaces the ad-hoc ``register_cluster_kind(name, builder)`` pair:
+    the family carries its parameter schema, so a
+    :class:`ClusterSpec` naming an unknown parameter fails at
+    *spec-construction* time — in the driver process, with the family's
+    accepted names in the message — instead of as a ``TypeError`` deep
+    inside a sweep worker.
+
+    ``builder`` must be a module-level callable (specs cross process
+    boundaries) with signature
+    ``builder(seed=..., config=..., boot=..., **params)``; ``seed`` is
+    the simulation master seed, while topology-shaping randomness goes
+    through the family's own ``topo_seed``-style parameters so a
+    campaign can pin one generated topology across many cells.
+
+    ``params=None`` marks a legacy registration through the deprecated
+    shim: the schema is unknown, so validation is skipped.
+    """
+
+    name: str
+    builder: Callable[..., P2PMPICluster]
+    params: Optional[Tuple[FamilyParam, ...]] = ()
+    doc: str = ""
+
+    def param_names(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in (self.params or ()))
+
+    def defaults(self) -> Dict[str, object]:
+        return {p.name: p.default for p in (self.params or ())}
+
+    def validate(self, params: Mapping[str, object]) -> None:
+        """Reject parameters the family does not declare."""
+        if self.params is None:  # legacy shim registration
+            return
+        unknown = sorted(set(params) - set(self.param_names()))
+        if unknown:
+            accepted = sorted(self.param_names())
+            raise ValueError(
+                f"unknown parameter(s) {unknown} for topology family "
+                f"{self.name!r} (accepted: {accepted})")
+
+    def build(self, seed: int = 0,
+              config: Optional[MiddlewareConfig] = None,
+              boot: bool = True, **params: object) -> P2PMPICluster:
+        """Validate ``params`` and instantiate the recipe."""
+        self.validate(params)
+        return self.builder(seed=seed, config=config, boot=boot, **params)
+
+
+#: Registered topology families.  Registration must happen at import
+#: time of a module the sweep workers also import (e.g. the module
+#: defining the cell runner): under ``spawn``/``forkserver`` start
+#: methods a worker re-imports from scratch, so registrations done only
+#: in the parent process would not exist there.
+_FAMILIES: Dict[str, TopologyFamily] = {}
+
+
+def register_family(family: TopologyFamily) -> TopologyFamily:
+    """Register (or re-register) a topology family by name."""
+    _FAMILIES[family.name] = family
+    return family
+
+
+def get_family(name: str) -> TopologyFamily:
+    family = _FAMILIES.get(name)
+    if family is None:
+        raise KeyError(f"unknown topology family {name!r} "
+                       f"(registered: {family_names()})")
+    return family
+
+
+def family_names() -> List[str]:
+    return sorted(_FAMILIES)
+
+
+def _gen_common(hosts_per_site: int) -> Tuple[FamilyParam, ...]:
+    """Parameters every generated family shares."""
+    return (
+        FamilyParam("hosts_per_site", hosts_per_site,
+                    "hosts per generated site"),
+        FamilyParam("cores_per_host", 4, "cores per host"),
+        FamilyParam("topo_seed", 0, "seed shaping the generated graph "
+                    "(independent of the simulation master seed)"),
+    )
+
+
+register_family(TopologyFamily(
+    name="grid5000", builder=build_grid5000_cluster,
+    doc="the paper's 6-site Grid'5000 testbed (flat, measured RTTs)"))
+register_family(TopologyFamily(
+    name="grid5000-latratio", builder=build_latratio_cluster,
+    params=(FamilyParam("latency_ratio", 121.6,
+                        "reference WAN RTT over LAN RTT"),),
+    doc="Grid'5000 with a tunable intra/inter-site latency ratio"))
+register_family(TopologyFamily(
+    name="small", builder=build_small_cluster,
+    doc="3-site / 10-host / 28-core grid for fast runs and tests"))
+register_family(TopologyFamily(
+    name="scale_free", builder=build_scale_free_cluster,
+    params=(FamilyParam("sites", 20, "number of sites"),
+            FamilyParam("m", 2, "Barabási–Albert attachment count"),
+            ) + _gen_common(2),
+    doc="routed Barabási–Albert site graph (hub-and-spoke contention)"))
+register_family(TopologyFamily(
+    name="small_world", builder=build_small_world_cluster,
+    params=(FamilyParam("sites", 20, "number of sites"),
+            FamilyParam("k", 4, "ring degree"),
+            FamilyParam("rewire_p", 0.1, "shortcut rewiring probability"),
+            ) + _gen_common(2),
+    doc="routed Watts–Strogatz site graph (ring plus shortcuts)"))
+register_family(TopologyFamily(
+    name="fat_sites", builder=build_fat_sites_cluster,
+    params=(FamilyParam("sites", 100, "number of sites"),
+            FamilyParam("router_groups", 8, "routers in the core ring"),
+            FamilyParam("failed", (), "router/site names to exclude"),
+            ) + _gen_common(1),
+    doc="hundreds of sites dual-homed on a router core (+ failures)"))
+
+
+# -- deprecated shims --------------------------------------------------------
+
+_DEPRECATION_NOTED: set = set()
+
+
+def _note_deprecated(old: str, new: str) -> None:
+    """One stderr note per deprecated entry point per process."""
+    if old in _DEPRECATION_NOTED:
+        return
+    _DEPRECATION_NOTED.add(old)
+    print(f"repro.cluster: {old} is deprecated; use {new}",
+          file=sys.stderr)
 
 
 def register_cluster_kind(name: str,
                           builder: Callable[..., P2PMPICluster]) -> None:
-    """Register a new named recipe.
+    """Register a named recipe without a parameter schema.
 
-    Registration must happen at import time of a module the sweep
-    workers also import (e.g. the module defining the cell runner):
-    under ``spawn``/``forkserver`` start methods a worker re-imports
-    from scratch, so registrations done only in the parent process
-    would not exist there.
+    .. deprecated::
+        Use :func:`register_family` with a :class:`TopologyFamily`
+        (declared parameters get validated at spec-construction time;
+        this shim registers an unvalidated legacy family).
     """
-    _CLUSTER_KINDS[name] = builder
+    _note_deprecated("register_cluster_kind()",
+                     "register_family(TopologyFamily(...))")
+    register_family(TopologyFamily(name=name, builder=builder, params=None))
 
 
 def cluster_kinds() -> List[str]:
-    return sorted(_CLUSTER_KINDS)
+    """Registered family names.
+
+    .. deprecated::
+        Use :func:`family_names`.
+    """
+    _note_deprecated("cluster_kinds()", "family_names()")
+    return family_names()
 
 
 @dataclass(frozen=True)
@@ -357,17 +579,21 @@ class ClusterSpec:
     Attributes
     ----------
     kind:
-        A name registered in :func:`register_cluster_kind`
-        (``grid5000``, ``grid5000-latratio`` and ``small`` are built
-        in).
+        A :class:`TopologyFamily` name registered through
+        :func:`register_family` (``grid5000``, ``grid5000-latratio``,
+        ``small``, ``scale_free``, ``small_world`` and ``fat_sites``
+        are built in).
     config:
         Optional middleware tuning applied to every host.
     boot:
         Whether :meth:`build` returns a booted overlay (default).
     params:
-        Extra keyword arguments for the builder, as a sorted tuple of
-        ``(name, value)`` pairs so the spec stays hashable/picklable —
-        e.g. ``(("latency_ratio", 10.0),)`` for ``grid5000-latratio``.
+        Family parameters, as a sorted tuple of ``(name, value)``
+        pairs so the spec stays hashable/picklable — e.g.
+        ``(("latency_ratio", 10.0),)`` for ``grid5000-latratio``.
+        Validated against the family's declared schema here, at
+        construction time, so a typo fails in the driver process
+        instead of deep inside a sweep worker.
     """
 
     kind: str = "grid5000"
@@ -376,24 +602,26 @@ class ClusterSpec:
     params: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.kind not in _CLUSTER_KINDS:
-            raise ValueError(f"unknown cluster kind {self.kind!r} "
-                             f"(registered: {cluster_kinds()})")
+        family = _FAMILIES.get(self.kind)
+        if family is None:
+            raise ValueError(f"unknown topology family {self.kind!r} "
+                             f"(registered: {family_names()})")
         if tuple(sorted(self.params)) != tuple(self.params):
             raise ValueError("params must be sorted (name, value) pairs")
+        family.validate(dict(self.params))
 
     def build(self, seed: int = 0) -> P2PMPICluster:
         """Instantiate the recipe with ``seed`` as the master seed."""
-        builder = _CLUSTER_KINDS.get(self.kind)
-        if builder is None:
-            # Unpickling bypasses __post_init__, so a spec for a kind
+        family = _FAMILIES.get(self.kind)
+        if family is None:
+            # Unpickling bypasses __post_init__, so a spec for a family
             # the worker process never registered lands here.
             raise ValueError(
-                f"cluster kind {self.kind!r} is not registered in this "
-                f"process (registered: {cluster_kinds()}); register it "
-                f"at import time of the cell-runner module")
-        return builder(seed=seed, config=self.config, boot=self.boot,
-                       **dict(self.params))
+                f"topology family {self.kind!r} is not registered in "
+                f"this process (registered: {family_names()}); register "
+                f"it at import time of the cell-runner module")
+        return family.build(seed=seed, config=self.config, boot=self.boot,
+                            **dict(self.params))
 
     def with_config(self, config: Optional[MiddlewareConfig]) -> "ClusterSpec":
         return dataclasses.replace(self, config=config)

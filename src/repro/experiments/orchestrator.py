@@ -97,6 +97,11 @@ def worker_flags(experiment: str, args: Any) -> Tuple[str, ...]:
             flags += ["--rates", args.rates]
     if "alloc" in axes:
         flags += ["--alloc", args.alloc]
+    if "topozoo" in axes:
+        if getattr(args, "family", None) is not None:
+            flags += ["--family", args.family]
+        if getattr(args, "sites", None) is not None:
+            flags += ["--sites", args.sites]
     return tuple(flags)
 
 

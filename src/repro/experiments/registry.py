@@ -62,6 +62,7 @@ MANIFEST: Dict[str, ExperimentRef] = {
     "churnload": ExperimentRef("repro.experiments.churnload"),
     "applatency": ExperimentRef("repro.experiments.applatency"),
     "multiuser2": ExperimentRef("repro.experiments.multiuser2"),
+    "topozoo": ExperimentRef("repro.experiments.topozoo"),
     "all": ExperimentRef("repro.experiments.registry"),
 }
 

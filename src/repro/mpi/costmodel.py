@@ -314,6 +314,10 @@ class GroupLayout:
         #: embed the mutable contention state, so callers may mutate
         #: ``colocated``/``wan_flows`` freely without invalidation.
         self._pairwise_memo: "OrderedDict" = OrderedDict()
+        #: Routed topologies: per-flow share matrices memoized by the
+        #: census state (the ``wan_flows`` diagonal *is* the per-site
+        #: totals, so the same key covers ``apply_copy_counts``).
+        self._routed_share_memo: Dict[bytes, np.ndarray] = {}
 
     def _clone(self) -> "GroupLayout":
         """Cheap copy for the layout memo: shares every immutable site
@@ -353,6 +357,45 @@ class GroupLayout:
         totals = np.maximum(totals, self.site_counts)
         self.wan_flows = np.minimum.outer(totals, totals)
 
+    def _routed_plan_shares(self) -> np.ndarray:
+        """Site x site per-flow share on a *routed* topology.
+
+        Mirrors :mod:`repro.net.contention`'s per-link model: each
+        populated site pair's ``min(n_a, n_b)`` flows load every link
+        on its shortest-RTT route, and a pair's share is the narrowest
+        per-flow slice along its own route.  The site totals are read
+        off the ``wan_flows`` diagonal (``min(n, n) == n``), so the
+        matrix follows :meth:`apply_copy_counts` and any caller
+        rebinding ``wan_flows`` without extra bookkeeping.  Memoized
+        per census state, shared across clones.
+        """
+        key = self.wan_flows.tobytes()
+        cached = self._routed_share_memo.get(key)
+        if cached is not None:
+            return cached
+        topo = self.topology
+        names = self.site_names
+        totals = np.diagonal(self.wan_flows)
+        n = len(names)
+        loads: Dict[Tuple[str, str], int] = {}
+        for i in range(n):
+            for j in range(i + 1, n):
+                flows = int(min(totals[i], totals[j]))
+                if not flows:
+                    continue
+                for link in topo.route_links(names[i], names[j]):
+                    loads[link] = loads.get(link, 0) + flows
+        share = np.full((n, n), np.inf)
+        for i in range(n):
+            for j in range(i + 1, n):
+                val = min(
+                    topo.link_bandwidth_bps(link) / max(1, loads.get(link, 0))
+                    for link in topo.route_links(names[i], names[j]))
+                share[i, j] = share[j, i] = val
+        share.setflags(write=False)
+        self._routed_share_memo[key] = share
+        return share
+
     def wan_share_bps(self, si: int, sj: int, params: CostParams) -> float:
         """Per-flow share of the ``si``<->``sj`` backbone under
         ``params.wan_contention`` (``inf`` when unshared or LAN)."""
@@ -360,6 +403,8 @@ class GroupLayout:
             return float("inf")
         backbone = self.backbone_bps[si, sj]
         if params.wan_contention == "plan":
+            if self.topology.routed:
+                return float(self._routed_plan_shares()[si, sj])
             return backbone / max(1, int(self.wan_flows[si, sj]))
         if params.wan_contention == "fixed":
             return backbone / WAN_CONTENTION_FACTOR
@@ -370,6 +415,8 @@ class GroupLayout:
         elementwise (bit-exact) batch form of :meth:`wan_share_bps`."""
         n = len(self.site_names)
         if params.wan_contention == "plan":
+            if self.topology.routed:
+                return self._routed_plan_shares()  # inf diagonal built in
             share = self.backbone_bps / np.maximum(1, self.wan_flows)
         elif params.wan_contention == "fixed":
             share = self.backbone_bps / WAN_CONTENTION_FACTOR

@@ -4,7 +4,11 @@ This package simulates the wide-area federation the paper's testbed
 (Grid'5000) provides physically.  Layering:
 
 * :mod:`~repro.net.topology` — static description: sites, clusters,
-  hosts, per-site-pair RTT and bandwidth.
+  hosts, per-site-pair RTT and bandwidth; flat (private per-pair
+  backbones) or routed (explicit links, shortest-RTT multi-hop paths)
+  behind one ``path_metrics`` facade.
+* :mod:`~repro.net.families` — generated complex-network topologies
+  (scale_free, small_world, fat_sites), deterministic per seed.
 * :mod:`~repro.net.latency` — stochastic *measured* latency: the paper's
   application-level (non-ICMP) ping observes base RTT plus CPU/TCP load
   noise; this module models that perturbation and the EWMA smoothing
@@ -20,7 +24,10 @@ This package simulates the wide-area federation the paper's testbed
   transport, and the fast analytic estimator used at scale.
 """
 
-from repro.net.topology import Cluster, Host, Site, Topology
+from repro.net.topology import (Cluster, Host, Link, PathMetrics, Site,
+                                Topology)
+from repro.net.families import (fat_sites_topology, scale_free_topology,
+                                small_world_topology)
 from repro.net.latency import LatencyModel, LatencyEstimate
 from repro.net.bandwidth import BandwidthAllocator
 from repro.net.contention import (ContentionModel, LinkContention,
@@ -31,8 +38,13 @@ from repro.net.ping import PingService
 __all__ = [
     "Cluster",
     "Host",
+    "Link",
+    "PathMetrics",
     "Site",
     "Topology",
+    "scale_free_topology",
+    "small_world_topology",
+    "fat_sites_topology",
     "LatencyModel",
     "LatencyEstimate",
     "BandwidthAllocator",

@@ -28,6 +28,14 @@ score (:func:`repro.alloc.commaware.contended_pair_bw_bps`) and the
 execution-time model (:mod:`repro.mpi.costmodel`, ``wan_contention``
 mode ``"plan"``), so what the allocator optimises is what the
 simulated application experiences.
+
+Routed topologies (DESIGN.md §14) generalise the divisor from site
+pairs to *traversed links*: each site pair's ``min(n_a, n_b)`` flows
+load every link on its shortest-RTT route, loads accumulate on shared
+links (router chords), and a pair's contended bandwidth is the
+narrowest per-flow slice along its route.  The flat testbed is the
+exact 1-hop special case — every site pair owns its private link, so
+per-link loads coincide with the crossing-pair counts bit for bit.
 """
 
 from __future__ import annotations
@@ -86,21 +94,44 @@ class PlanContention:
         """The crossing tuple as a dict, built once per snapshot."""
         return dict(self.crossing)
 
+    @cached_property
+    def _link_load_map(self) -> Dict[Tuple[str, str], int]:
+        """Concurrent flows per *physical* backbone link.
+
+        Flat mode: every site pair crosses its own private link, so
+        this is exactly the crossing map.  Routed mode: each site
+        pair's ``min(n_a, n_b)`` flows load every link on its route,
+        so links shared by several routes accumulate the sum.
+        """
+        if not self.topology.routed:
+            return self._crossing_map
+        out: Dict[Tuple[str, str], int] = {}
+        for (a, b), flows in self.crossing:
+            if not flows:
+                continue
+            for link in self.topology.route_links(a, b):
+                out[link] = out.get(link, 0) + flows
+        return out
+
+    def link_loads(self) -> Dict[Tuple[str, str], int]:
+        """Concurrent crossing flows per physical backbone link."""
+        return dict(self._link_load_map)
+
     def links(self) -> List[LinkContention]:
         """Per-backbone load, in canonical (sorted link key) order."""
         out = []
-        for link, pairs in self.crossing:
-            a = self.topology.site_representative(link[0])
-            b = self.topology.site_representative(link[1])
+        for link in sorted(self._link_load_map):
             out.append(LinkContention(
                 link=link,
-                backbone_bps=self.topology.backbone_bandwidth_bps(a, b),
-                crossing_pairs=pairs))
+                backbone_bps=self.topology.link_bandwidth_bps(link),
+                crossing_pairs=self._link_load_map[link]))
         return out
 
     def max_crossing_pairs(self) -> int:
-        """The most loaded backbone's crossing count (0 if none)."""
-        return max((pairs for _, pairs in self.crossing), default=0)
+        """The most loaded backbone link's crossing count (0 if
+        none).  Routed mode counts per traversed link, so a router
+        chord shared by several site pairs reports their sum."""
+        return max(self._link_load_map.values(), default=0)
 
     def pair_bw_bps(self, a: Host, b: Host) -> float:
         """Bandwidth the ``a``<->``b`` pair can expect under this plan.
@@ -119,10 +150,25 @@ class PlanContention:
         path = self.topology.bandwidth_bps(a, b)
         if a.site == b.site:
             return path
+        if self.topology.routed:
+            return min(path, _routed_share_bps(
+                self.topology, self._link_load_map, a.site, b.site))
         key = self.topology.link_key(a, b)
         pairs = self._crossing_map.get(key, 1)
         backbone = self.topology.backbone_bandwidth_bps(a, b)
         return min(path, backbone / max(1, pairs))
+
+
+def _routed_share_bps(topology: Topology,
+                      link_loads: Mapping[Tuple[str, str], int],
+                      site_a: str, site_b: str) -> float:
+    """Backbone share of one ``site_a``<->``site_b`` flow on a routed
+    topology: the narrowest per-flow slice along the route, where each
+    link divides its capacity among all flows loading it (divisor
+    never below 1, mirroring the flat model's lone-flow behaviour)."""
+    return min(
+        topology.link_bandwidth_bps(link) / max(1, link_loads.get(link, 0))
+        for link in topology.route_links(site_a, site_b))
 
 
 class ContentionModel:
@@ -200,6 +246,10 @@ class IncrementalPlanScore:
                  hosts: Iterable[Host] = ()) -> None:
         self.topology = topology
         self._counts: Dict[str, int] = {}
+        #: Routed mode only: live flow count per physical link,
+        #: maintained incrementally so the agreement contract extends
+        #: to per-link loads without re-routing the whole census.
+        self._link_loads: Dict[Tuple[str, str], int] = {}
         self.size = 0
         for host in hosts:
             self.add(host)
@@ -214,10 +264,26 @@ class IncrementalPlanScore:
         self._bump(host.site, -copies)
 
     def _bump(self, site: str, delta: int) -> None:
-        count = self._counts.get(site, 0) + delta
+        old = self._counts.get(site, 0)
+        count = old + delta
         if count < 0:
             raise ValueError(
                 f"site census for {site!r} would drop below zero")
+        if self.topology.routed and count != old:
+            # min(n_site, n_other) moved for every co-placed site;
+            # apply the difference to each link on that pair's route.
+            for other, n_other in self._counts.items():
+                if other == site:
+                    continue
+                moved = min(count, n_other) - min(old, n_other)
+                if not moved:
+                    continue
+                for link in self.topology.route_links(site, other):
+                    load = self._link_loads.get(link, 0) + moved
+                    if load:
+                        self._link_loads[link] = load
+                    else:
+                        self._link_loads.pop(link, None)
         if count:
             self._counts[site] = count
         else:
@@ -232,9 +298,18 @@ class IncrementalPlanScore:
         """Live crossing-pair counts (O(sites^2) materialisation)."""
         return ContentionModel.crossing_from_counts(self._counts)
 
+    def link_loads(self) -> Dict[Tuple[str, str], int]:
+        """Live flow count per physical backbone link."""
+        if self.topology.routed:
+            return dict(self._link_loads)
+        return self.crossing_pairs()
+
     def max_crossing_pairs(self) -> int:
-        """Most loaded backbone's crossing count: the second-largest
-        site census (two sites both feed their min into one link)."""
+        """Most loaded backbone link's crossing count.  Flat mode: the
+        second-largest site census (two sites both feed their min into
+        one private link).  Routed mode: the maintained per-link max."""
+        if self.topology.routed:
+            return max(self._link_loads.values(), default=0)
         if len(self._counts) < 2:
             return 0
         first = second = 0
@@ -256,6 +331,9 @@ class IncrementalPlanScore:
         path = self.topology.bandwidth_bps(a, b)
         if a.site == b.site:
             return path
+        if self.topology.routed:
+            return min(path, _routed_share_bps(
+                self.topology, self._link_loads, a.site, b.site))
         pairs = min(self._counts.get(a.site, 0),
                     self._counts.get(b.site, 0))
         backbone = self.topology.backbone_bandwidth_bps(a, b)

@@ -1,0 +1,231 @@
+"""Generated complex-network topology families (DESIGN.md §14).
+
+The paper's testbed is one fixed 6-site federation; every campaign so
+far answered "which co-allocation strategy wins" for that single graph.
+These generators produce *routed* :class:`~repro.net.topology.Topology`
+instances — explicit per-link bandwidths, shortest-RTT multi-hop
+routes, per-link contention — over three structural families the
+complex-network literature says should rank strategies differently:
+
+``scale_free``
+    Barabási–Albert preferential attachment over sites.  A few hub
+    sites concentrate most routes, so their incident links pool many
+    crossing flows — concentration near hubs buys latency but starves
+    bandwidth.
+``small_world``
+    Watts–Strogatz ring with rewired shortcuts.  High clustering plus
+    short global paths: block-style locality keeps most traffic on
+    cheap ring links while the rare shortcuts carry the rest.
+``fat_sites``
+    Hundreds of small sites dual-homed onto a router core (ring +
+    cross chords), heterogeneous backbone capacities, and optional
+    ``failed`` node exclusion in the spirit of router-group placement
+    models — the stress case for per-link routed contention.
+
+Every generator is a pure function of its parameters plus
+``topo_seed``: link attributes come from a SHA-256-derived
+:class:`random.Random` (never ``hash()``, which is per-process salted)
+and graph generators take the same derived seed, so topologies are
+bit-reproducible across processes and machines — the property the
+sweep engine's content-hash store keys rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+import networkx as nx
+import random
+
+from repro.net.topology import Cluster, Link, Site, Topology
+
+__all__ = ["scale_free_topology", "small_world_topology",
+           "fat_sites_topology", "GENERATED_FAMILIES"]
+
+#: Family names this module generates (CLI/registry cross-check).
+GENERATED_FAMILIES = ("scale_free", "small_world", "fat_sites")
+
+#: Heterogeneous backbone tiers (bit/s): commodity 1 Gb/s, regional
+#: 2.5 Gb/s, national 10 Gb/s — the RENATER-era capacity mix.
+_BW_TIERS = (1.0e9, 2.5e9, 10.0e9)
+
+#: WAN link RTT range in milliseconds (continental spread).
+_RTT_RANGE_MS = (2.0, 25.0)
+
+
+def derive_seed(*parts: object) -> int:
+    """A 64-bit integer seed derived from ``parts`` via SHA-256.
+
+    ``random.Random(str)`` hashes through ``PYTHONHASHSEED`` salting in
+    some interpreter configurations; hashing explicitly keeps generated
+    topologies identical across processes, machines and runs.
+    """
+    digest = hashlib.sha256(
+        "|".join(str(p) for p in parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _site_name(i: int) -> str:
+    return f"s{i:03d}"
+
+
+def _make_sites(names: Sequence[str], hosts_per_site: int,
+                cores_per_host: int) -> List[Site]:
+    """One homogeneous cluster per site (``Cluster.cores`` is total)."""
+    return [
+        Site(name, (Cluster(
+            name=f"c{name[1:]}", site=name, cpu_model="gen",
+            nodes=hosts_per_site, cpus=hosts_per_site,
+            cores=hosts_per_site * cores_per_host),))
+        for name in names
+    ]
+
+
+def _attr_links(edges: Iterable[Tuple[str, str]], rng: random.Random
+                ) -> List[Link]:
+    """Draw deterministic per-link attributes, in sorted edge order."""
+    links = []
+    lo, hi = _RTT_RANGE_MS
+    for a, b in sorted(tuple(sorted(e)) for e in edges):
+        links.append(Link(a=a, b=b,
+                          rtt_ms=round(rng.uniform(lo, hi), 3),
+                          bandwidth_bps=rng.choice(_BW_TIERS)))
+    return links
+
+
+def scale_free_topology(sites: int = 20, m: int = 2,
+                        hosts_per_site: int = 2, cores_per_host: int = 4,
+                        topo_seed: int = 0) -> Topology:
+    """Barabási–Albert site graph: hubs attract links *and* routes.
+
+    ``m`` is the attachment count (edges each new site brings).  Sites
+    route through each other — there are no dedicated routers — so hub
+    sites become transit bottlenecks exactly as in AS-level graphs.
+    """
+    if sites < 2:
+        raise ValueError("scale_free needs at least 2 sites")
+    if not 1 <= m < sites:
+        raise ValueError(f"attachment m={m} must be in [1, sites)")
+    seed = derive_seed("scale_free", sites, m, topo_seed)
+    graph = nx.barabasi_albert_graph(sites, m, seed=seed)
+    names = [_site_name(i) for i in range(sites)]
+    rng = random.Random(derive_seed("scale_free.links", sites, m, topo_seed))
+    links = _attr_links(
+        ((names[a], names[b]) for a, b in graph.edges), rng)
+    return Topology(
+        sites=_make_sites(names, hosts_per_site, cores_per_host),
+        links=links)
+
+
+def small_world_topology(sites: int = 20, k: int = 4,
+                         rewire_p: float = 0.1,
+                         hosts_per_site: int = 2, cores_per_host: int = 4,
+                         topo_seed: int = 0) -> Topology:
+    """Watts–Strogatz ring-with-shortcuts site graph.
+
+    ``k`` nearest ring neighbours, each edge rewired with probability
+    ``rewire_p``; the connected variant retries rewiring until the
+    graph is one component, so every seed yields a usable topology.
+    """
+    if sites < 4:
+        raise ValueError("small_world needs at least 4 sites")
+    if not 2 <= k < sites:
+        raise ValueError(f"ring degree k={k} must be in [2, sites)")
+    if not 0.0 <= rewire_p <= 1.0:
+        raise ValueError(f"rewire_p={rewire_p} must be in [0, 1]")
+    seed = derive_seed("small_world", sites, k, rewire_p, topo_seed)
+    graph = nx.connected_watts_strogatz_graph(sites, k, rewire_p,
+                                              tries=200, seed=seed)
+    names = [_site_name(i) for i in range(sites)]
+    rng = random.Random(
+        derive_seed("small_world.links", sites, k, rewire_p, topo_seed))
+    links = _attr_links(
+        ((names[a], names[b]) for a, b in graph.edges), rng)
+    return Topology(
+        sites=_make_sites(names, hosts_per_site, cores_per_host),
+        links=links)
+
+
+def fat_sites_topology(sites: int = 100, router_groups: int = 8,
+                       hosts_per_site: int = 1, cores_per_host: int = 4,
+                       failed: Sequence[str] = (),
+                       topo_seed: int = 0) -> Topology:
+    """Hundreds of small sites dual-homed onto a router core.
+
+    ``router_groups`` routers ``r00..`` form a ring plus cross chords
+    (``r_i`` — ``r_{i+G/2}``); site ``i`` homes onto routers ``i % G``
+    and ``(i+1) % G``, so losing one access link (or one router) never
+    strands a site by construction.  ``failed`` names routers or sites
+    to exclude before building — surviving sites that end up
+    disconnected from the first surviving site are dropped too, so a
+    heavily failed core degrades instead of erroring.
+    """
+    if sites < 2:
+        raise ValueError("fat_sites needs at least 2 sites")
+    if router_groups < 2:
+        raise ValueError("fat_sites needs at least 2 router groups")
+    failed_set: Set[str] = set(failed)
+    routers = [f"r{i:02d}" for i in range(router_groups)]
+    site_names = [_site_name(i) for i in range(sites)]
+    unknown = failed_set - set(routers) - set(site_names)
+    if unknown:
+        raise ValueError(f"failed names {sorted(unknown)} are neither "
+                         f"sites nor routers of this topology")
+
+    rng = random.Random(
+        derive_seed("fat_sites", sites, router_groups, topo_seed))
+    edges: Dict[Tuple[str, str], Link] = {}
+
+    def connect(a: str, b: str, bw: float) -> None:
+        if a in failed_set or b in failed_set:
+            return
+        key = (a, b) if a <= b else (b, a)
+        if key not in edges:
+            lo, hi = _RTT_RANGE_MS
+            edges[key] = Link(a=key[0], b=key[1],
+                              rtt_ms=round(rng.uniform(lo, hi), 3),
+                              bandwidth_bps=bw)
+
+    # Core: ring + cross chords, fat national-tier capacity.
+    for i in range(router_groups):
+        connect(routers[i], routers[(i + 1) % router_groups], _BW_TIERS[2])
+    for i in range(router_groups // 2):
+        opposite = (i + router_groups // 2) % router_groups
+        if opposite != (i + 1) % router_groups and opposite != i:
+            connect(routers[i], routers[opposite], _BW_TIERS[1])
+    # Access: each site dual-homed, heterogeneous commodity tiers.
+    for i, site in enumerate(site_names):
+        primary = routers[i % router_groups]
+        secondary = routers[(i + 1) % router_groups]
+        connect(site, primary, rng.choice(_BW_TIERS[:2]))
+        if secondary != primary:
+            connect(site, secondary, _BW_TIERS[0])
+
+    # Prune anything the failures strand: keep the component carrying
+    # the most surviving sites (ties broken by earliest site name, so
+    # the choice is deterministic).
+    survivors = [s for s in site_names if s not in failed_set]
+    if not survivors:
+        raise ValueError("failed set removes every site")
+    probe = nx.Graph()
+    probe.add_nodes_from(survivors)
+    probe.add_nodes_from(r for r in routers if r not in failed_set)
+    probe.add_edges_from(edges)
+    survivor_set = set(survivors)
+    component = min(
+        nx.connected_components(probe),
+        key=lambda c: (-len(survivor_set & c),
+                       min(survivor_set & c, default="~")),
+    )
+    kept_sites = [s for s in survivors if s in component]
+    if len(kept_sites) < 2:
+        raise ValueError("failures leave fewer than 2 connected sites")
+    kept_nodes = set(kept_sites) | {r for r in routers
+                                    if r not in failed_set and r in component}
+    links = [link for key, link in sorted(edges.items())
+             if key[0] in kept_nodes and key[1] in kept_nodes]
+    return Topology(
+        sites=_make_sites(kept_sites, hosts_per_site, cores_per_host),
+        links=links,
+        transit=tuple(r for r in sorted(kept_nodes) if r in set(routers)))

@@ -8,6 +8,24 @@ not reported by the paper are derived with a hub (star) approximation
 through the submitting site, which is conservative and only affects the
 application-model experiments (Figure 4), never allocation decisions
 (which depend solely on RTT *to* the submitting site).
+
+Two wiring modes (DESIGN.md §14)
+--------------------------------
+* **flat** (the paper's testbed): every known site pair has its own
+  private backbone — a one-hop route over the single link
+  ``(site_a, site_b)``.  This is the original model, preserved bit for
+  bit.
+* **routed** (generated complex-network families): the constructor
+  takes explicit :class:`Link` definitions — possibly through pure
+  *transit* nodes (routers) that host nothing — and every site pair's
+  path is derived by shortest-RTT routing over that link graph.  A
+  path's RTT is the sum of its links' RTTs, its backbone bandwidth the
+  bottleneck link, and — the part contention cares about — crossing
+  flows load **every traversed link**, so two site pairs routed through
+  one router chord genuinely share it.
+
+Both modes answer through the same :meth:`Topology.path_metrics`
+facade; consumers never branch on the mode themselves.
 """
 
 from __future__ import annotations
@@ -19,7 +37,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import networkx as nx
 import numpy as np
 
-__all__ = ["Host", "Cluster", "Site", "Topology", "LinkSpec"]
+__all__ = ["Host", "Cluster", "Site", "Topology", "LinkSpec", "Link",
+           "PathMetrics"]
 
 #: Default intra-site (LAN) round-trip time in milliseconds.  The paper's
 #: figure legends report 0.087 ms for nancy-to-nancy probes.
@@ -121,6 +140,54 @@ class LinkSpec:
     bandwidth_bps: float
 
 
+@dataclass(frozen=True)
+class Link:
+    """One physical backbone link of a *routed* topology.
+
+    Endpoints are node names of the link graph: site names or transit
+    (router) node names.  The canonical key is the sorted endpoint
+    pair, mirroring :meth:`Topology.link_key`.
+    """
+
+    a: str
+    b: str
+    rtt_ms: float
+    bandwidth_bps: float
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.a, self.b) if self.a <= self.b else (self.b, self.a)
+
+
+@dataclass(frozen=True)
+class PathMetrics:
+    """End-to-end path properties between two hosts (or sites).
+
+    Attributes
+    ----------
+    rtt_ms:
+        Round-trip time of the whole path.  Flat mode: the configured
+        site-pair RTT.  Routed mode: the sum of the traversed links'
+        RTTs (real shortest-path RTT, not the hub/star approximation).
+    bandwidth_bps:
+        The *backbone* bottleneck — the narrowest traversed link,
+        without any NIC clamp.  This is the shared capacity crossing
+        flows divide (:mod:`repro.net.contention`).
+    links:
+        Canonical keys of the traversed backbone links, in traversal
+        order.  Empty for same-site (or same-host) paths; exactly one
+        entry in flat mode.
+    """
+
+    rtt_ms: float
+    bandwidth_bps: float
+    links: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def hops(self) -> int:
+        return len(self.links)
+
+
 class Topology:
     """Site/host database plus the site-level link graph.
 
@@ -137,7 +204,16 @@ class Topology:
         pairs default to ``default_wan_bw_bps``.
     hub:
         Site through which unknown pairwise RTTs are routed
-        (``rtt(a,b) = rtt(a,hub) + rtt(hub,b)``).
+        (``rtt(a,b) = rtt(a,hub) + rtt(hub,b)``).  Flat mode only —
+        routed topologies derive real shortest-path RTTs instead.
+    links:
+        Explicit :class:`Link` definitions.  Passing them switches the
+        topology to *routed* mode: site pairs take shortest-RTT
+        multi-hop paths over this link graph, and ``site_rtt_ms`` /
+        ``site_bw_bps`` / ``hub`` must be ``None``.
+    transit:
+        Names of pure transit nodes (routers) of the routed link
+        graph; they appear on paths but host nothing.
     """
 
     def __init__(
@@ -149,6 +225,8 @@ class Topology:
         lan_rtt_ms: float = DEFAULT_LAN_RTT_MS,
         lan_bw_bps: float = DEFAULT_LAN_BW_BPS,
         default_wan_bw_bps: float = 10.0e9,
+        links: Optional[Sequence[Link]] = None,
+        transit: Sequence[str] = (),
     ) -> None:
         self.sites: Dict[str, Site] = {}
         self.hosts: Dict[str, Host] = {}
@@ -157,6 +235,14 @@ class Topology:
         self.lan_bw_bps = lan_bw_bps
         self.default_wan_bw_bps = default_wan_bw_bps
         self.hub = hub
+        self.routed = links is not None
+        self.transit: Tuple[str, ...] = tuple(transit)
+        if self.routed and (site_rtt_ms or site_bw_bps or hub):
+            raise ValueError(
+                "routed topologies take explicit links; site_rtt_ms/"
+                "site_bw_bps/hub belong to the flat model")
+        if self.transit and not self.routed:
+            raise ValueError("transit nodes require routed links")
 
         for site in sites:
             if site.name in self.sites:
@@ -184,7 +270,26 @@ class Topology:
             self._check_site(hub)
             self._fill_via_hub(hub)
 
+        self._links: Dict[Tuple[str, str], Link] = {}
+        if self.routed:
+            nodes = set(self.sites) | set(self.transit)
+            for link in links:
+                for end in (link.a, link.b):
+                    if end not in nodes:
+                        raise ValueError(
+                            f"link endpoint {end!r} is neither a site "
+                            f"nor a transit node")
+                if link.a == link.b:
+                    raise ValueError(f"self-link at {link.a!r}")
+                if link.key in self._links:
+                    raise ValueError(f"duplicate link {link.key}")
+                self._links[link.key] = link
+            #: site -> {site -> PathMetrics}, filled lazily per source.
+            self._route_memo: Dict[str, Dict[str, PathMetrics]] = {}
+
         self.graph = self._build_graph()
+        if self.routed:
+            self._check_connected()
 
         # Memos for the cost-model hot path (repro.mpi.costmodel):
         # site-level metric matrices per site subset, and GroupLayout
@@ -219,9 +324,104 @@ class Topology:
     def _build_graph(self) -> nx.Graph:
         graph = nx.Graph()
         graph.add_nodes_from(self.sites)
+        if self.routed:
+            graph.add_nodes_from(self.transit)
+            for key in sorted(self._links):
+                link = self._links[key]
+                graph.add_edge(key[0], key[1], rtt_ms=link.rtt_ms,
+                               bw_bps=link.bandwidth_bps)
+            return graph
         for (a, b), rtt in self._rtt.items():
             graph.add_edge(a, b, rtt_ms=rtt, bw_bps=self._bw.get((a, b), self.default_wan_bw_bps))
         return graph
+
+    def _check_connected(self) -> None:
+        """Routed topologies must reach every site from every other."""
+        names = sorted(self.sites)
+        if not names:
+            return
+        reachable = nx.node_connected_component(self.graph, names[0])
+        missing = [s for s in names if s not in reachable]
+        if missing:
+            raise ValueError(
+                f"routed topology is disconnected: no path from "
+                f"{names[0]!r} to {missing}")
+
+    # -- routing ---------------------------------------------------------
+    def _routes_from(self, source: str) -> Dict[str, PathMetrics]:
+        """Shortest-RTT routes from ``source`` to every site, memoized.
+
+        Deterministic: the link graph is built in sorted-key order, so
+        Dijkstra's tie-breaking is reproducible across processes.
+        """
+        memo = self._route_memo.get(source)
+        if memo is not None:
+            return memo
+        _, paths = nx.single_source_dijkstra(self.graph, source,
+                                             weight="rtt_ms")
+        memo = {}
+        for site in self.sites:
+            if site == source or site not in paths:
+                continue
+            path = paths[site]
+            hops = tuple(self._key(u, v) for u, v in zip(path, path[1:]))
+            memo[site] = PathMetrics(
+                rtt_ms=sum(self._links[k].rtt_ms for k in hops),
+                bandwidth_bps=min(self._links[k].bandwidth_bps
+                                  for k in hops),
+                links=hops)
+        self._route_memo[source] = memo
+        return memo
+
+    def site_path_metrics(self, a: str, b: str) -> PathMetrics:
+        """Site-level path facade: RTT, backbone bottleneck, links.
+
+        Flat mode answers from the configured site-pair tables (a
+        one-hop route over the pair's own private link); routed mode
+        from the shortest-RTT multi-hop route.
+        """
+        self._check_site(a), self._check_site(b)
+        if a == b:
+            return PathMetrics(rtt_ms=self.lan_rtt_ms,
+                               bandwidth_bps=self.lan_bw_bps)
+        if self.routed:
+            metrics = self._routes_from(a).get(b)
+            if metrics is None:  # pragma: no cover - guarded at init
+                raise KeyError(f"no route between {a} and {b}")
+            return metrics
+        key = self._key(a, b)
+        rtt = self._rtt.get(key)
+        if rtt is None:
+            raise KeyError(f"no RTT defined between {a} and {b}")
+        return PathMetrics(
+            rtt_ms=rtt,
+            bandwidth_bps=self._bw.get(key, self.default_wan_bw_bps),
+            links=(key,))
+
+    def path_metrics(self, a: Host, b: Host) -> PathMetrics:
+        """Host-level path facade (same-host/same-site short paths)."""
+        if a.name == b.name:
+            return PathMetrics(rtt_ms=0.0, bandwidth_bps=float("inf"))
+        if a.site == b.site:
+            return PathMetrics(rtt_ms=self.lan_rtt_ms,
+                               bandwidth_bps=self.lan_bw_bps)
+        return self.site_path_metrics(a.site, b.site)
+
+    def route_links(self, site_a: str, site_b: str
+                    ) -> Tuple[Tuple[str, str], ...]:
+        """Backbone link keys the ``site_a``<->``site_b`` path loads
+        (empty for the same site)."""
+        if site_a == site_b:
+            return ()
+        return self.site_path_metrics(site_a, site_b).links
+
+    def link_bandwidth_bps(self, key: Tuple[str, str]) -> float:
+        """Capacity of one backbone link by canonical key."""
+        if key[0] == key[1]:
+            return self.lan_bw_bps
+        if self.routed:
+            return self._links[key].bandwidth_bps
+        return self._bw.get(key, self.default_wan_bw_bps)
 
     # -- queries ---------------------------------------------------------
     def host(self, name: str) -> Host:
@@ -260,16 +460,10 @@ class Topology:
         """Unperturbed round-trip time between two hosts in ms."""
         if a.site == b.site:
             return 0.0 if a.name == b.name else self.lan_rtt_ms
-        key = self._key(a.site, b.site)
-        try:
-            return self._rtt[key]
-        except KeyError:
-            raise KeyError(f"no RTT defined between {a.site} and {b.site}") from None
+        return self.site_path_metrics(a.site, b.site).rtt_ms
 
     def site_rtt_ms(self, a: str, b: str) -> float:
-        if a == b:
-            return self.lan_rtt_ms
-        return self._rtt[self._key(a, b)]
+        return self.site_path_metrics(a, b).rtt_ms
 
     def bandwidth_bps(self, a: Host, b: Host) -> float:
         """Bottleneck bandwidth of the a->b path in bit/s."""
@@ -277,7 +471,7 @@ class Topology:
             return float("inf")
         if a.site == b.site:
             return self.lan_bw_bps
-        wan = self._bw.get(self._key(a.site, b.site), self.default_wan_bw_bps)
+        wan = self.site_path_metrics(a.site, b.site).bandwidth_bps
         # A WAN flow still traverses both LANs.
         return min(self.lan_bw_bps, wan)
 
@@ -288,13 +482,14 @@ class Topology:
         This is the *shared* capacity all flows between the two sites
         divide among themselves — the quantity communication-aware
         placement scores care about (a 1 Gb/s NIC bottleneck is private
-        per pair; a 1 Gb/s bordeaux backbone is not).
+        per pair; a 1 Gb/s bordeaux backbone is not).  Routed mode: the
+        bottleneck link of the shortest-RTT path.
         """
         if a.name == b.name:
             return float("inf")
         if a.site == b.site:
             return self.lan_bw_bps
-        return self._bw.get(self._key(a.site, b.site), self.default_wan_bw_bps)
+        return self.site_path_metrics(a.site, b.site).bandwidth_bps
 
     def site_matrices(self, site_names: Tuple[str, ...]
                       ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:

@@ -137,6 +137,86 @@ class TestSeededGrid:
                                      ref.layout(hosts), rng)
 
 
+class TestRoutedTopologies:
+    """The same bit-exact contract on routed multi-hop topologies.
+
+    Generated families exercise the per-link share matrix
+    (``GroupLayout._routed_plan_shares``): both kernels must read the
+    identical memoized matrix, so agreement is by construction — these
+    tests catch any routed-branch divergence between the paths.
+    """
+
+    def _routed_models(self, mode, family):
+        from repro.net.families import (fat_sites_topology,
+                                        scale_free_topology,
+                                        small_world_topology)
+
+        topo = {
+            "scale_free": lambda: scale_free_topology(sites=8,
+                                                      topo_seed=3),
+            "small_world": lambda: small_world_topology(sites=8,
+                                                        topo_seed=3),
+            "fat_sites": lambda: fat_sites_topology(sites=10,
+                                                    router_groups=4,
+                                                    topo_seed=3),
+        }[family]()
+        base = dataclasses.replace(DEFAULT_COST_PARAMS,
+                                   wan_contention=mode)
+        vec = CollectiveCostModel(
+            topo, dataclasses.replace(base, kernel="vector"))
+        ref = CollectiveCostModel(
+            topo, dataclasses.replace(base, kernel="reference"))
+        return topo, vec, ref
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("family",
+                             ["scale_free", "small_world", "fat_sites"])
+    def test_randomized_routed_plans_bit_exact(self, mode, family):
+        topo, vec, ref = self._routed_models(mode, family)
+        all_hosts = topo.all_hosts()
+        for seed in (1, 2):
+            rng = random.Random(seed)
+            hosts = [rng.choice(all_hosts)
+                     for _ in range(rng.randint(2, 40))]
+            assert_all_collectives_equal(vec, ref, vec.layout(hosts),
+                                         ref.layout(hosts), rng)
+
+    def test_routed_replication_census_bit_exact(self):
+        topo, vec, ref = self._routed_models("plan", "scale_free")
+        rng = random.Random(5)
+        all_hosts = topo.all_hosts()
+        hosts = [rng.choice(all_hosts) for _ in range(24)]
+        census = {h.name: rng.randint(1, 3) for h in all_hosts[::3]}
+        census.update({h.name: 2 for h in hosts})
+        lay_v, lay_r = vec.layout(hosts), ref.layout(hosts)
+        for lay in (lay_v, lay_r):
+            lay.apply_copy_counts(census)
+        assert_all_collectives_equal(vec, ref, lay_v, lay_r, rng)
+
+    def test_routed_share_agrees_with_plan_contention(self):
+        """Cross-layer: the cost model's per-pair WAN share equals the
+        contention layer's answer for the same copy multiset."""
+        topo, vec, _ = self._routed_models("plan", "fat_sites")
+        rng = random.Random(9)
+        all_hosts = topo.all_hosts()
+        hosts = [rng.choice(all_hosts) for _ in range(20)]
+        layout = vec.layout(hosts)
+        contention = ContentionModel(topo).plan(hosts)
+        checked = 0
+        for i, a in enumerate(layout.hosts):
+            for b in layout.hosts[i + 1:]:
+                if a.site == b.site:
+                    continue
+                share = layout.wan_share_bps(
+                    layout.site_of[a.site], layout.site_of[b.site],
+                    vec.params)
+                # pair_bw additionally clamps to the NIC-limited path.
+                assert (min(topo.bandwidth_bps(a, b), share)
+                        == contention.pair_bw_bps(a, b))
+                checked += 1
+        assert checked > 0
+
+
 class TestPairwiseMatrix:
     @pytest.mark.parametrize("mode", MODES)
     @pytest.mark.parametrize("nbytes", SIZES)

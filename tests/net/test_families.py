@@ -1,0 +1,166 @@
+"""Generated topology families: determinism, structure, failures.
+
+Property tests over seeds (DESIGN.md §14): every family must be a pure
+function of its parameters plus ``topo_seed``, always connected, and
+exhibit its defining structural signature — hubs for ``scale_free``,
+high clustering with short paths for ``small_world``, a router core
+that survives ``failed`` exclusions for ``fat_sites``.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.net.families import (GENERATED_FAMILIES, derive_seed,
+                                fat_sites_topology, scale_free_topology,
+                                small_world_topology)
+
+SEEDS = (0, 1, 7)
+
+BUILDERS = {
+    "scale_free": scale_free_topology,
+    "small_world": small_world_topology,
+    "fat_sites": fat_sites_topology,
+}
+
+
+def link_fingerprint(topo):
+    """Canonical (a, b, rtt, bw) tuples — the full wiring identity."""
+    return sorted((k[0], k[1], topo._links[k].rtt_ms,
+                   topo._links[k].bandwidth_bps) for k in topo._links)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("family", GENERATED_FAMILIES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_same_seed_same_topology(self, family, seed):
+        a = BUILDERS[family](sites=16, topo_seed=seed)
+        b = BUILDERS[family](sites=16, topo_seed=seed)
+        assert sorted(a.sites) == sorted(b.sites)
+        assert link_fingerprint(a) == link_fingerprint(b)
+        assert a.transit == b.transit
+
+    @pytest.mark.parametrize("family", GENERATED_FAMILIES)
+    def test_different_seeds_differ(self, family):
+        a = BUILDERS[family](sites=16, topo_seed=0)
+        b = BUILDERS[family](sites=16, topo_seed=1)
+        assert link_fingerprint(a) != link_fingerprint(b)
+
+    def test_derive_seed_is_stable(self):
+        # Cross-process stability is the whole point: pin one value.
+        assert derive_seed("x", 1) == derive_seed("x", 1)
+        assert derive_seed("x", 1) != derive_seed("x", 2)
+        assert derive_seed("scale_free", 20, 2, 0) == 16609914579970336824
+
+
+class TestConnectivity:
+    @pytest.mark.parametrize("family", GENERATED_FAMILIES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("sites", (8, 25))
+    def test_every_site_pair_routes(self, family, seed, sites):
+        topo = BUILDERS[family](sites=sites, topo_seed=seed)
+        names = sorted(topo.sites)
+        assert len(names) == sites
+        for b in names[1:]:
+            pm = topo.site_path_metrics(names[0], b)
+            assert pm.rtt_ms > 0
+            assert pm.bandwidth_bps > 0
+            assert len(pm.links) >= 1
+
+
+class TestScaleFree:
+    def test_degree_distribution_has_hubs(self):
+        """BA graphs are heavy-tailed: the busiest site must carry
+        several times the median degree once the graph is large."""
+        topo = scale_free_topology(sites=60, m=2, topo_seed=3)
+        degrees = sorted(d for _, d in topo.graph.degree(topo.sites))
+        median = degrees[len(degrees) // 2]
+        assert degrees[-1] >= 3 * median
+        assert degrees[0] >= 2  # every site brought m edges
+
+    def test_edge_count_matches_attachment(self):
+        topo = scale_free_topology(sites=30, m=2, topo_seed=0)
+        assert len(topo._links) == (30 - 2) * 2  # (n - m) * m
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            scale_free_topology(sites=1)
+        with pytest.raises(ValueError):
+            scale_free_topology(sites=10, m=10)
+
+
+class TestSmallWorld:
+    def test_clustering_beats_degree_matched_random(self):
+        """The WS signature: clustering well above the Erdős–Rényi
+        expectation C ≈ k/n at low rewiring probability."""
+        sites, k = 40, 6
+        topo = small_world_topology(sites=sites, k=k, rewire_p=0.1,
+                                    topo_seed=2)
+        c = nx.average_clustering(topo.graph)
+        assert c > 3 * (k / sites)
+
+    def test_rewire_extremes_valid(self):
+        ring = small_world_topology(sites=12, k=4, rewire_p=0.0,
+                                    topo_seed=0)
+        assert len(ring._links) == 12 * 2  # pristine k/2-neighbour ring
+        random_ws = small_world_topology(sites=12, k=4, rewire_p=1.0,
+                                         topo_seed=0)
+        assert nx.is_connected(random_ws.graph)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            small_world_topology(sites=3)
+        with pytest.raises(ValueError):
+            small_world_topology(sites=10, k=1)
+        with pytest.raises(ValueError):
+            small_world_topology(sites=10, rewire_p=1.5)
+
+
+class TestFatSites:
+    def test_routers_are_transit_not_sites(self):
+        topo = fat_sites_topology(sites=20, router_groups=4, topo_seed=0)
+        assert len(topo.sites) == 20
+        assert set(topo.transit) == {"r00", "r01", "r02", "r03"}
+        # Sites only home onto routers: no site-site links.
+        for a, b in topo._links:
+            assert a.startswith("r") or b.startswith("r")
+
+    def test_multi_hop_routes_cross_the_core(self):
+        topo = fat_sites_topology(sites=20, router_groups=4, topo_seed=0)
+        pm = topo.site_path_metrics("s000", "s002")
+        assert len(pm.links) >= 3  # access + core + access
+
+    def test_failed_router_drops_no_site(self):
+        """Dual homing: losing one router reroutes, never strands."""
+        whole = fat_sites_topology(sites=20, router_groups=4, topo_seed=0)
+        degraded = fat_sites_topology(sites=20, router_groups=4,
+                                      topo_seed=0, failed=("r01",))
+        assert sorted(degraded.sites) == sorted(whole.sites)
+        assert "r01" not in degraded.transit
+
+    def test_failed_site_excluded(self):
+        topo = fat_sites_topology(sites=20, router_groups=4, topo_seed=0,
+                                  failed=("s003",))
+        assert "s003" not in topo.sites
+        assert len(topo.sites) == 19
+
+    def test_stranded_sites_pruned_to_largest_component(self):
+        # s000 homes onto exactly r00 and r01; killing both strands it.
+        topo = fat_sites_topology(sites=8, router_groups=4, topo_seed=0,
+                                  failed=("r00", "r01"))
+        assert "s000" not in topo.sites
+        assert len(topo.sites) >= 2
+
+    def test_unknown_failed_name_rejected(self):
+        with pytest.raises(ValueError, match="neither"):
+            fat_sites_topology(sites=10, failed=("nancy",))
+
+    def test_all_sites_failed_rejected(self):
+        with pytest.raises(ValueError, match="every site"):
+            fat_sites_topology(sites=2, router_groups=2,
+                               failed=("s000", "s001"))
+
+    def test_hundreds_of_sites(self):
+        topo = fat_sites_topology(sites=300, router_groups=12,
+                                  topo_seed=5)
+        assert len(topo.sites) == 300
+        assert topo.n_hosts == 300

@@ -1,0 +1,155 @@
+"""Routed link-level topologies: paths, facade, validation.
+
+The routed mode (DESIGN.md §14) replaces the flat per-site-pair table
+with explicit links and shortest-RTT multi-hop routes.  These tests
+pin the route selection (RTT-sum metric, bottleneck bandwidth), the
+``path_metrics`` facade both wiring modes answer through, and the
+constructor's mode/connectivity validation.
+"""
+
+import pytest
+
+from repro.net.topology import Cluster, Link, PathMetrics, Site, Topology
+
+
+def _site(name, hosts=2, cores=2):
+    return Site(name, (Cluster(f"c-{name}", name, "X", nodes=hosts,
+                               cpus=hosts, cores=hosts * cores),))
+
+
+@pytest.fixture
+def routed():
+    """Three sites around a router, plus a slow direct shortcut.
+
+    alpha--r1 (2 ms, 1 G), r1--beta (3 ms, 10 G), beta--gamma
+    (5 ms, 2.5 G), alpha--gamma direct (20 ms, 10 G).  The direct
+    alpha-gamma link loses to the 10 ms three-hop route.
+    """
+    return Topology(
+        sites=[_site("alpha"), _site("beta"), _site("gamma")],
+        links=[
+            Link("alpha", "r1", rtt_ms=2.0, bandwidth_bps=1.0e9),
+            Link("beta", "r1", rtt_ms=3.0, bandwidth_bps=10.0e9),
+            Link("beta", "gamma", rtt_ms=5.0, bandwidth_bps=2.5e9),
+            Link("alpha", "gamma", rtt_ms=20.0, bandwidth_bps=10.0e9),
+        ],
+        transit=("r1",),
+    )
+
+
+class TestRoutes:
+    def test_two_hop_route_through_router(self, routed):
+        pm = routed.site_path_metrics("alpha", "beta")
+        assert pm == PathMetrics(
+            rtt_ms=5.0, bandwidth_bps=1.0e9,
+            links=(("alpha", "r1"), ("beta", "r1")))
+        assert pm.hops == 2
+
+    def test_multi_hop_beats_slow_direct_link(self, routed):
+        pm = routed.site_path_metrics("alpha", "gamma")
+        assert pm.rtt_ms == pytest.approx(10.0)
+        assert pm.links == (("alpha", "r1"), ("beta", "r1"),
+                            ("beta", "gamma"))
+        assert pm.bandwidth_bps == 1.0e9  # access link bottleneck
+
+    def test_routes_symmetric(self, routed):
+        ab = routed.site_path_metrics("alpha", "gamma")
+        ba = routed.site_path_metrics("gamma", "alpha")
+        assert ab.rtt_ms == ba.rtt_ms
+        assert ab.bandwidth_bps == ba.bandwidth_bps
+        assert ab.links == tuple(reversed(ba.links))
+
+    def test_same_site_is_lan(self, routed):
+        pm = routed.site_path_metrics("alpha", "alpha")
+        assert pm.rtt_ms == routed.lan_rtt_ms
+        assert pm.bandwidth_bps == routed.lan_bw_bps
+        assert pm.links == ()
+
+    def test_route_links_helper(self, routed):
+        assert routed.route_links("beta", "gamma") == (("beta", "gamma"),)
+        assert routed.route_links("alpha", "alpha") == ()
+
+    def test_link_bandwidth_lookup(self, routed):
+        assert routed.link_bandwidth_bps(("alpha", "r1")) == 1.0e9
+        assert routed.link_bandwidth_bps(("beta", "gamma")) == 2.5e9
+
+
+class TestFacade:
+    """Host-level legacy accessors answer through the routed paths."""
+
+    def test_base_rtt_host_level(self, routed):
+        a = routed.host("c-alpha-1.alpha")
+        b = routed.host("c-beta-1.beta")
+        assert routed.base_rtt_ms(a, b) == pytest.approx(5.0)
+        assert routed.base_rtt_ms(a, a) == 0.0
+
+    def test_bandwidth_nic_clamped(self, routed):
+        a = routed.host("c-alpha-1.alpha")
+        g = routed.host("c-gamma-1.gamma")
+        # Path bottleneck 1 G equals the LAN NIC: clamp is a no-op
+        # here, but backbone (unclamped) must agree with the route.
+        assert routed.bandwidth_bps(a, g) == min(routed.lan_bw_bps, 1.0e9)
+        assert routed.backbone_bandwidth_bps(a, g) == 1.0e9
+
+    def test_path_metrics_host_facade(self, routed):
+        a = routed.host("c-alpha-1.alpha")
+        b = routed.host("c-alpha-2.alpha")
+        pm = routed.path_metrics(a, b)
+        assert pm.rtt_ms == routed.lan_rtt_ms
+        assert routed.path_metrics(a, a).rtt_ms == 0.0
+
+    def test_latency_diameter_spans_routes(self, routed):
+        hosts = [routed.host("c-alpha-1.alpha"),
+                 routed.host("c-gamma-1.gamma")]
+        assert routed.latency_diameter_ms(hosts) == pytest.approx(10.0)
+
+
+class TestFlatFacade:
+    """The flat model answers the same facade, 1-hop per pair."""
+
+    def test_flat_path_metrics(self, small_topology):
+        pm = small_topology.site_path_metrics("alpha", "beta")
+        assert pm.rtt_ms == pytest.approx(10.0)
+        assert pm.hops == 1
+        assert pm.links == (("alpha", "beta"),)
+
+    def test_flat_not_routed(self, small_topology):
+        assert not small_topology.routed
+        assert small_topology.transit == ()
+
+
+class TestValidation:
+    def test_disconnected_site_rejected(self):
+        with pytest.raises(ValueError, match="delta"):
+            Topology(
+                sites=[_site("alpha"), _site("beta"), _site("delta")],
+                links=[Link("alpha", "beta", 1.0, 1e9)])
+
+    def test_flat_tables_conflict_with_links(self):
+        with pytest.raises(ValueError, match="flat"):
+            Topology(
+                sites=[_site("alpha"), _site("beta")],
+                site_rtt_ms={("alpha", "beta"): 1.0},
+                links=[Link("alpha", "beta", 1.0, 1e9)])
+
+    def test_transit_requires_links(self):
+        with pytest.raises(ValueError, match="transit"):
+            Topology(sites=[_site("alpha")], transit=("r1",))
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(ValueError, match="endpoint"):
+            Topology(sites=[_site("alpha"), _site("beta")],
+                     links=[Link("alpha", "nowhere", 1.0, 1e9)])
+
+    def test_duplicate_and_self_links_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Topology(sites=[_site("alpha"), _site("beta")],
+                     links=[Link("alpha", "beta", 1.0, 1e9),
+                            Link("beta", "alpha", 2.0, 1e9)])
+        with pytest.raises(ValueError, match="self-link"):
+            Topology(sites=[_site("alpha"), _site("beta")],
+                     links=[Link("alpha", "beta", 1.0, 1e9),
+                            Link("alpha", "alpha", 1.0, 1e9)])
+
+    def test_link_key_canonical(self):
+        assert Link("z", "a", 1.0, 1e9).key == ("a", "z")
