@@ -43,6 +43,12 @@ from repro.alloc.adaptive import (
     choose_strategy_for_app,
 )
 from repro.alloc.commaware import CommAwareStrategy, dominant_group_size
+from repro.alloc.diffusive import (
+    DiffusivePolicy,
+    DiffusiveStrategy,
+    diffusive_moves,
+    neighbor_map,
+)
 from repro.alloc.bandwidth_spread import BandwidthSpreadStrategy
 from repro.alloc.diameter_concentrate import DiameterConcentrateStrategy
 from repro.alloc.topo_block import TopoBlockStrategy
@@ -70,6 +76,10 @@ __all__ = [
     "choose_strategy_for_app",
     "CommAwareStrategy",
     "dominant_group_size",
+    "DiffusivePolicy",
+    "DiffusiveStrategy",
+    "diffusive_moves",
+    "neighbor_map",
     "BandwidthSpreadStrategy",
     "DiameterConcentrateStrategy",
     "TopoBlockStrategy",

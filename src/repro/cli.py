@@ -149,6 +149,10 @@ def _add_shape_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sites", default=None, metavar="N,N,...",
                         help="comma-separated site counts for topozoo's "
                              "generated families (default 16,48)")
+    parser.add_argument("--modes", default=None, metavar="M,M,...",
+                        help="comma-separated placement modes for the "
+                             "migration campaign (static, diffusive; "
+                             "default both)")
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:

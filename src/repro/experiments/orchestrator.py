@@ -102,6 +102,9 @@ def worker_flags(experiment: str, args: Any) -> Tuple[str, ...]:
             flags += ["--family", args.family]
         if getattr(args, "sites", None) is not None:
             flags += ["--sites", args.sites]
+    if "migration" in axes:
+        if getattr(args, "modes", None) is not None:
+            flags += ["--modes", args.modes]
     return tuple(flags)
 
 

@@ -63,6 +63,7 @@ MANIFEST: Dict[str, ExperimentRef] = {
     "applatency": ExperimentRef("repro.experiments.applatency"),
     "multiuser2": ExperimentRef("repro.experiments.multiuser2"),
     "topozoo": ExperimentRef("repro.experiments.topozoo"),
+    "migration": ExperimentRef("repro.experiments.migration"),
     "all": ExperimentRef("repro.experiments.registry"),
 }
 

@@ -15,7 +15,10 @@ from repro.ft.replication import (
     survives,
 )
 from repro.ft.detector import HeartbeatDetector
-from repro.ft.replicated_mpi import ReplicatedComm, ReplicatedWorld
+from repro.ft.replicated_mpi import (CommCheckpoint, MigrationCheckpoint,
+                                     ReplicatedComm, ReplicatedWorld)
+from repro.ft.migration import (DiffusiveBalancer, MigratableWorkApp,
+                                MigrationRecord, RankMigrator)
 
 __all__ = [
     "ReplicaSets",
@@ -24,6 +27,12 @@ __all__ = [
     "min_hosts_to_kill",
     "survival_probability",
     "HeartbeatDetector",
+    "CommCheckpoint",
+    "DiffusiveBalancer",
+    "MigrationCheckpoint",
+    "MigratableWorkApp",
+    "MigrationRecord",
+    "RankMigrator",
     "ReplicatedComm",
     "ReplicatedWorld",
 ]

@@ -1,0 +1,355 @@
+"""Mid-run rank migration: checkpoint / teardown / re-register / rejoin.
+
+The paper's §3.2 fault tolerance is purely *reactive*: replication
+lets a job survive host death, but placement is frozen at submit time.
+This module adds mobility on two levels:
+
+* **Engine level** — :class:`RankMigrator` moves one (rank, replica)
+  copy of a :class:`~repro.ft.replicated_mpi.ReplicatedWorld` between
+  hosts mid-run.  The copy checkpoints cooperatively (programs call
+  ``comm.checkpoint(state)`` between communication phases), tears down
+  on the old host, the network port mapping is re-registered on the
+  destination (:meth:`~repro.net.transport.Network.redirect_port` +
+  :meth:`~repro.net.transport.Network.move_queued`, so no logical
+  message is lost), the checkpoint image pays a real transfer delay,
+  and the program respawns with its send/delivered sequence vectors
+  intact — dedup invariants hold across the move by construction.
+
+* **Campaign level** — :class:`DiffusiveBalancer` is a periodic
+  controller process that watches per-host load and host health across
+  a booted :class:`~repro.cluster.P2PMPICluster`, trades running
+  migratable copies between RTT-neighboring hosts using the pure
+  decision functions of :mod:`repro.alloc.diffusive`, and resurrects
+  copies stranded on crashed hosts from its shadow checkpoint table.
+
+:class:`MigratableWorkApp` is the synthetic fixed-work application the
+migration campaign submits: its MPD-side runtime executes in
+checkpointable quanta so a migration only ever loses sub-quantum
+progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.alloc.diffusive import DiffusivePolicy, diffusive_moves, neighbor_map
+from repro.ft.replicated_mpi import (CommCheckpoint, MigrationCheckpoint,
+                                     ReplicatedComm, ReplicatedWorld)
+from repro.net.topology import Host
+from repro.sim.process import Interrupt, Process
+
+__all__ = [
+    "CommCheckpoint",
+    "MigrationCheckpoint",
+    "MigrationRecord",
+    "RankMigrator",
+    "MigratableWorkApp",
+    "DiffusiveBalancer",
+]
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One attempted copy move (engine level)."""
+
+    rank: int
+    replica: int
+    src_host: str
+    dst_host: str
+    requested_at: float
+    completed_at: float
+    #: ``done`` (respawned on dst), ``noop`` (program finished before
+    #: reaching a checkpoint), ``lost`` (dst died during transfer).
+    status: str
+
+
+class RankMigrator:
+    """Moves (rank, replica) copies of one :class:`ReplicatedWorld`.
+
+    Attaching the migrator sets ``world.migrations``, which is what
+    arms ``comm.checkpoint``: a checkpoint call only unwinds the
+    program when a migration is pending for that exact copy, so
+    checkpoints are free in the steady state.
+
+    :meth:`migrate` is asynchronous — it returns the *driver* process
+    that replaces the copy's result-bearing slot in the world, waits
+    for the cooperative checkpoint, performs the port re-registration
+    and transfer, and respawns the program on the destination.  The
+    driver resolves with the copy's final ``(status, value)`` either
+    way, so ``world.run()`` aggregates migrated copies exactly like
+    stationary ones.
+    """
+
+    def __init__(self, world: ReplicatedWorld,
+                 checkpoint_bytes: int = 1 << 20) -> None:
+        self.world = world
+        self.checkpoint_bytes = checkpoint_bytes
+        self.records: List[MigrationRecord] = []
+        self._pending: Dict[Tuple[int, int], Host] = {}
+        world.migrations = self
+
+    def pending_dest(self, rank: int, replica: int) -> Optional[Host]:
+        """Destination host of a pending migration for this copy."""
+        return self._pending.get((rank, replica))
+
+    def migrate(self, rank: int, replica: int, dest: Host) -> Process:
+        """Request that one copy move to ``dest`` at its next checkpoint.
+
+        Issuing a second migration for the same copy before the first
+        checkpoints simply retargets it (last destination wins); the
+        drivers compose, each forwarding the eventual result.
+        """
+        key = (rank, replica)
+        old_proc = self.world._procs[key]
+        self._pending[key] = dest
+        driver = self.world.sim.process(
+            self._drive(rank, replica, dest, old_proc))
+        self.world._procs[key] = driver
+        return driver
+
+    def _drive(self, rank: int, replica: int, dest: Host,
+               old_proc: Process) -> Generator:
+        sim = self.world.sim
+        net = self.world.network
+        key = (rank, replica)
+        requested_at = sim.now
+
+        outcome = yield old_proc
+        status, value = outcome
+        # Consume the request only if it is still ours: a retargeted
+        # migration leaves the newer pending entry for the outer driver.
+        if self._pending.get(key) == dest:
+            del self._pending[key]
+        if status != "migrated":
+            # Program finished (or died) before reaching a checkpoint;
+            # nothing moved, forward the result untouched.
+            self.records.append(MigrationRecord(
+                rank, replica, self.world.host_of(rank, replica).name,
+                dest.name, requested_at, sim.now, "noop"))
+            return outcome
+
+        ckpt: CommCheckpoint = value
+        old_host = self.world.host_of(rank, replica)
+        port = self.world.port_of(rank, replica)
+
+        # Re-register the port on the destination before the image
+        # transfer: in-flight and newly sent messages land at ``dest``
+        # (delivery-time resolution), queued ones are carried over, so
+        # the seq/dedup invariants see an unbroken stream.
+        net.register(dest.name)
+        net.redirect_port(old_host.name, port, dest.name)
+        net.move_queued(old_host.name, port, dest.name)
+
+        yield sim.timeout(net.transfer_time_s(
+            old_host, dest, self.checkpoint_bytes))
+
+        if net.is_down(dest.name):
+            # Destination died while the image was in flight: the copy
+            # is gone (the source already tore down).  Replication is
+            # what absorbs this, exactly like a plain host death.
+            self.records.append(MigrationRecord(
+                rank, replica, old_host.name, dest.name,
+                requested_at, sim.now, "lost"))
+            return ("dead", None)
+
+        self.world._hosts[key] = dest
+        proc = self.world.respawn(ckpt)
+        self.records.append(MigrationRecord(
+            rank, replica, old_host.name, dest.name,
+            requested_at, sim.now, "done"))
+        result = yield proc
+        return result
+
+
+@dataclass(frozen=True)
+class MigratableWorkApp:
+    """Fixed-work application whose copies checkpoint every quantum.
+
+    Like the churnload campaign's ``FixedWorkApp`` each copy performs
+    ``duration_s`` of work, but the MPD runtime executes it in
+    ``quantum_s`` slices with a checkpoint boundary between slices:
+    a migration or resurrection restarts from the last boundary, so at
+    most one quantum of progress is ever repeated.  ``deadline_factor``
+    stretches the submitter's completion deadline per surviving unit of
+    remaining work whenever a MIGRATED notice arrives (moves cost real
+    transfer time the static deadline knows nothing about).
+    """
+
+    duration_s: float = 30.0
+    quantum_s: float = 5.0
+    checkpoint_bytes: int = 1 << 20
+    deadline_factor: float = 3.0
+    name: str = "migratablework"
+    migratable: bool = True
+
+    def predicted_rank_times(self, plan, env) -> Dict[tuple, float]:
+        return {(p.rank, p.replica): self.duration_s
+                for p in plan.placements}
+
+
+class DiffusiveBalancer:
+    """Periodic migration controller over a booted cluster.
+
+    Every :attr:`DiffusivePolicy.period_s` the balancer
+
+    1. mirrors the durable checkpoint images of all running migratable
+       copies into its *shadow table* — controller-side state that
+       survives worker-host crashes;
+    2. resurrects copies whose host died since the last tick: the last
+       checkpoint is shipped (from the submitter's image store) to the
+       least-loaded admitting host and re-enters through
+       :meth:`~repro.middleware.mpd.MPD.adopt_copy`, losing at most one
+       quantum of work;
+    3. runs one diffusion step (:func:`repro.alloc.diffusive.diffusive_moves`)
+       over the copies-per-core load of the alive hosts with an RTT
+       k-nearest neighbor map, cooperatively freezing one copy on each
+       chosen source and re-adopting it on the destination after a real
+       checkpoint transfer.  A destination dying mid-transfer bounces
+       the copy back to its source.
+
+    Everything is deterministic (sorted iteration, name tie-breaks), so
+    campaign cells that embed a balancer stay byte-identical across
+    ``--jobs`` fan-out and shard/merge.
+    """
+
+    def __init__(self, cluster, policy: Optional[DiffusivePolicy] = None,
+                 resurrect: bool = True) -> None:
+        self.cluster = cluster
+        self.policy = policy or DiffusivePolicy()
+        self.resurrect = resurrect
+        #: Completed migrations / crash resurrections / refused moves.
+        self.moves = 0
+        self.rejoins = 0
+        self.failed_moves = 0
+        #: (job_id, rank, replica) -> last durable snapshot (+ host).
+        self._shadow: Dict[Tuple[str, int, int], Dict[str, Any]] = {}
+        self._proc: Optional[Process] = None
+
+    def start(self) -> Process:
+        """Spawn the controller loop (cluster must be booted)."""
+        self._proc = self.cluster.sim.process(self._run())
+        return self._proc
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("balancer stopped")
+            self._proc = None
+
+    # -- controller loop --------------------------------------------------
+    def _run(self) -> Generator:
+        sim = self.cluster.sim
+        while True:
+            try:
+                yield sim.timeout(self.policy.period_s)
+            except Interrupt:
+                return
+            yield from self._tick()
+
+    def _alive(self) -> List[str]:
+        return sorted(name for name in self.cluster.mpds
+                      if not self.cluster.network.is_down(name))
+
+    def _load(self, host_name: str) -> float:
+        mpd = self.cluster.mpds[host_name]
+        cores = self.cluster.topology.host(host_name).cores
+        return len(mpd.running_copies()) / max(1, cores)
+
+    def _job_finished(self, snap: Dict[str, Any]) -> bool:
+        submitter = self.cluster.mpds.get(snap["submitter"])
+        return (submitter is not None
+                and snap["job_id"] in submitter.results)
+
+    def _refresh_shadow(self, alive: List[str]) -> None:
+        mpds = self.cluster.mpds
+        for name in alive:
+            for snap in mpds[name].copy_snapshots():
+                key3 = (snap["job_id"], snap["rank"], snap["replica"])
+                self._shadow[key3] = dict(snap, host=name)
+        # A shadow entry whose (alive) host no longer runs the copy is
+        # finished business; entries on dead hosts stay — they are the
+        # resurrection candidates.
+        for key3, snap in list(self._shadow.items()):
+            if snap["host"] in alive and key3 not in mpds[snap["host"]]._copies:
+                del self._shadow[key3]
+
+    def _pick_dest(self, alive: List[str], snap: Dict[str, Any],
+                   exclude: Tuple[str, ...] = ()) -> Optional[str]:
+        mpds = self.cluster.mpds
+        candidates = [name for name in alive
+                      if name not in exclude
+                      and mpds[name].can_adopt(snap["job_id"],
+                                               snap["submitter"])]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda name: (self._load(name), name))
+
+    def _tick(self) -> Generator:
+        sim = self.cluster.sim
+        net = self.cluster.network
+        topo = self.cluster.topology
+        mpds = self.cluster.mpds
+        alive = self._alive()
+        if not alive:
+            return
+        self._refresh_shadow(alive)
+
+        # -- resurrection: copies stranded on crashed hosts -------------
+        if self.resurrect:
+            for key3, snap in sorted(self._shadow.items()):
+                if snap["host"] in alive:
+                    continue
+                if self._job_finished(snap):
+                    del self._shadow[key3]
+                    continue
+                dest = self._pick_dest(alive, snap)
+                if dest is None:
+                    continue  # retried next tick
+                # The image is re-fetched from the submitter's
+                # checkpoint store — the crashed host cannot serve it.
+                yield sim.timeout(net.transfer_time_s(
+                    topo.host(snap["submitter"]), topo.host(dest),
+                    snap["checkpoint_bytes"]))
+                if dest in self._alive() and mpds[dest].adopt_copy(
+                        snap, event="rejoined"):
+                    self.rejoins += 1
+                    del self._shadow[key3]
+
+        # -- one diffusion step over copies-per-core load ---------------
+        alive = self._alive()
+        if len(alive) < 2:
+            return
+        loads = {name: self._load(name) for name in alive}
+        neighbors = neighbor_map(topo, alive, self.policy.neighbor_k)
+        for src, dst in diffusive_moves(loads, neighbors,
+                                        self.policy.threshold,
+                                        self.policy.max_moves_per_tick):
+            candidates = mpds[src].running_copies()
+            if not candidates:
+                continue
+            job_id, rank, replica = candidates[0]
+            snap_preview = self._shadow.get((job_id, rank, replica))
+            submitter = (snap_preview or {}).get("submitter", "")
+            if not mpds[dst].can_adopt(job_id, submitter):
+                self.failed_moves += 1
+                continue
+            snap = yield from mpds[src].migrate_copy_out(job_id, rank,
+                                                         replica)
+            if snap is None:
+                continue
+            yield sim.timeout(net.transfer_time_s(
+                topo.host(src), topo.host(dst), snap["checkpoint_bytes"]))
+            if not net.is_down(dst) and mpds[dst].adopt_copy(snap):
+                self.moves += 1
+                self._shadow[(job_id, rank, replica)] = dict(
+                    snap, host=dst)
+            elif not net.is_down(src) and mpds[src].adopt_copy(snap):
+                # Destination died (or filled up) mid-transfer: bounce
+                # the frozen copy back where it came from.
+                self.failed_moves += 1
+                self._shadow[(job_id, rank, replica)] = dict(
+                    snap, host=src)
+            else:
+                # Both ends gone: the shadow entry stays and the copy
+                # is resurrected from its last durable checkpoint.
+                self.failed_moves += 1

@@ -25,7 +25,8 @@ still completes with correct collective results
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Callable, Dict, Generator, List, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.alloc.base import AllocationPlan
 from repro.mpi.datatypes import Op, SUM
@@ -34,7 +35,38 @@ from repro.net.transport import Message, Network
 from repro.sim.core import Simulator
 from repro.sim.process import Interrupt, Process
 
-__all__ = ["ReplicatedComm", "ReplicatedWorld"]
+__all__ = ["CommCheckpoint", "MigrationCheckpoint", "ReplicatedComm",
+           "ReplicatedWorld"]
+
+
+@dataclass(frozen=True)
+class CommCheckpoint:
+    """The logical state of one (rank, replica) copy at a safe point.
+
+    Everything a destination host needs to resume the copy without
+    violating the dedup/seq invariants: the per-(dest, tag) send
+    counters (so re-sent sequences keep advancing identically in every
+    replica), the per-(source, tag) delivered vectors (so stale
+    duplicates stay stale), and whatever program state the application
+    passed to :meth:`ReplicatedComm.checkpoint`.
+    """
+
+    rank: int
+    replica: int
+    host_name: str
+    send_seq: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    delivered: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    app_state: Any = None
+    taken_at: float = 0.0
+
+
+class MigrationCheckpoint(Exception):
+    """Raised inside a program at a cooperative checkpoint to tear the
+    copy down for migration; carries the :class:`CommCheckpoint`."""
+
+    def __init__(self, checkpoint: CommCheckpoint) -> None:
+        super().__init__(checkpoint)
+        self.checkpoint = checkpoint
 
 
 class ReplicatedComm:
@@ -52,6 +84,41 @@ class ReplicatedComm:
         self.host: Host = world.host_of(rank, replica)
         self._send_seq: Dict[Tuple[int, int], int] = defaultdict(int)
         self._delivered: Dict[Tuple[int, int], int] = defaultdict(int)
+        #: Program state restored from a migration checkpoint (``None``
+        #: on a fresh start); migratable programs consult it on entry.
+        self.restored_state: Any = None
+        # Stale duplicates are refused on arrival: once a logical
+        # message is delivered, late physical copies (lower seq) would
+        # otherwise accumulate in the host inbox forever.
+        world.network.set_port_filter(self.host.name, self._port(),
+                                      self._accepts)
+
+    def _accepts(self, msg: Message) -> bool:
+        """Arrival predicate: only sequences not yet delivered enter."""
+        payload = msg.payload
+        return (msg.kind != "RMPI"
+                or payload["seq"] >= self._delivered[
+                    (payload["source"], payload["tag"])])
+
+    @classmethod
+    def restore(cls, world: "ReplicatedWorld",
+                checkpoint: CommCheckpoint) -> "ReplicatedComm":
+        """Rebuild a copy's communicator from a migration checkpoint.
+
+        The world's host table must already point at the destination
+        host; the restored communicator re-registers the copy's port
+        filter there and resumes the send/delivered counters exactly
+        where the checkpoint froze them.
+        """
+        comm = cls(world, checkpoint.rank, checkpoint.replica)
+        comm._send_seq.update(checkpoint.send_seq)
+        comm._delivered.update(checkpoint.delivered)
+        comm.restored_state = checkpoint.app_state
+        return comm
+
+    def detach(self) -> None:
+        """Unregister this copy's arrival filter (migration teardown)."""
+        self.world.network.clear_port_filter(self.host.name, self._port())
 
     # -- introspection -----------------------------------------------------
     @property
@@ -105,8 +172,41 @@ class ReplicatedComm:
             msg = yield inbox.get(match)
             if msg.payload["seq"] == expected:
                 self._delivered[(source, tag)] = expected + 1
+                # Purge duplicates of this (and any earlier) logical
+                # message that are already queued: no future recv for
+                # this (source, tag) may ever run, so leaving them
+                # would leak them into the host inbox forever.
+                inbox.discard(match)
                 return msg.payload["data"]
             # stale duplicate: drop and keep waiting
+
+    # -- cooperative migration -------------------------------------------
+    def checkpoint(self, state: Any = None) -> bool:
+        """Cooperative checkpoint: a safe point for migration.
+
+        Programs call this between communication phases, passing
+        whatever ``state`` they need to resume from.  When no migration
+        is pending for this copy the call is free and returns ``False``.
+        When one *is* pending, the copy's logical state is captured and
+        :class:`MigrationCheckpoint` unwinds the program — the world's
+        guard hands the checkpoint to the migration driver, which
+        respawns the program on the destination host with
+        :attr:`restored_state` set.
+        """
+        migrations = self.world.migrations
+        if migrations is None:
+            return False
+        if migrations.pending_dest(self.rank, self.replica) is None:
+            return False
+        raise MigrationCheckpoint(CommCheckpoint(
+            rank=self.rank,
+            replica=self.replica,
+            host_name=self.host.name,
+            send_seq=dict(self._send_seq),
+            delivered=dict(self._delivered),
+            app_state=state,
+            taken_at=self.sim.now,
+        ))
 
     # -- logical collectives -----------------------------------------------------
     def allreduce(self, value: Any, op: Op = SUM,
@@ -153,7 +253,14 @@ class ReplicatedWorld:
         for placement in plan.placements:
             self._hosts[(placement.rank, placement.replica)] = placement.host
             network.register(placement.host.name)
+        #: Result-bearing process per copy (the migration driver after a
+        #: migrate; it resolves with the copy's final result either way).
         self._procs: Dict[Tuple[int, int], Process] = {}
+        #: The live *program* process per copy (interrupt target).
+        self._active: Dict[Tuple[int, int], Process] = {}
+        #: Attached :class:`repro.ft.migration.RankMigrator` (or None).
+        self.migrations = None
+        self._program: Optional[Callable[[ReplicatedComm], Generator]] = None
 
     def host_of(self, rank: int, replica: int) -> Host:
         return self._hosts[(rank, replica)]
@@ -164,10 +271,26 @@ class ReplicatedWorld:
     # -- running ------------------------------------------------------------------
     def spawn(self, program: Callable[[ReplicatedComm], Generator]) -> None:
         """Start ``program`` on every (rank, replica) copy."""
+        self._program = program
         for (rank, replica) in sorted(self._hosts):
             comm = ReplicatedComm(self, rank, replica)
-            self._procs[(rank, replica)] = self.sim.process(
-                self._guard(program, comm))
+            proc = self.sim.process(self._guard(program, comm))
+            self._procs[(rank, replica)] = proc
+            self._active[(rank, replica)] = proc
+
+    def respawn(self, checkpoint: CommCheckpoint) -> Process:
+        """Restart a migrated copy's program on its (new) current host.
+
+        Called by the migration driver after the host table and port
+        registrations were updated; the program re-enters with
+        ``comm.restored_state`` carrying the checkpointed state.
+        """
+        if self._program is None:
+            raise RuntimeError("respawn before spawn: no program recorded")
+        comm = ReplicatedComm.restore(self, checkpoint)
+        proc = self.sim.process(self._guard(self._program, comm))
+        self._active[(checkpoint.rank, checkpoint.replica)] = proc
+        return proc
 
     def _guard(self, program, comm) -> Generator:
         """Wrap a copy so host-death interrupts end it quietly."""
@@ -175,11 +298,17 @@ class ReplicatedWorld:
             result = yield from program(comm)
         except Interrupt:
             return ("dead", None)
+        except MigrationCheckpoint as exc:
+            # Cooperative teardown: drop the old host's port filter so
+            # the restored copy's registration is the only one left.
+            comm.detach()
+            return ("migrated", exc.checkpoint)
         return ("ok", result)
 
     def kill_copy(self, rank: int, replica: int, cause: str = "host down") -> None:
         """Crash one copy (its host is marked down by the caller)."""
-        proc = self._procs.get((rank, replica))
+        proc = self._active.get((rank, replica)) or self._procs.get(
+            (rank, replica))
         if proc is not None and proc.is_alive:
             proc.interrupt(cause)
 
@@ -197,16 +326,24 @@ class ReplicatedWorld:
 
         if not self._procs:
             self.spawn(program)
-        done = self.sim.all_of(list(self._procs.values()))
-        try:
-            self.sim.run_until_complete(done, limit=self.sim.now + limit_s)
-        except SimulationError:
-            # Some copies are blocked forever (all replicas of a peer
-            # died before communicating): report the stuck ranks.
-            stuck = sorted({rank for (rank, _rep), proc in self._procs.items()
-                            if proc.is_alive})
-            raise RuntimeError(
-                f"replicated run deadlocked; stuck ranks: {stuck}") from None
+        # Migrations swap a copy's result-bearing process mid-run (the
+        # driver replaces the torn-down program process), so wait in
+        # rounds until the process table is stable *and* drained.
+        while True:
+            procs = list(self._procs.values())
+            done = self.sim.all_of(procs)
+            try:
+                self.sim.run_until_complete(done, limit=self.sim.now + limit_s)
+            except SimulationError:
+                # Some copies are blocked forever (all replicas of a peer
+                # died before communicating): report the stuck ranks.
+                stuck = sorted({rank
+                                for (rank, _rep), proc in self._procs.items()
+                                if proc.is_alive})
+                raise RuntimeError(
+                    f"replicated run deadlocked; stuck ranks: {stuck}") from None
+            if list(self._procs.values()) == procs:
+                break
         results: Dict[int, List[Any]] = defaultdict(list)
         for (rank, _replica), proc in sorted(self._procs.items()):
             status, value = proc.value

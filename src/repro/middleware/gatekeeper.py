@@ -156,3 +156,24 @@ class Gatekeeper:
         if job_id not in self.running:
             raise AdmissionError(f"{self.host_name}: job {job_id} not running")
         del self.running[job_id]
+
+    # -- rank migration --------------------------------------------------------
+    def adopt_process(self, job_id: str) -> None:
+        """Account one migrated-in process joining a job already running
+        here: the copy shares the job's existing ``J`` slot, only the
+        process count (and thus :attr:`busy_processes`) moves.
+        """
+        if job_id not in self.running:
+            raise AdmissionError(f"{self.host_name}: job {job_id} not running")
+        self.running[job_id] += 1
+
+    def release_process(self, job_id: str) -> None:
+        """Account one process leaving a running job (migration out or
+        an adopted copy completing); the application slot closes when
+        the local count reaches zero.
+        """
+        if job_id not in self.running:
+            raise AdmissionError(f"{self.host_name}: job {job_id} not running")
+        self.running[job_id] -= 1
+        if self.running[job_id] <= 0:
+            del self.running[job_id]

@@ -128,6 +128,9 @@ class JobResult:
     failure_reason: str = ""
     #: Booking rounds used (1 = first try; >1 = §3.2 retry kicked in).
     attempts: int = 1
+    #: MIGRATED/REJOINED notices received while tracking completion —
+    #: one dict per copy move (rank, replica, host, remaining work).
+    migrations: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:

@@ -9,6 +9,7 @@ side of Figure 1 (steps 1-6 plus completion tracking);
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from itertools import count
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
@@ -24,7 +25,7 @@ from repro.middleware.jobs import (
     JobTimings,
 )
 from repro.middleware.keys import KeyFactory
-from repro.middleware.reservation import ReservationService
+from repro.middleware.reservation import Reservation, ReservationService
 from repro.net.latency import LatencyModel
 from repro.net.topology import Host, Topology
 from repro.net.transport import Message, Network
@@ -33,7 +34,53 @@ from repro.overlay.peer import PeerDaemon
 from repro.sim.core import Simulator
 from repro.sim.process import Interrupt
 
-__all__ = ["MPD"]
+__all__ = ["CopyRuntime", "MPD"]
+
+
+@dataclass
+class CopyRuntime:
+    """MPD-side runtime state of one migratable (rank, replica) copy.
+
+    A migratable copy executes in ``quantum_s`` slices; each slice
+    boundary is a checkpoint, so :attr:`checkpointed_s` is the durable
+    remaining-work figure a crash resurrection restarts from, while
+    :attr:`work_remaining_s` is the live figure a *cooperative*
+    migration (the copy is frozen on request, not lost) carries over
+    exactly.
+    """
+
+    job_id: str
+    rank: int
+    replica: int
+    submitter: str
+    done_port: str
+    work_total_s: float
+    work_remaining_s: float
+    checkpointed_s: float
+    quantum_s: float
+    checkpoint_bytes: int
+    deadline_factor: float
+    migrations: int = 0
+    #: ``running`` | ``migrating`` | ``done`` | ``dead``.
+    status: str = "running"
+    proc: Any = None
+
+    def snapshot(self, durable: bool) -> Dict[str, Any]:
+        """Portable checkpoint image (what travels between MPDs)."""
+        return {
+            "job_id": self.job_id,
+            "rank": self.rank,
+            "replica": self.replica,
+            "submitter": self.submitter,
+            "done_port": self.done_port,
+            "work_total_s": self.work_total_s,
+            "remaining_s": self.checkpointed_s if durable
+                           else self.work_remaining_s,
+            "quantum_s": self.quantum_s,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "deadline_factor": self.deadline_factor,
+            "migrations": self.migrations,
+        }
 
 
 class MPD:
@@ -94,6 +141,8 @@ class MPD:
         self._submitting = False
         #: Completed job results (submitter side), job_id -> JobResult.
         self.results: Dict[str, JobResult] = {}
+        #: Live migratable copies, (job_id, rank, replica) -> CopyRuntime.
+        self._copies: Dict[Tuple[str, int, int], CopyRuntime] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -125,6 +174,12 @@ class MPD:
             for proc in procs:
                 if proc.is_alive:
                     proc.interrupt("host down")
+        # Migratable copies die with the host; only checkpoints that
+        # already left (a controller's shadow table) can revive them.
+        for copy in list(self._copies.values()):
+            if copy.proc is not None and copy.proc.is_alive:
+                copy.proc.interrupt("host down")
+        self._copies.clear()
         for key in [k for k, r in self.rs.reservations.items()
                     if not r.consumed]:
             self.rs.cancel(key)
@@ -195,6 +250,7 @@ class MPD:
             self._run_application(
                 job_id=job_id, key=key, assignments=assignments,
                 submitter=msg.src, done_port=payload["done_port"],
+                app_info=payload.get("app_info"),
             )
         )
         self._job_procs.setdefault(job_id, []).append(runner)
@@ -218,14 +274,39 @@ class MPD:
         assignments: List[Tuple[int, int, float]],
         submitter: str,
         done_port: str,
+        app_info: Optional[Dict[str, Any]] = None,
     ) -> Generator:
-        """Run the local process copies of one application."""
-        procs = [
-            self.sim.process(
-                self._run_process(rank, replica, duration, submitter, done_port)
-            )
-            for rank, replica, duration in assignments
-        ]
+        """Run the local process copies of one application.
+
+        With ``app_info`` (a migratable application) every copy runs as
+        a checkpointing :class:`CopyRuntime`; a copy that migrates away
+        ends its local process with ``"migrated"``, so the application
+        — and the ``J`` slot it pins — ends once the last copy has
+        either finished or left, which is the reservation hand-off.
+        """
+        if app_info is not None:
+            procs = []
+            for rank, replica, duration in assignments:
+                copy = CopyRuntime(
+                    job_id=job_id, rank=rank, replica=replica,
+                    submitter=submitter, done_port=done_port,
+                    work_total_s=duration, work_remaining_s=duration,
+                    checkpointed_s=duration,
+                    quantum_s=float(app_info["quantum_s"]),
+                    checkpoint_bytes=int(app_info["checkpoint_bytes"]),
+                    deadline_factor=float(app_info["deadline_factor"]),
+                )
+                copy.proc = self.sim.process(self._run_copy(copy))
+                self._copies[(job_id, rank, replica)] = copy
+                procs.append(copy.proc)
+        else:
+            procs = [
+                self.sim.process(
+                    self._run_process(rank, replica, duration, submitter,
+                                      done_port)
+                )
+                for rank, replica, duration in assignments
+            ]
         self._job_procs.setdefault(job_id, []).extend(procs)
         aborted = False
         try:
@@ -267,6 +348,192 @@ class MPD:
             size_bytes=SIZE_CONTROL,
         )
         return True
+
+    # ------------------------------------------------------------------
+    # migratable copies (rank migration)
+    # ------------------------------------------------------------------
+    def _progress_rate(self) -> float:
+        """Per-copy progress rate under the current local load.
+
+        Cores are shared equally among running migratable copies: with
+        more copies than cores every copy slows down proportionally —
+        the load signal diffusive rebalancing exists to flatten.
+        """
+        active = sum(1 for c in self._copies.values()
+                     if c.status == "running")
+        return min(1.0, self.host.cores / max(1, active))
+
+    def _run_copy(self, copy: CopyRuntime) -> Generator:
+        """One migratable process copy: quantum loop with checkpoints.
+
+        The copy burns its remaining work in ``quantum_s`` slices whose
+        wall-clock length depends on the instantaneous local load; each
+        completed slice is a checkpoint boundary.  An interrupt with
+        cause ``"migrate"`` freezes the copy cooperatively (precise
+        remaining work survives); any other interrupt kills it, losing
+        progress past the last boundary.
+        """
+        key3 = (copy.job_id, copy.rank, copy.replica)
+        copy.status = "running"
+        while copy.work_remaining_s > 1e-9:
+            rate = self._progress_rate()
+            quantum_work = min(copy.quantum_s, copy.work_remaining_s)
+            started = self.sim.now
+            try:
+                yield self.sim.timeout(quantum_work / rate)
+            except Interrupt as exc:
+                done_work = (self.sim.now - started) * rate
+                copy.work_remaining_s = max(
+                    0.0, copy.work_remaining_s - done_work)
+                if getattr(exc, "cause", None) == "migrate":
+                    copy.status = "migrating"
+                    return "migrated"
+                copy.status = "dead"
+                self._copies.pop(key3, None)
+                return False
+            copy.work_remaining_s = max(
+                0.0, copy.work_remaining_s - quantum_work)
+            copy.checkpointed_s = copy.work_remaining_s
+        copy.status = "done"
+        self._copies.pop(key3, None)
+        self.network.send(
+            self.host.name, copy.submitter, port=copy.done_port, kind="DONE",
+            payload={"rank": copy.rank, "replica": copy.replica,
+                     "hostname": self.host.name,
+                     "duration": copy.work_total_s,
+                     "event": "done",
+                     "migrations": copy.migrations},
+            size_bytes=SIZE_CONTROL,
+        )
+        return True
+
+    def running_copies(self) -> List[Tuple[str, int, int]]:
+        """Keys of locally running migratable copies (sorted)."""
+        return sorted(key3 for key3, copy in self._copies.items()
+                      if copy.status == "running")
+
+    def copy_snapshots(self) -> List[Dict[str, Any]]:
+        """Durable checkpoint images of all running copies (sorted).
+
+        What a controller mirrors into its shadow table each tick so a
+        host crash does not take the last checkpoint down with it.
+        """
+        return [self._copies[key3].snapshot(durable=True)
+                for key3 in self.running_copies()]
+
+    def can_adopt(self, job_id: str, submitter: str) -> bool:
+        """Read-only probe: would :meth:`adopt_copy` be admitted here?"""
+        if self.network.is_down(self.host.name):
+            return False
+        if job_id in self.gatekeeper.running:
+            return True
+        return (self.gatekeeper.prefs.allows(submitter)
+                and self.gatekeeper.applications_in_flight
+                < self.gatekeeper.prefs.j_limit)
+
+    def migrate_copy_out(self, job_id: str, rank: int,
+                         replica: int) -> Generator:
+        """Freeze one running copy and hand back its checkpoint image.
+
+        Returns ``None`` if the copy is gone or finishes before the
+        freeze lands (the interrupt races a quantum boundary).  On
+        success the copy leaves :attr:`_copies`; once the job's last
+        local copy has left, ``_run_application`` ends the application
+        and releases the ``J`` slot — the source half of the
+        reservation hand-off.
+        """
+        key3 = (job_id, rank, replica)
+        copy = self._copies.get(key3)
+        if (copy is None or copy.status != "running"
+                or copy.proc is None or not copy.proc.is_alive):
+            return None
+        copy.proc.interrupt("migrate")
+        yield copy.proc
+        if copy.status != "migrating":
+            return None
+        self._copies.pop(key3, None)
+        return copy.snapshot(durable=False)
+
+    def adopt_copy(self, snap: Dict[str, Any], event: str = "migrated") -> bool:
+        """Admit and run a checkpointed copy on this host.
+
+        The destination half of the reservation hand-off: if the copy's
+        job already runs here it joins the existing ``J`` slot
+        (:meth:`Gatekeeper.adopt_process`); otherwise the copy is
+        admitted like a fresh one-process application under a synthetic
+        migration key, with a pre-consumed :class:`Reservation` recorded
+        so the RS retires it through the normal ``finish`` path.  On
+        success a MIGRATED/REJOINED notice goes to the submitter's done
+        port so the completion deadline stretches to cover the move.
+        """
+        job_id = snap["job_id"]
+        submitter = snap["submitter"]
+        key3 = (job_id, snap["rank"], snap["replica"])
+        if self.network.is_down(self.host.name) or key3 in self._copies:
+            return False
+        if job_id in self.gatekeeper.running:
+            mode, mig_key, app_key = "joined", None, job_id
+            self.gatekeeper.adopt_process(job_id)
+        else:
+            tag = f"{snap['rank']}.{snap['replica']}.{snap['migrations']}"
+            mig_key = f"mig:{job_id}:{tag}"
+            app_key = f"{job_id}/mig:{tag}"
+            if not self.gatekeeper.try_admit(mig_key, submitter):
+                return False
+            try:
+                self.gatekeeper.start_application(mig_key, app_key, 1)
+            except AdmissionError:
+                self.gatekeeper.release_hold(mig_key)
+                return False
+            self.rs.reservations[mig_key] = Reservation(
+                key=mig_key, job_id=job_id, submitter=submitter,
+                made_at=self.sim.now,
+                expires_at=self.sim.now + self.rs.ttl_s,
+                consumed=True,
+            )
+            mode = "admitted"
+        copy = CopyRuntime(
+            job_id=job_id, rank=snap["rank"], replica=snap["replica"],
+            submitter=submitter, done_port=snap["done_port"],
+            work_total_s=snap["work_total_s"],
+            work_remaining_s=snap["remaining_s"],
+            checkpointed_s=snap["remaining_s"],
+            quantum_s=snap["quantum_s"],
+            checkpoint_bytes=snap["checkpoint_bytes"],
+            deadline_factor=snap["deadline_factor"],
+            migrations=snap["migrations"] + 1,
+        )
+        copy.proc = self.sim.process(self._run_copy(copy))
+        self._copies[key3] = copy
+        self.sim.process(self._adopted_waiter(copy, mode, mig_key, app_key))
+        self.network.send(
+            self.host.name, submitter, port=copy.done_port, kind="MIGRATED",
+            payload={"rank": copy.rank, "replica": copy.replica,
+                     "hostname": self.host.name,
+                     "event": event,
+                     "remaining_s": copy.work_remaining_s,
+                     "deadline_factor": copy.deadline_factor,
+                     "migrations": copy.migrations},
+            size_bytes=SIZE_CONTROL,
+        )
+        return True
+
+    def _adopted_waiter(self, copy: CopyRuntime, mode: str,
+                        mig_key: Optional[str], app_key: str) -> Generator:
+        """Release an adopted copy's local accounting when it leaves
+        (completion, onward migration or death)."""
+        yield copy.proc
+        try:
+            if mode == "joined":
+                self.gatekeeper.release_process(app_key)
+            else:
+                self.gatekeeper.end_application(app_key)
+        except AdmissionError:
+            # The hosting application ended first (its own copies all
+            # finished) and took the slot with it.
+            pass
+        if mig_key is not None:
+            self.rs.finish(mig_key)
 
     # ------------------------------------------------------------------
     # submitter side: steps 1-6 + completion
@@ -411,6 +678,16 @@ class MPD:
             )
 
         # -- launch (steps 7-8 on the remote side) ---------------------------------
+        app_info: Optional[Dict[str, Any]] = None
+        if request.app is not None and getattr(request.app, "migratable",
+                                               False):
+            app_info = {
+                "quantum_s": float(getattr(request.app, "quantum_s", 5.0)),
+                "checkpoint_bytes": int(
+                    getattr(request.app, "checkpoint_bytes", 1 << 20)),
+                "deadline_factor": float(
+                    getattr(request.app, "deadline_factor", 3.0)),
+            }
         start_port = Ports.start_reply(job_id)
         done_port = Ports.done(job_id)
         for host_name, assignments in by_host.items():
@@ -422,6 +699,7 @@ class MPD:
                     "assignments": assignments,
                     "reply_port": start_port,
                     "done_port": done_port,
+                    "app_info": app_info,
                 },
                 size_bytes=SIZE_CONTROL + 24 * len(assignments),
             )
@@ -459,16 +737,36 @@ class MPD:
         expected = plan.total_processes
         max_duration = max([d for _h, a in by_host.items() for _r, _c, d in a],
                            default=0.0)
-        done_deadline = sim.timeout(max_duration + self.config.app_grace_s)
+        # Migratable copies can slow under load and pay transfer time on
+        # every move, so their deadline is scaled — and re-armed from
+        # the surviving work whenever a MIGRATED/REJOINED notice lands.
+        deadline_factor = (float(app_info["deadline_factor"])
+                           if app_info is not None else 1.0)
+        done_deadline = sim.timeout(
+            max_duration * deadline_factor + self.config.app_grace_s)
         completions: Dict[Tuple[int, int], Dict[str, Any]] = {}
         while len(completions) < expected:
             recv = self.network.receive(self.host.name, done_port)
             fired = yield sim.any_of([recv, done_deadline])
             if recv in fired:
                 msg = fired[recv]
-                completions[(msg.payload["rank"], msg.payload["replica"])] = (
-                    msg.payload
-                )
+                payload = msg.payload
+                if msg.kind == "MIGRATED":
+                    result.migrations.append({
+                        "rank": payload["rank"],
+                        "replica": payload["replica"],
+                        "host": payload["hostname"],
+                        "event": payload["event"],
+                        "remaining_s": payload["remaining_s"],
+                        "at": sim.now,
+                    })
+                    done_deadline = sim.timeout(
+                        payload["remaining_s"] * deadline_factor
+                        + self.config.app_grace_s)
+                else:
+                    completions[(payload["rank"], payload["replica"])] = (
+                        payload
+                    )
             if done_deadline in fired and recv not in fired:
                 break
         result.completions = completions

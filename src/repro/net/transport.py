@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import count
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.net.bandwidth import BandwidthAllocator
 from repro.net.latency import LatencyModel
@@ -96,9 +96,18 @@ class Network:
         self._inboxes: Dict[str, FilterStore] = {}
         self._down: Dict[str, bool] = {}
         self._msg_ids = count(1)
+        #: (host, port) -> host the port moved to (rank migration).
+        self._redirects: Dict[Tuple[str, str], str] = {}
+        #: (host, port) -> arrival predicate; a False verdict drops the
+        #: message at delivery time (stale-duplicate suppression).
+        self._port_filters: Dict[Tuple[str, str], Callable[[Message], bool]] = {}
         #: Delivered-message counter (diagnostics).
         self.messages_delivered = 0
         self.messages_dropped = 0
+        #: Messages that landed through a port redirect.
+        self.messages_forwarded = 0
+        #: Messages a port filter rejected on arrival.
+        self.messages_filtered = 0
 
     # -- membership -----------------------------------------------------
     def register(self, host_name: str) -> FilterStore:
@@ -123,6 +132,64 @@ class Network:
 
     def is_down(self, host_name: str) -> bool:
         return self._down.get(host_name, False)
+
+    # -- port mobility (rank migration) ---------------------------------
+    def redirect_port(self, old_host: str, port: str, new_host: str) -> None:
+        """Re-register ``port``: traffic addressed to ``old_host`` lands
+        at ``new_host`` from now on.
+
+        Senders that look placements up before every send switch over on
+        their own; the redirect catches messages already scheduled for
+        delivery (and senders still holding the stale address).  Entries
+        are path-compressed on every install, so chains (A→B→C) resolve
+        in one hop and a copy migrating *back* (A→B then B→A) cannot
+        form a cycle — the target of a new redirect is a live endpoint,
+        so any stale entry claiming it moved is deleted first.
+        """
+        self._redirects.pop((new_host, port), None)
+        self._redirects[(old_host, port)] = new_host
+        for key in [k for k in self._redirects if k[1] == port]:
+            hop = self._redirects[key]
+            seen = {key[0]}
+            while (hop, port) in self._redirects and hop not in seen:
+                seen.add(hop)
+                hop = self._redirects[(hop, port)]
+            self._redirects[key] = hop
+
+    def resolve_port(self, host_name: str, port: str) -> str:
+        """The host currently serving ``port`` for ``host_name``."""
+        return self._redirects.get((host_name, port), host_name)
+
+    def move_queued(self, old_host: str, port: str, new_host: str) -> int:
+        """Move ``port``'s queued inbox items between hosts; returns count.
+
+        Used together with :meth:`redirect_port` when a (rank, replica)
+        copy migrates: messages that already arrived but were not yet
+        consumed follow the copy so no logical message is lost.
+        """
+        src = self._inboxes.get(old_host)
+        if src is None:
+            return 0
+        moved = src.discard(lambda msg: msg.port == port)
+        dst = self.register(new_host)
+        for msg in moved:
+            dst.put(msg)
+        return len(moved)
+
+    # -- arrival filters -------------------------------------------------
+    def set_port_filter(self, host_name: str, port: str,
+                        predicate: Callable[[Message], bool]) -> None:
+        """Install an arrival predicate for ``(host, port)``.
+
+        Messages failing the predicate are counted in
+        :attr:`messages_filtered` and never enter the inbox — the
+        mechanism the replicated-MPI layer uses to stop stale duplicate
+        copies from accumulating after their logical delivery.
+        """
+        self._port_filters[(host_name, port)] = predicate
+
+    def clear_port_filter(self, host_name: str, port: str) -> None:
+        self._port_filters.pop((host_name, port), None)
 
     # -- sending -----------------------------------------------------------
     def transfer_time_s(self, src: Host, dst: Host, size_bytes: int) -> float:
@@ -164,8 +231,8 @@ class Network:
             # A dead host cannot send either.
             self.messages_dropped += 1
             return msg
-        inbox = self._inboxes.get(dst)
-        if inbox is None or self._down.get(dst, False):
+        route = self.resolve_port(dst, port)
+        if self._inboxes.get(route) is None or self._down.get(route, False):
             self.messages_dropped += 1
             return msg
 
@@ -177,12 +244,22 @@ class Network:
         def _deliver(_event) -> None:
             if uses_bw:
                 self.bandwidth.release(src_host, dst_host)
-            if self._down.get(dst, False):
+            # Resolve again at delivery time: the port may have migrated
+            # while this message was in flight.
+            landing = self.resolve_port(dst, port)
+            box = self._inboxes.get(landing)
+            if box is None or self._down.get(landing, False):
                 self.messages_dropped += 1
                 return
+            accept = self._port_filters.get((landing, port))
+            if accept is not None and not accept(msg):
+                self.messages_filtered += 1
+                return
+            if landing != dst:
+                self.messages_forwarded += 1
             msg.delivered_at = self.sim.now
             self.messages_delivered += 1
-            inbox.put(msg)
+            box.put(msg)
 
         evt = self.sim.event(name=f"deliver:{msg.msg_id}")
         evt.callbacks.append(_deliver)

@@ -65,10 +65,18 @@ class JobSurvival:
     hosts_used: int
     submitted_at: float
     finished_at: float
+    #: Copy moves observed while the job ran (cooperative migrations /
+    #: crash resurrections); informational, never part of copies_done.
+    copies_migrated: int = 0
+    copies_rejoined: int = 0
 
     @property
     def copies_lost(self) -> int:
         return self.copies_planned - self.copies_done
+
+    @property
+    def completion_s(self) -> float:
+        return self.finished_at - self.submitted_at
 
     @property
     def completed(self) -> bool:
@@ -101,20 +109,35 @@ class SurvivalLedger:
         (self.crashes if event.down else self.revivals).append(event)
 
     def record_job(self, submitter: str, result) -> JobSurvival:
-        """Derive and append the ledger entry for one JobResult."""
+        """Derive and append the ledger entry for one JobResult.
+
+        Migration-aware: only genuine completion payloads (``event`` is
+        ``"done"`` or absent) count as done copies, so a rank that
+        moved hosts mid-run and then completed is counted exactly once
+        — MIGRATED/REJOINED notices can neither inflate ``copies_done``
+        nor hide a rank as lost.  The moves themselves are tallied
+        separately from ``result.migrations``.
+        """
         plan = result.plan
+        done = {key for key, payload in result.completions.items()
+                if (payload or {}).get("event", "done") == "done"}
+        moves = getattr(result, "migrations", [])
         entry = JobSurvival(
             job_id=result.job_id,
             submitter=submitter,
             strategy=result.request.strategy,
             status=result.status.value,
             copies_planned=(0 if plan is None else plan.total_processes),
-            copies_done=len(result.completions),
+            copies_done=len(done),
             ranks_lost=(0 if plan is None else
-                        plan.n - len({r for r, _c in result.completions})),
+                        plan.n - len({r for r, _c in done})),
             hosts_used=(0 if plan is None else len(plan.used_hosts())),
             submitted_at=result.timings.submitted_at,
             finished_at=result.timings.finished_at,
+            copies_migrated=sum(1 for m in moves
+                                if m.get("event") == "migrated"),
+            copies_rejoined=sum(1 for m in moves
+                                if m.get("event") == "rejoined"),
         )
         self.jobs.append(entry)
         return entry
@@ -156,10 +179,18 @@ class SurvivalLedger:
             out[job.status] = out.get(job.status, 0) + 1
         return dict(sorted(out.items()))
 
+    def mean_completion_s(self) -> Optional[float]:
+        """Mean submitted-to-finished time over completed jobs."""
+        times = [j.completion_s for j in self.jobs if j.completed]
+        if not times:
+            return None
+        return sum(times) / len(times)
+
     def summary(self) -> Dict[str, object]:
         """JSON-able round summary (floats rounded: store-stable)."""
         availability = self.availability()
         survival = self.replica_survival()
+        mean_completion = self.mean_completion_s()
         return {
             "jobs": self.jobs_submitted,
             "completed": self.jobs_completed,
@@ -174,6 +205,10 @@ class SurvivalLedger:
                                if j.launched),
             "replica_survival": (None if survival is None
                                  else round(survival, 6)),
+            "mean_completion_s": (None if mean_completion is None
+                                  else round(mean_completion, 6)),
+            "migrations": sum(j.copies_migrated for j in self.jobs),
+            "rejoins": sum(j.copies_rejoined for j in self.jobs),
             "crashes": len(self.crashes),
             "revivals": len(self.revivals),
         }

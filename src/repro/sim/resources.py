@@ -72,6 +72,24 @@ class Store:
     def get(self) -> StoreGet:
         return StoreGet(self)
 
+    def discard(self, predicate: Callable[[Any], bool]) -> List[Any]:
+        """Remove and return every queued item matching ``predicate``.
+
+        A synchronous maintenance primitive (no event involved): the
+        replicated-MPI layer uses it to purge stale duplicate messages
+        the moment a logical delivery supersedes them, and the migration
+        protocol uses it to move a port's queued traffic between host
+        inboxes.  Freed capacity admits queued putters.
+        """
+        removed: List[Any] = []
+        kept: deque = deque()
+        for item in self.items:
+            (removed if predicate(item) else kept).append(item)
+        if removed:
+            self.items = kept
+            self._match()
+        return removed
+
     # -- internals -----------------------------------------------------------
     def _do_put(self, event: StorePut) -> None:
         if len(self.items) < self.capacity:

@@ -23,7 +23,7 @@ class TestManifest:
         assert registry.names() == (
             "fig2", "fig3", "fig4", "table1", "ablations", "scaling",
             "multiuser", "coallocation", "commaware", "churnload",
-            "applatency", "multiuser2", "topozoo", "all")
+            "applatency", "multiuser2", "topozoo", "migration", "all")
 
     def test_shardable_flags(self):
         assert not registry.is_shardable("table1")

@@ -1,0 +1,232 @@
+"""Engine-level rank migration: checkpoint / teardown / rejoin.
+
+The load-bearing property: a migrated run produces *bit-identical*
+results to an unmigrated one — the move may cost time, never
+correctness.  The seq/dedup invariants of ``ReplicatedComm`` must hold
+across the port re-registration even with senders mid-flight.
+"""
+
+import pytest
+
+from repro.alloc import ReservedHost, build_plan, get_strategy
+from repro.ft.migration import MigrationRecord, RankMigrator
+from repro.ft.replicated_mpi import ReplicatedWorld
+from repro.mpi.datatypes import SUM
+from repro.net.transport import Network
+from repro.sim import Simulator
+from tests.conftest import make_small_topology
+
+
+def build_world(n=4, r=2, seed=9, job_id="t"):
+    sim = Simulator(seed=seed)
+    topo = make_small_topology()
+    net = Network(sim, topo)
+    slist = [ReservedHost(h, p_limit=h.cores) for h in topo.all_hosts()]
+    plan = build_plan(get_strategy("spread"), slist, n=n, r=r)
+    return sim, topo, net, ReplicatedWorld(sim, net, plan, job_id=job_id)
+
+
+def free_hosts(topo, world):
+    """Hosts the plan left unused (deterministic order)."""
+    used = {h.name for h in world._hosts.values()}
+    return [h for h in topo.all_hosts() if h.name not in used]
+
+
+def two_phase(comm):
+    """Ring exchange, cooperative checkpoint, then an allreduce."""
+    state = comm.restored_state
+    if state is None:
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        comm.isend(right, f"tok-{comm.rank}", size_bytes=32, tag=1)
+        token = yield from comm.recv(left, tag=1)
+        yield comm.sim.timeout(0.5)
+        comm.checkpoint({"token": token})
+    else:
+        token = state["token"]
+    total = yield from comm.allreduce(comm.rank + 1, op=SUM, size_bytes=8)
+    return (token, total)
+
+
+def looped(comm):
+    """Three exchange rounds with a checkpoint boundary after each."""
+    state = comm.restored_state or {"i": 0, "acc": []}
+    i, acc = state["i"], list(state["acc"])
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    while i < 3:
+        comm.isend(right, (comm.rank, i), size_bytes=16, tag=2)
+        got = yield from comm.recv(left, tag=2)
+        acc.append(got)
+        i += 1
+        yield comm.sim.timeout(1.0)
+        comm.checkpoint({"i": i, "acc": acc})
+    return acc
+
+
+def migrate_at(sim, migrator, at_s, rank, replica, dest):
+    def trigger():
+        yield sim.timeout(at_s)
+        migrator.migrate(rank, replica, dest)
+
+    sim.process(trigger())
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("seed", [1, 5, 9])
+    @pytest.mark.parametrize("n,r", [(3, 1), (4, 1), (3, 2), (4, 2)])
+    def test_migrated_run_matches_baseline(self, seed, n, r):
+        """Property: across a seeded (n, r) grid, migrating one copy
+        mid-run changes nothing about the delivered results."""
+        _, _, _, base_world = build_world(n=n, r=r, seed=seed)
+        baseline = base_world.run(two_phase)
+
+        sim, topo, _, world = build_world(n=n, r=r, seed=seed)
+        migrator = RankMigrator(world, checkpoint_bytes=1 << 16)
+        dest = free_hosts(topo, world)[0]
+        world.spawn(two_phase)
+        migrate_at(sim, migrator, 0.1, rank=1, replica=0, dest=dest)
+        migrated = world.run(two_phase)
+
+        assert migrated == baseline
+        assert [rec.status for rec in migrator.records] == ["done"]
+        assert world.host_of(1, 0).name == dest.name
+
+    def test_concurrent_sender_mid_migration(self):
+        """Rank 0 floods rank 1 while rank 1 migrates between two of
+        six receives: nothing lost, nothing duplicated, in order."""
+
+        def flood_restartable(comm):
+            state = comm.restored_state or {"got": []}
+            got = list(state["got"])
+            if comm.rank == 0:
+                for i in range(6):
+                    comm.isend(1, f"m{i}", size_bytes=16, tag=7)
+                    yield comm.sim.timeout(0.3)
+                return None
+            while len(got) < 6:
+                data = yield from comm.recv(0, tag=7)
+                got.append(data)
+                if len(got) == 3:
+                    yield comm.sim.timeout(0.4)
+                    comm.checkpoint({"got": got})
+            return got
+
+        _, _, _, base_world = build_world(n=2, r=1, seed=3)
+        baseline = base_world.run(flood_restartable)
+        assert baseline[1] == [[f"m{i}" for i in range(6)]]
+
+        sim, topo, net, world = build_world(n=2, r=1, seed=3)
+        migrator = RankMigrator(world, checkpoint_bytes=1 << 14)
+        dest = free_hosts(topo, world)[0]
+        world.spawn(flood_restartable)
+        migrate_at(sim, migrator, 0.1, rank=1, replica=0, dest=dest)
+        migrated = world.run(flood_restartable)
+
+        assert migrated == baseline
+        assert [rec.status for rec in migrator.records] == ["done"]
+        # In-flight / queued messages were carried through the redirect.
+        assert net.messages_forwarded + net.messages_delivered > 0
+
+    def test_chain_migration_there_and_back(self):
+        """A -> B -> back to A across successive checkpoints."""
+        _, _, _, base_world = build_world(n=3, r=1, seed=4)
+        baseline = base_world.run(looped)
+
+        sim, topo, _, world = build_world(n=3, r=1, seed=4)
+        migrator = RankMigrator(world, checkpoint_bytes=1 << 14)
+        home = world.host_of(1, 0)
+        away = free_hosts(topo, world)[0]
+        world.spawn(looped)
+        migrate_at(sim, migrator, 0.1, rank=1, replica=0, dest=away)
+        migrate_at(sim, migrator, 2.5, rank=1, replica=0, dest=home)
+        results = world.run(looped)
+
+        assert results == baseline
+        assert [rec.status for rec in migrator.records] == ["done", "done"]
+        assert migrator.records[0].dst_host == away.name
+        assert migrator.records[1].dst_host == home.name
+        assert world.host_of(1, 0).name == home.name
+
+    def test_retarget_before_checkpoint_last_destination_wins(self):
+        """Two requests before any checkpoint: the drivers compose and
+        the copy ends up at the *latest* destination."""
+        sim, topo, _, world = build_world(n=3, r=1, seed=4)
+        migrator = RankMigrator(world, checkpoint_bytes=1 << 14)
+        first, second = free_hosts(topo, world)[:2]
+        world.spawn(looped)
+        migrate_at(sim, migrator, 0.1, rank=1, replica=0, dest=first)
+        migrate_at(sim, migrator, 0.2, rank=1, replica=0, dest=second)
+        results = world.run(looped)
+
+        _, _, _, base_world = build_world(n=3, r=1, seed=4)
+        assert results == base_world.run(looped)
+        assert world.host_of(1, 0).name == second.name
+        # Both drivers completed a move (via ``first`` en route).
+        assert [rec.status for rec in migrator.records] == ["done", "done"]
+
+
+class TestEdgeCases:
+    def test_migrate_after_finish_is_noop(self):
+        """No checkpoint will ever fire: the driver forwards the
+        result untouched and records a noop."""
+        sim, topo, _, world = build_world(n=3, r=1, seed=2)
+        migrator = RankMigrator(world)
+        dest = free_hosts(topo, world)[0]
+        world.spawn(two_phase)
+        sim.run(until=20.0)  # program long done, no migration pending
+        migrator.migrate(1, 0, dest)
+        results = world.run(two_phase)
+        expected = 3 * 4 // 2
+        assert results[1] == [("tok-0", expected)]
+        assert [rec.status for rec in migrator.records] == ["noop"]
+        assert world.host_of(1, 0).name != dest.name
+
+    def test_destination_death_loses_copy_replication_absorbs(self):
+        sim, topo, net, world = build_world(n=3, r=2, seed=6)
+        migrator = RankMigrator(world, checkpoint_bytes=1 << 22)
+        dest = free_hosts(topo, world)[0]
+        net.register(dest.name)
+        net.set_down(dest.name)
+        world.spawn(two_phase)
+        migrate_at(sim, migrator, 0.1, rank=1, replica=0, dest=dest)
+        results = world.run(two_phase)
+        # Replica 1 of rank 1 carried the job; the moved copy is gone.
+        assert len(results[1]) == 1
+        assert [rec.status for rec in migrator.records] == ["lost"]
+
+    def test_destination_death_unreplicated_kills_job(self):
+        sim, topo, net, world = build_world(n=3, r=1, seed=6)
+        migrator = RankMigrator(world, checkpoint_bytes=1 << 22)
+        dest = free_hosts(topo, world)[0]
+        net.register(dest.name)
+        net.set_down(dest.name)
+        world.spawn(two_phase)
+        migrate_at(sim, migrator, 0.1, rank=1, replica=0, dest=dest)
+        with pytest.raises(RuntimeError):
+            world.run(two_phase)
+        assert [rec.status for rec in migrator.records] == ["lost"]
+
+    def test_checkpoint_without_pending_migration_is_free(self):
+        """``comm.checkpoint`` with no migrator attached (and with one
+        attached but idle) never unwinds the program."""
+        _, _, _, world = build_world(n=3, r=1, seed=8)
+        results = world.run(looped)  # checkpoints every round, no migrator
+        assert set(results) == {0, 1, 2}
+
+        _, _, _, armed = build_world(n=3, r=1, seed=8)
+        RankMigrator(armed)  # attached, nothing pending
+        assert armed.run(looped) == results
+
+    def test_records_carry_timing_and_endpoints(self):
+        sim, topo, _, world = build_world(n=3, r=1, seed=4)
+        migrator = RankMigrator(world, checkpoint_bytes=1 << 14)
+        src = world.host_of(1, 0)
+        dest = free_hosts(topo, world)[0]
+        world.spawn(looped)
+        migrate_at(sim, migrator, 0.1, rank=1, replica=0, dest=dest)
+        world.run(looped)
+        rec = migrator.records[0]
+        assert isinstance(rec, MigrationRecord)
+        assert rec.src_host == src.name and rec.dst_host == dest.name
+        assert 0.1 <= rec.requested_at < rec.completed_at

@@ -237,3 +237,35 @@ class TestDeduplication:
         results = world.run(chatty)
         for value in results[1]:
             assert value == ["m0", "m1", "m2"]
+
+    def test_inbox_drained_after_replicated_run(self):
+        """Regression: duplicate physical copies must not accumulate.
+
+        With r=2 every logical message arrives (up to) twice per
+        receiver copy; the late duplicates used to sit in the host
+        inbox forever.  After a replicated run every inbox must be
+        empty of RMPI traffic — refused on arrival or purged at
+        delivery time.
+        """
+        sim, topo, net, world = build_world(n=4, r=2)
+
+        def chatty(comm):
+            out = []
+            nxt = (comm.rank + 1) % comm.size
+            prev = (comm.rank - 1) % comm.size
+            for i in range(3):
+                comm.isend(nxt, f"r{comm.rank}m{i}", size_bytes=16, tag=5)
+            for i in range(3):
+                data = yield from comm.recv(prev, tag=5)
+                out.append(data)
+            return out
+
+        results = world.run(chatty)
+        for rank in range(4):
+            prev = (rank - 1) % 4
+            for value in results[rank]:
+                assert value == [f"r{prev}m{i}" for i in range(3)]
+        for host in {h.name for h in world._hosts.values()}:
+            leftover = [m for m in net.inbox(host).items
+                        if m.kind == "RMPI"]
+            assert leftover == [], f"undrained duplicates on {host}"

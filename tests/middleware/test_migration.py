@@ -1,0 +1,190 @@
+"""Migratable copies at the middleware layer: quantum execution,
+checkpoint hand-off between MPDs, reservation/gatekeeper accounting,
+and crash resurrection through the diffusive balancer."""
+
+from repro.alloc.diffusive import DiffusivePolicy
+from repro.cluster import build_small_cluster
+from repro.ft.migration import DiffusiveBalancer, MigratableWorkApp
+from repro.middleware.jobs import JobRequest, JobStatus
+
+
+def submit_async(cluster, request, submitter=None):
+    mpd = cluster.mpd(submitter)
+    return cluster.sim.process(mpd.submit_job(request))
+
+
+class TestMigratableRun:
+    def test_quiet_run_completes_without_moves(self):
+        cluster = build_small_cluster(seed=3)
+        result = cluster.submit_and_run(JobRequest(
+            n=4, r=1, strategy="spread",
+            app=MigratableWorkApp(duration_s=10.0, quantum_s=2.0)))
+        assert result.status is JobStatus.SUCCESS
+        assert len(result.completions) == 4
+        assert result.migrations == []
+        for payload in result.completions.values():
+            assert payload["event"] == "done"
+            assert payload["migrations"] == 0
+        # Runtime table fully drained on every host.
+        assert all(not mpd._copies for mpd in cluster.mpds.values())
+
+    def test_completion_time_tracks_duration(self):
+        cluster = build_small_cluster(seed=3)
+        result = cluster.submit_and_run(JobRequest(
+            n=2, r=1, strategy="spread",
+            app=MigratableWorkApp(duration_s=8.0, quantum_s=2.0)))
+        elapsed = result.timings.finished_at - result.timings.submitted_at
+        assert 8.0 <= elapsed < 12.0
+
+
+class TestCheckpointHandOff:
+    def _run_with_move(self, move_at_s=5.0):
+        cluster = build_small_cluster(seed=4)
+        app = MigratableWorkApp(duration_s=20.0, quantum_s=2.0)
+        job = submit_async(cluster, JobRequest(
+            n=2, r=1, strategy="spread", app=app, tag="handoff"))
+
+        def mover():
+            yield cluster.sim.timeout(move_at_s)
+            src = next(name for name in sorted(cluster.mpds)
+                       if cluster.mpds[name].running_copies())
+            job_id, rank, replica = cluster.mpds[src].running_copies()[0]
+            snap = yield from cluster.mpds[src].migrate_copy_out(
+                job_id, rank, replica)
+            assert snap is not None
+            dst = next(name for name in sorted(cluster.mpds)
+                       if name != src
+                       and not cluster.mpds[name].running_copies())
+            assert cluster.mpds[dst].can_adopt(job_id, snap["submitter"])
+            assert cluster.mpds[dst].adopt_copy(snap)
+            return src, dst, snap
+
+        mover_proc = cluster.sim.process(mover())
+        result = cluster.sim.run_until_complete(job)
+        return cluster, result, mover_proc.value
+
+    def test_moved_copy_completes_elsewhere(self):
+        cluster, result, (src, dst, snap) = self._run_with_move()
+        assert result.status is JobStatus.SUCCESS
+        assert len(result.completions) == 2
+        moved = result.completions[(snap["rank"], snap["replica"])]
+        assert moved["hostname"] == dst
+        assert moved["migrations"] == 1
+
+    def test_migrated_notice_reaches_submitter(self):
+        _, result, (src, dst, snap) = self._run_with_move()
+        assert len(result.migrations) == 1
+        notice = result.migrations[0]
+        assert notice["event"] == "migrated"
+        assert notice["host"] == dst
+        assert notice["rank"] == snap["rank"]
+        assert 0.0 < notice["remaining_s"] <= 20.0
+
+    def test_snapshot_preserves_remaining_work(self):
+        _, _, (_, _, snap) = self._run_with_move(move_at_s=5.0)
+        # ~5 s of 20 s done when frozen (live snapshot, sub-quantum
+        # progress included).
+        assert 10.0 < snap["remaining_s"] < 20.0
+        assert snap["migrations"] == 0
+
+    def test_accounting_clean_after_completion(self):
+        cluster, result, (src, dst, _) = self._run_with_move()
+        assert result.status is JobStatus.SUCCESS
+        for name in (src, dst):
+            mpd = cluster.mpds[name]
+            assert not mpd._copies
+            assert not mpd.gatekeeper.running
+        # Every reservation slot was released: a follow-up job spanning
+        # all hosts books cleanly.
+        follow = cluster.submit_and_run(JobRequest(n=10, strategy="spread"))
+        assert follow.status is JobStatus.SUCCESS
+
+    def test_adopt_refused_on_down_host(self):
+        cluster = build_small_cluster(seed=4)
+        app = MigratableWorkApp(duration_s=20.0, quantum_s=2.0)
+        job = submit_async(cluster, JobRequest(
+            n=2, r=1, strategy="spread", app=app, tag="downdst"))
+
+        def mover():
+            yield cluster.sim.timeout(5.0)
+            src = next(name for name in sorted(cluster.mpds)
+                       if cluster.mpds[name].running_copies())
+            job_id, rank, replica = cluster.mpds[src].running_copies()[0]
+            snap = yield from cluster.mpds[src].migrate_copy_out(
+                job_id, rank, replica)
+            down = "g1-2.gamma"
+            cluster.network.set_down(down)
+            assert not cluster.mpds[down].adopt_copy(snap)
+            # Bounce back home instead: the copy resumes at src.
+            assert cluster.mpds[src].adopt_copy(snap)
+
+        cluster.sim.process(mover())
+        result = cluster.sim.run_until_complete(job)
+        assert result.status is JobStatus.SUCCESS
+
+    def test_migrate_out_unknown_copy_is_none(self):
+        cluster = build_small_cluster(seed=4)
+
+        def probe():
+            snap = yield from cluster.mpds["a1-1.alpha"].migrate_copy_out(
+                "nope", 0, 0)
+            return snap
+
+        proc = cluster.sim.process(probe())
+        assert cluster.sim.run_until_complete(proc) is None
+
+
+class TestResurrection:
+    def test_balancer_rejoins_copy_from_dead_host(self):
+        """r=1 + host death is fatal for a static job; the balancer's
+        shadow checkpoint brings the copy back and the job completes."""
+        cluster = build_small_cluster(seed=6)
+        app = MigratableWorkApp(duration_s=24.0, quantum_s=2.0)
+        job = submit_async(cluster, JobRequest(
+            n=2, r=1, strategy="spread", app=app, tag="lazarus"))
+        # threshold 10: diffusion disabled, resurrection isolated.
+        balancer = DiffusiveBalancer(cluster, DiffusivePolicy(
+            period_s=2.0, threshold=10.0))
+        balancer.start()
+
+        def killer():
+            yield cluster.sim.timeout(7.0)
+            submitter = cluster.default_submitter
+            victim = next(name for name in sorted(cluster.mpds)
+                          if name != submitter
+                          and cluster.mpds[name].running_copies())
+            cluster.network.set_down(victim)
+            cluster._on_host_change(victim, True)
+            return victim
+
+        killer_proc = cluster.sim.process(killer())
+        result = cluster.sim.run_until_complete(job)
+        balancer.stop()
+
+        victim = killer_proc.value
+        assert result.status is JobStatus.SUCCESS
+        assert len(result.completions) == 2
+        assert balancer.rejoins == 1
+        rejoined = [m for m in result.migrations if m["event"] == "rejoined"]
+        assert len(rejoined) == 1
+        assert rejoined[0]["host"] != victim
+
+    def test_static_job_dies_without_balancer(self):
+        """The control: same kill, no balancer -> the job fails."""
+        cluster = build_small_cluster(seed=6)
+        app = MigratableWorkApp(duration_s=24.0, quantum_s=2.0)
+        job = submit_async(cluster, JobRequest(
+            n=2, r=1, strategy="spread", app=app, tag="static"))
+
+        def killer():
+            yield cluster.sim.timeout(7.0)
+            submitter = cluster.default_submitter
+            victim = next(name for name in sorted(cluster.mpds)
+                          if name != submitter
+                          and cluster.mpds[name].running_copies())
+            cluster.network.set_down(victim)
+            cluster._on_host_change(victim, True)
+
+        cluster.sim.process(killer())
+        result = cluster.sim.run_until_complete(job)
+        assert result.status is not JobStatus.SUCCESS

@@ -1,0 +1,114 @@
+"""Migration-aware ledger accounting (§3.2 bookkeeping under mobility).
+
+A rank that checkpoints on host A and completes on host B must be
+counted exactly once: MIGRATED/REJOINED traffic can neither inflate
+``copies_done`` nor leave the rank looking lost.
+"""
+
+from repro.alloc import ReservedHost, build_plan, get_strategy
+from repro.middleware.jobs import JobRequest, JobResult, JobStatus, JobTimings
+from repro.overlay.churn import SurvivalLedger
+from tests.conftest import make_small_topology
+
+
+def make_result(n=2, status=JobStatus.SUCCESS, completions=None,
+                migrations=None, finished_at=40.0):
+    topo = make_small_topology()
+    slist = [ReservedHost(h, p_limit=h.cores) for h in topo.all_hosts()]
+    plan = build_plan(get_strategy("spread"), slist, n=n, r=1)
+    return JobResult(
+        job_id="J1",
+        request=JobRequest(n=n, r=1, strategy="spread"),
+        status=status,
+        plan=plan,
+        timings=JobTimings(submitted_at=0.0, finished_at=finished_at),
+        completions=completions or {},
+        migrations=migrations or [],
+    )
+
+
+class TestMigrationAwareAccounting:
+    def test_migrated_rank_counted_exactly_once(self):
+        """The pin: a copy that moved and then completed contributes
+        one done copy, zero lost ranks, one tallied migration."""
+        ledger = SurvivalLedger()
+        entry = ledger.record_job("a1-1.alpha", make_result(
+            completions={
+                (0, 0): {"event": "done", "migrations": 0},
+                (1, 0): {"event": "done", "migrations": 1},
+            },
+            migrations=[{"rank": 1, "replica": 0, "host": "b1-1.beta",
+                         "event": "migrated", "remaining_s": 12.0,
+                         "at": 20.0}],
+        ))
+        assert entry.copies_done == 2
+        assert entry.ranks_lost == 0
+        assert entry.copies_lost == 0
+        assert entry.copies_migrated == 1
+        assert entry.copies_rejoined == 0
+
+    def test_non_done_payload_never_counts_as_completion(self):
+        ledger = SurvivalLedger()
+        entry = ledger.record_job("a1-1.alpha", make_result(
+            status=JobStatus.RANKS_LOST,
+            completions={
+                (0, 0): {"event": "done"},
+                (1, 0): {"event": "migrated"},  # defensive: not a DONE
+            },
+        ))
+        assert entry.copies_done == 1
+        assert entry.ranks_lost == 1
+
+    def test_legacy_payload_without_event_counts_as_done(self):
+        """Pre-migration DONE payloads carry no ``event`` key."""
+        ledger = SurvivalLedger()
+        entry = ledger.record_job("a1-1.alpha", make_result(
+            completions={(0, 0): {"hostname": "x"}, (1, 0): {}},
+        ))
+        assert entry.copies_done == 2
+        assert entry.ranks_lost == 0
+
+    def test_rejoins_tallied_separately(self):
+        ledger = SurvivalLedger()
+        entry = ledger.record_job("a1-1.alpha", make_result(
+            completions={(0, 0): {"event": "done"},
+                         (1, 0): {"event": "done"}},
+            migrations=[
+                {"rank": 0, "replica": 0, "event": "migrated"},
+                {"rank": 1, "replica": 0, "event": "rejoined"},
+                {"rank": 1, "replica": 0, "event": "rejoined"},
+            ],
+        ))
+        assert entry.copies_migrated == 1
+        assert entry.copies_rejoined == 2
+
+
+class TestSummaryMetrics:
+    def test_summary_carries_mobility_and_completion_keys(self):
+        ledger = SurvivalLedger()
+        ledger.record_job("a1-1.alpha", make_result(
+            completions={(0, 0): {"event": "done"},
+                         (1, 0): {"event": "done"}},
+            migrations=[{"event": "migrated"}],
+            finished_at=30.0))
+        ledger.record_job("a1-1.alpha", make_result(
+            completions={(0, 0): {"event": "done"},
+                         (1, 0): {"event": "done"}},
+            migrations=[{"event": "rejoined"}],
+            finished_at=50.0))
+        summary = ledger.summary()
+        assert summary["migrations"] == 1
+        assert summary["rejoins"] == 1
+        assert summary["mean_completion_s"] == 40.0
+        assert summary["availability"] == 1.0
+
+    def test_mean_completion_excludes_failed_jobs(self):
+        ledger = SurvivalLedger()
+        ledger.record_job("a1-1.alpha", make_result(finished_at=20.0))
+        ledger.record_job("a1-1.alpha", make_result(
+            status=JobStatus.RANKS_LOST, finished_at=999.0))
+        assert ledger.mean_completion_s() == 20.0
+
+    def test_empty_ledger_mean_is_none(self):
+        assert SurvivalLedger().mean_completion_s() is None
+        assert SurvivalLedger().summary()["mean_completion_s"] is None
